@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+same ``run()`` functions the ``thermostat-repro`` CLI uses, then prints
+the paper-comparable rows (visible with ``pytest benchmarks/ -s`` or in
+the benchmark's captured output).  Runs use a reduced footprint scale so
+the whole harness finishes in minutes; the experiment cache in
+:mod:`repro.experiments.common` shares simulations between benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Footprint scale for benchmark runs (see EXPERIMENTS.md for scale notes).
+BENCH_SCALE = 0.05
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Ablation: the Section 3.5 mis-classification correction on vs off.
+
+After a phase change turns a demoted region hot, the correction machinery
+pulls it back within an interval or two; without it the slowdown is
+permanent.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.metrics.report import format_table
+
+
+def test_ablation_correction(benchmark, bench_seed):
+    result = run_once(benchmark, ablations.run_correction_ablation, bench_seed)
+    print()
+    print(
+        format_table(
+            "Ablation: mis-classification correction (phase change at 600s)",
+            ["configuration", "late slowdown", "corrections (bytes)"],
+            [
+                (
+                    "with correction (paper)",
+                    f"{100 * result.late_slowdown(result.with_correction):.2f}%",
+                    int(
+                        result.with_correction.stats.counter(
+                            "correction_bytes"
+                        ).value
+                    ),
+                ),
+                (
+                    "correction disabled",
+                    f"{100 * result.late_slowdown(result.without_correction):.2f}%",
+                    int(
+                        result.without_correction.stats.counter(
+                            "correction_bytes"
+                        ).value
+                    ),
+                ),
+            ],
+        )
+    )
+    assert result.damage_ratio > 1.5
+    assert result.late_slowdown(result.with_correction) < 0.04
+    assert (
+        result.without_correction.stats.counter("correction_bytes").value == 0
+    )

@@ -1,0 +1,48 @@
+"""Ablation: sampling-fraction sweep (the paper's 5% knob).
+
+Larger samples converge faster but poison more memory at once; 5% is the
+paper's compromise.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+from repro.metrics.report import format_table
+
+
+def test_ablation_sampling_fraction(benchmark, bench_seed):
+    rows = run_once(benchmark, ablations.run_sampling_sweep, (0.01, 0.05, 0.20),
+                    bench_seed)
+    print()
+    print(
+        format_table(
+            "Ablation: sampling fraction sweep (half-cold workload)",
+            ["fraction", "final cold", "epochs to 90%", "overhead"],
+            [
+                (
+                    f"{row.sample_fraction:.2f}",
+                    f"{100 * row.final_cold_fraction:.1f}%",
+                    row.epochs_to_90_percent,
+                    f"{100 * row.mean_overhead_fraction:.3f}%",
+                )
+                for row in rows
+            ],
+        )
+    )
+    by_fraction = {row.sample_fraction: row for row in rows}
+    # Bigger samples converge no slower.
+    assert (
+        by_fraction[0.20].epochs_to_90_percent
+        <= by_fraction[0.01].epochs_to_90_percent
+    )
+    # Within the run, coverage grows with the sampling fraction — at 1%
+    # the policy has not even finished discovering the cold band (the
+    # knee argument for the paper's 5%).
+    finals = [row.final_cold_fraction for row in rows]
+    assert finals == sorted(finals)
+    assert by_fraction[0.05].final_cold_fraction > 0.4
+    # Overhead grows with the fraction but stays within the paper's <1%
+    # envelope even at 20%.
+    overheads = [row.mean_overhead_fraction for row in rows]
+    assert overheads == sorted(overheads)
+    assert all(o < 0.01 for o in overheads)

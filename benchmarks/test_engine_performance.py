@@ -1,0 +1,70 @@
+"""Engine performance benchmarks (simulator speed, not paper results).
+
+The epoch engine is the reproduction's workhorse: these benchmarks track
+how fast it simulates, including one paper-scale (17.2GB Redis) run —
+the configuration every figure would use with unlimited patience.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.sim.engine import run_simulation
+from repro.workloads import make_workload
+
+
+def test_epoch_engine_throughput_small(benchmark):
+    """Ten epochs of the 1/20-scale Redis under Thermostat."""
+
+    def run():
+        return run_simulation(
+            make_workload("redis", scale=0.05),
+            ThermostatPolicy(),
+            SimulationConfig(duration=300, epoch=30, seed=1),
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.stats.counter("epochs").value == 10
+
+
+def test_epoch_engine_paper_scale_redis(benchmark):
+    """Five epochs of the FULL 17.2GB Redis footprint (4.5M pages).
+
+    Demonstrates the vectorized engine handles paper-scale footprints:
+    ~2.3M base pages per epoch profile, classification over ~8.8K huge
+    pages.
+    """
+
+    def run():
+        return run_simulation(
+            make_workload("redis", scale=1.0),
+            ThermostatPolicy(),
+            SimulationConfig(duration=150, epoch=30, seed=1),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.stats.counter("epochs").value == 5
+    assert result.state.num_huge_pages > 8000
+
+
+def test_mechanism_engine_access_rate(benchmark):
+    """Raw per-access cost of the mechanism path (TLB + table + LLC)."""
+    import numpy as np
+
+    from repro.kernel.mmu import AddressSpace
+    from repro.units import HUGE_PAGE_SIZE
+
+    space = AddressSpace(use_llc=True)
+    space.mmap(0, 16 * HUGE_PAGE_SIZE)
+    rng = np.random.default_rng(0)
+    addresses = (
+        rng.integers(0, 16, size=5000) * HUGE_PAGE_SIZE
+        + rng.integers(0, HUGE_PAGE_SIZE, size=5000)
+    )
+
+    def run():
+        for address in addresses:
+            space.access(int(address))
+        return True
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1)

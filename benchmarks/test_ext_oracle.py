@@ -1,0 +1,27 @@
+"""Extension benchmark: optimality gap vs a ground-truth oracle.
+
+Not in the paper; bounds how much cold data Thermostat's sampling leaves
+on the table.  Sharp-banded workloads (TPCC, web search) are nearly
+oracle-optimal; Redis's undifferentiated tail is intrinsically hard for
+sampling.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_oracle
+
+
+def test_ext_oracle_gap(benchmark, bench_scale, bench_seed):
+    rows = run_once(benchmark, ext_oracle.run, bench_scale, bench_seed)
+    print()
+    print(ext_oracle.render(rows))
+
+    by_name = {r.workload: r for r in rows}
+    # Thermostat never *beats* the oracle by a meaningful margin.
+    for row in rows:
+        assert row.thermostat_cold <= row.oracle_cold + 0.05, row.workload
+    # Sharp-banded workloads are close to optimal.
+    assert by_name["mysql-tpcc"].coverage > 0.8
+    assert by_name["web-search"].coverage > 0.75
+    # The sampling-hard case is visible.
+    assert by_name["redis"].coverage < 0.7

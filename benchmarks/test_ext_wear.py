@@ -1,0 +1,30 @@
+"""Extension benchmark: device wear (paper Section 6).
+
+Paper: Thermostat's slow-memory traffic "falls well below the expected
+endurance limits of future memory technologies", with Start-Gap as the
+cited wear-leveling mitigation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_wear
+
+
+def test_ext_wear(benchmark, bench_scale, bench_seed):
+    def run_both():
+        return (
+            ext_wear.run_lifetimes(bench_scale, bench_seed),
+            ext_wear.run_start_gap_demo(seed=bench_seed),
+        )
+
+    rows, start_gap = run_once(benchmark, run_both)
+    print()
+    print(ext_wear.render(rows, start_gap))
+
+    # With leveling, every workload's slow tier outlives any server.
+    for row in rows:
+        assert row.lifetime_years_ideal > 20, row.workload
+    # Start-Gap turns a 2%-hotspot pattern into near-uniform wear.
+    assert start_gap.leveled.endurance_ratio() > 0.8
+    assert start_gap.unleveled.endurance_ratio() < 0.1
+    assert start_gap.improvement > 10

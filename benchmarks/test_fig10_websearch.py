@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 10 (web-search footprint over time).
+
+Paper caption: ~40% of the search index cold with <1% throughput impact and no p99 latency degradation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig10_websearch(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "web-search", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.25 <= fig.final_cold_fraction <= 0.5
+    assert fig.degradation <= 0.02
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]

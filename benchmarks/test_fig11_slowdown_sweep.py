@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 11 (cold fraction vs tolerable slowdown).
+
+Paper: more slack buys more cold data; Aerospike/Redis scale, MySQL-TPCC
+saturates near 45%, and every configuration still meets its target.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_slowdown_sweep
+
+
+def test_fig11_slowdown_sweep(benchmark, bench_scale, bench_seed):
+    cells = run_once(
+        benchmark, fig11_slowdown_sweep.run, bench_scale, bench_seed
+    )
+    print()
+    print(fig11_slowdown_sweep.render(cells))
+
+    grouped = fig11_slowdown_sweep.by_workload(cells)
+
+    def fractions(name):
+        return [c.cold_fraction for c in grouped[name]]
+
+    # Monotone (small tolerance for stochastic noise).
+    for name, row in grouped.items():
+        values = [c.cold_fraction for c in row]
+        assert all(b >= a - 0.05 for a, b in zip(values, values[1:])), name
+
+    # Scaling vs saturating shapes.
+    aero = fractions("aerospike")
+    assert aero[-1] > 1.8 * aero[0]
+    redis = fractions("redis")
+    assert redis[-1] > 1.6 * redis[0]
+    tpcc = fractions("mysql-tpcc")
+    assert tpcc[-1] < 1.35 * tpcc[0]
+    search = fractions("web-search")
+    assert search[-1] < 1.25 * search[0]
+
+    # Every cell meets its (tolerance-padded) performance target.
+    for cell in cells:
+        assert cell.met_target, (cell.workload, cell.tolerable_slowdown)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 1 (2MB pages idle for 10s).
+
+Paper: over 50% of MySQL's pages are idle for 10s; placing Redis's idle
+pages would cost >10x the slowdown target.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig1_idle_fraction
+
+
+def test_fig1_idle_fraction(benchmark, bench_scale, bench_seed):
+    results = run_once(
+        benchmark, fig1_idle_fraction.run, bench_scale, bench_seed, 10
+    )
+    print()
+    print(fig1_idle_fraction.render(results))
+
+    by_name = {r.workload: r for r in results}
+    # MySQL has the most idle data (the paper's tallest bar).
+    assert by_name["mysql-tpcc"].idle_fraction == max(
+        r.idle_fraction for r in results
+    )
+    assert by_name["mysql-tpcc"].idle_fraction > 0.3
+    # Idleness is a terrible placement signal for Redis, a fine one for
+    # web-search — the figure's caption.
+    assert by_name["redis"].placement_slowdown > 0.03
+    assert by_name["web-search"].placement_slowdown < 0.005

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 2 (Accessed-bit count vs true rate, Redis).
+
+Paper: the scatter is highly dispersed — the spatial frequency of accesses
+within a 2MB page is poorly correlated with its true access rate, so
+Accessed-bit scanning cannot bound demotion slowdowns.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2_accessbit_scatter
+
+
+def test_fig2_accessbit_scatter(benchmark, bench_scale, bench_seed):
+    result = run_once(
+        benchmark,
+        fig2_accessbit_scatter.run,
+        "redis",
+        bench_scale,
+        bench_seed,
+        250,
+    )
+    print()
+    print(fig2_accessbit_scatter.render(result))
+
+    # Poor correlation is the result.
+    assert abs(result.pearson_r()) < 0.5
+    assert abs(result.spearman_r()) < 0.5
+    # Same-signature pages span widely different rates.
+    assert result.true_rates.max() > 10 * result.true_rates.min() + 1

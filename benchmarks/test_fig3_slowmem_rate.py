@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 3 (slow-memory access rate vs 30K target).
+
+Paper: every workload's slow-memory access rate tracks the 30K acc/s
+budget, with transient overshoots corrected by Section 3.5's machinery.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig3_slowmem_rate
+
+
+def test_fig3_slowmem_rate(benchmark, bench_scale, bench_seed):
+    results = run_once(
+        benchmark, fig3_slowmem_rate.run, 0.03, bench_scale, bench_seed
+    )
+    print()
+    print(fig3_slowmem_rate.render(results))
+
+    by_name = {r.workload: r for r in results}
+    # Budget-limited workloads settle near the 30K target.
+    for name in ("redis", "aerospike"):
+        settled = by_name[name].settled_mean()
+        assert 0.5 * 30_000 < settled < 2.0 * 30_000, name
+    # Web search barely touches slow memory (its cold set is dead).
+    assert by_name["web-search"].settled_mean() < 0.5 * 30_000
+    # Nothing runs away: peaks stay within an order of magnitude.
+    for result in results:
+        assert result.peak_rate() < 12 * result.target_rate, result.workload

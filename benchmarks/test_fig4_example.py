@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 4 (the worked 8-page example).
+
+Runs the real mechanism — page table, PTE poisoning, BadgerTrap faults —
+through the split/poison/classify pipeline on the paper's illustrative
+address space.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4_example
+
+
+def test_fig4_worked_example(benchmark):
+    result = run_once(benchmark, fig4_example.run)
+    print()
+    print(fig4_example.render(result))
+
+    # The pipeline found cold pages and never demoted a hot one.
+    assert result.cold_pages
+    assert not result.cold_pages.intersection(result.hot_page_ids)
+    # Real poison faults were serviced along the way.
+    assert result.total_poison_faults > 0
+    # Every period split some pages (scan 1 of the pipeline).
+    assert all(r.sampled for r in result.reports)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 5 (cassandra footprint over time).
+
+Paper caption: 40-50% of Cassandra's footprint identified cold at 2% throughput degradation (write-heavy 5:95); the footprint grows as memtables fill.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig5_cassandra(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "cassandra", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.2 <= fig.final_cold_fraction <= 0.55
+    assert fig.degradation <= 0.055
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]
+    # The footprint grows over the run (memtables).
+    hot = fig.result.series("hot_2mb_bytes").values
+    cold = fig.result.series("cold_2mb_bytes").values
+    assert (hot[-1] + cold[-1]) > (hot[0] + cold[0])

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (mysql-tpcc footprint over time).
+
+Paper caption: 40-50% of TPCC's footprint (the ORDER-LINE table) cold at 1.3% degradation.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig6_mysql_tpcc(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "mysql-tpcc", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.33 <= fig.final_cold_fraction <= 0.55
+    assert fig.degradation <= 0.04
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]

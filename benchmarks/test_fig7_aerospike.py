@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 7 (aerospike footprint over time).
+
+Paper caption: ~15% of Aerospike's footprint cold at 1% degradation (read-heavy 95:5).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig7_aerospike(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "aerospike", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.05 <= fig.final_cold_fraction <= 0.25
+    assert fig.degradation <= 0.045
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]

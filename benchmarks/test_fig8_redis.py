@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (redis footprint over time).
+
+Paper caption: ~10% of Redis's footprint cold at 2% degradation under the 0.01%/90% hotspot load.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig8_redis(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "redis", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.04 <= fig.final_cold_fraction <= 0.18
+    assert fig.degradation <= 0.055
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (in-memory-analytics footprint over time).
+
+Paper caption: 15-20% of the analytics footprint cold; the cold fraction grows with the footprint.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5to10_footprint
+
+
+def test_fig9_analytics(benchmark, bench_scale, bench_seed):
+    fig = run_once(
+        benchmark, fig5to10_footprint.run_one, "in-memory-analytics", bench_scale, bench_seed
+    )
+    print()
+    print(fig5to10_footprint.render(fig))
+
+    assert 0.08 <= fig.final_cold_fraction <= 0.3
+    assert fig.degradation <= 0.045
+    # Cold data accumulates over the run (no collapse back to zero).
+    cold_series = fig.result.series("cold_2mb_bytes").values
+    assert cold_series[-1] >= cold_series[len(cold_series) // 4]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (THP throughput gain under virtualization).
+
+Paper: 6% (Aerospike) to 30% (Redis); no difference for web search.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table1_thp_gain
+
+
+def test_table1_thp_gain(benchmark, bench_scale):
+    rows = run_once(benchmark, table1_thp_gain.run, bench_scale)
+    print()
+    print(table1_thp_gain.render(rows))
+
+    by_name = {r.workload: r for r in rows}
+    for name, row in by_name.items():
+        assert row.gain_virtualized == pytest.approx(row.paper_gain, abs=0.025), name
+    # Redis wins the most, web-search nothing, virtualization magnifies.
+    assert by_name["redis"].gain_virtualized == max(
+        r.gain_virtualized for r in rows
+    )
+    assert by_name["web-search"].gain_virtualized < 0.01
+    for row in rows:
+        assert row.gain_native <= row.gain_virtualized + 1e-9

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (application memory footprints)."""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import table2_footprints
+
+
+def test_table2_footprints(benchmark, bench_scale):
+    rows = run_once(benchmark, table2_footprints.run, bench_scale)
+    print()
+    print(table2_footprints.render(rows))
+
+    assert len(rows) == 6
+    for row in rows:
+        model_total = row.resident_bytes + row.file_mapped_bytes
+        paper_total = row.paper_resident + row.paper_file_mapped
+        assert model_total == pytest.approx(paper_total * bench_scale, rel=0.35), (
+            row.workload
+        )
+    # Redis is the biggest footprint, web-search the smallest (as in the
+    # paper's table).
+    by_name = {r.workload: r.paper_resident for r in rows}
+    assert by_name["redis"] == max(by_name.values())
+    assert by_name["web-search"] == min(by_name.values())

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 3 (migration / false-classification traffic).
+
+Paper: all rates are far below slow-memory bandwidth (<30MB/s average,
+60MB/s peak); Redis suffers the most mis-classification, web search the
+least.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_migration
+
+
+def test_table3_migration(benchmark, bench_scale, bench_seed):
+    rows = run_once(benchmark, table3_migration.run, bench_scale, bench_seed)
+    print()
+    print(table3_migration.render(rows))
+
+    by_name = {r.workload: r for r in rows}
+    for row in rows:
+        # Normalized to paper scale, traffic stays deployable.
+        assert row.migration_paper_scale < 30.0, row.workload
+        assert row.correction_paper_scale < 30.0, row.workload
+        assert row.peak_mbps / row.scale < 120.0, row.workload
+    # Orderings the paper reports.
+    corrections = {n: r.correction_paper_scale for n, r in by_name.items()}
+    assert corrections["redis"] == max(corrections.values())
+    assert corrections["web-search"] <= min(
+        v for n, v in corrections.items() if n != "web-search"
+    )

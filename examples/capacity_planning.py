@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Capacity planning: should you buy slow memory for this fleet?
+
+Section 6 of the paper pitches Thermostat as a *planning tool*: "Thermostat
+can be used in test nodes of production systems today to evaluate the
+performance implication of deploying slow memory in data centers ...
+pluggable with a parameterized delay for simulating slow memory."
+
+This example does exactly that exercise for the whole application suite:
+sweep the slow-memory latency (400ns optimistic, 1us nominal, 3us
+pessimistic) and the tolerable slowdown, then report the demotable
+fraction and the resulting memory-cost savings so an operator can decide
+whether the hardware pays for itself.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import (
+    SimulationConfig,
+    ThermostatConfig,
+    ThermostatPolicy,
+    make_workload,
+    run_simulation,
+)
+from repro.cost.model import CostModel
+from repro.metrics.report import format_table
+
+SCALE = 0.05
+DURATION = 1200.0
+LATENCIES = (400e-9, 1e-6, 3e-6)
+WORKLOADS = ("redis", "mysql-tpcc", "web-search")
+
+
+def evaluate(name: str, slow_latency: float, slowdown: float = 0.03):
+    workload = make_workload(name, scale=SCALE)
+    config = ThermostatConfig(
+        tolerable_slowdown=slowdown, slow_memory_latency=slow_latency
+    )
+    from repro.mem.numa import NumaTopology
+    from repro.mem.tiers import TierSpec
+    from repro.units import GB
+
+    headroom = max(4 * workload.footprint_bytes, 1 * GB)
+    topology = NumaTopology(
+        fast=TierSpec.dram(headroom),
+        slow=TierSpec.slow(headroom, access_latency=slow_latency),
+    )
+    return run_simulation(
+        workload,
+        ThermostatPolicy(config),
+        SimulationConfig(duration=DURATION, epoch=30.0, seed=1),
+        topology=topology,
+    )
+
+
+def main() -> None:
+    cost_model = CostModel(slow_cost_ratio=0.25)
+    rows = []
+    for name in WORKLOADS:
+        for latency in LATENCIES:
+            result = evaluate(name, latency)
+            savings = cost_model.savings_fraction(result.final_cold_fraction)
+            rows.append(
+                (
+                    name,
+                    f"{latency * 1e9:.0f}ns",
+                    f"{100 * result.final_cold_fraction:.1f}%",
+                    f"{100 * result.average_slowdown:.2f}%",
+                    f"{100 * savings:.1f}%",
+                )
+            )
+    print(
+        format_table(
+            "Capacity planning: demotable data vs slow-memory latency "
+            "(3% slowdown target, slow memory at 1/4 DRAM cost)",
+            ["workload", "slow latency", "cold fraction", "slowdown", "savings"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Reading: faster slow memory buys a bigger access-rate budget\n"
+        "(x / t_s), so more lukewarm data fits under the same slowdown\n"
+        "target. If the projected savings beat the device cost at the\n"
+        "pessimistic latency, the purchase is safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Multi-tenant consolidation: one host-side Thermostat, several tenants.
+
+The paper's deployment argument is that cold-data management belongs in
+the *host*: the cloud provider "may wish to transparently substitute
+cheap memory for DRAM" across whatever customers happen to be scheduled
+together.  This example co-locates three tenants with very different
+temperaments —
+
+* a latency-critical Redis frontend (hotspot traffic),
+* a MySQL-TPCC order system (large dead tables), and
+* a mostly-idle batch staging area —
+
+under a single Thermostat instance with one shared 3% budget, and shows
+where the slow tier's capacity ends up: the policy gives it to whoever
+has the coldest pages, with no per-tenant configuration at all.
+
+Run:
+    python examples/multi_tenant.py
+"""
+
+import numpy as np
+
+from repro import SimulationConfig, ThermostatPolicy, run_simulation
+from repro.metrics.report import format_table
+from repro.units import SUBPAGES_PER_HUGE_PAGE, format_bytes
+from repro.workloads import make_workload
+from repro.workloads.base import RateModelWorkload
+from repro.workloads.composite import CompositeWorkload
+
+SCALE = 0.04
+
+
+def make_batch_staging(num_huge: int = 120) -> RateModelWorkload:
+    """A staging area: written once, touched only by a nightly sweep."""
+    rates = np.full(num_huge * SUBPAGES_PER_HUGE_PAGE,
+                    0.5 / SUBPAGES_PER_HUGE_PAGE)
+    return RateModelWorkload(
+        "batch-staging", rates, baseline_ops_per_second=10.0, write_fraction=0.8
+    )
+
+
+def main() -> None:
+    tenants = [
+        make_workload("redis", scale=SCALE),
+        make_workload("mysql-tpcc", scale=SCALE),
+        make_batch_staging(),
+    ]
+    host = CompositeWorkload("host", tenants)
+    print(f"consolidated footprint: {format_bytes(host.footprint_bytes)} "
+          f"across {len(tenants)} tenants\n")
+
+    result = run_simulation(
+        host,
+        ThermostatPolicy(),
+        SimulationConfig(duration=1800.0, epoch=30.0, seed=1),
+    )
+
+    fractions = host.member_cold_fractions(result.state.slow_mask())
+    rows = []
+    for index, tenant in enumerate(tenants):
+        start, end = host.member_range(index)
+        pages = end - start
+        cold = fractions[tenant.name]
+        rows.append(
+            (
+                tenant.name,
+                format_bytes(pages * 2 * 1024 * 1024),
+                f"{100 * cold:.1f}%",
+                format_bytes(int(cold * pages) * 2 * 1024 * 1024),
+            )
+        )
+    print(
+        format_table(
+            "Host-side Thermostat: shared 3% budget across tenants",
+            ["tenant", "footprint", "cold fraction", "in slow memory"],
+            rows,
+        )
+    )
+    print()
+    print(f"host slowdown: {100 * result.average_slowdown:.2f}% "
+          f"(single shared target: 3%)")
+    print(f"host cold fraction: {100 * result.final_cold_fraction:.1f}%")
+    print()
+    print(
+        "Reading: the batch tenant donates nearly its whole footprint, the\n"
+        "TPCC tenant its dead tables, and the Redis frontend keeps its RAM\n"
+        "— without anyone configuring per-tenant policies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: run Thermostat on the paper's Redis workload.
+
+Builds the hotspot-skewed Redis model (17.2GB footprint, scaled down),
+runs the Thermostat policy at the paper's defaults (3% tolerable slowdown,
+1us slow memory, 30s scan intervals), and prints what an operator would
+want to know: how much memory moved to the cheap tier, what it cost in
+performance, and how much money it saves.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    SimulationConfig,
+    ThermostatConfig,
+    ThermostatPolicy,
+    make_workload,
+    run_simulation,
+)
+from repro.cost.model import CostModel
+from repro.metrics.report import sparkline
+from repro.units import format_bytes, format_rate
+
+
+def main() -> None:
+    # A 1/10-scale Redis: 0.01% of keys take 90% of the traffic.
+    workload = make_workload("redis", scale=0.1)
+    print(f"workload: {workload.describe()}")
+
+    config = ThermostatConfig(tolerable_slowdown=0.03)
+    print(
+        f"slowdown target 3% at t_s = 1us "
+        f"=> slow-memory budget {format_rate(config.slow_access_rate_budget)}"
+    )
+
+    result = run_simulation(
+        workload,
+        ThermostatPolicy(config),
+        SimulationConfig(duration=1800.0, epoch=30.0, seed=1),
+    )
+
+    cold_bytes = int(result.final_cold_fraction * workload.footprint_bytes)
+    print()
+    print(f"cold data found:        {format_bytes(cold_bytes)} "
+          f"({100 * result.final_cold_fraction:.1f}% of footprint)")
+    print(f"throughput degradation: {100 * result.throughput_degradation:.2f}%")
+    print(f"achieved throughput:    {result.achieved_ops_per_second:,.0f} ops/s "
+          f"(baseline {workload.baseline_ops_per_second:,.0f})")
+    print(f"demotion traffic:       {result.migration_rate_mbps():.2f} MB/s")
+    print(f"correction traffic:     {result.correction_rate_mbps():.2f} MB/s")
+    savings = CostModel(slow_cost_ratio=0.25).savings_fraction(
+        result.final_cold_fraction
+    )
+    print(f"memory bill saved:      {100 * savings:.1f}% "
+          f"(slow memory at 1/4 DRAM cost)")
+
+    print()
+    print("cold fraction over time:")
+    print(" ", sparkline(result.series("cold_fraction").values))
+    print("slow-memory access rate (target = 30K acc/s):")
+    print(" ", sparkline(result.series("slow_access_rate").values))
+
+
+if __name__ == "__main__":
+    main()

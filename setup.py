@@ -1,0 +1,11 @@
+"""Compatibility shim.
+
+All metadata lives in pyproject.toml.  This file exists so that
+``python setup.py develop`` works on environments without the ``wheel``
+package (where PEP 660 ``pip install -e .`` cannot build an editable
+wheel).
+"""
+
+from setuptools import setup
+
+setup()

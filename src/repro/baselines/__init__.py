@@ -1,0 +1,24 @@
+"""Baseline placement policies the paper compares against or motivates with.
+
+* :class:`AllDramPolicy` — everything stays in fast memory (the paper's
+  performance baseline; maximal cost).
+* :class:`KstaledPolicy` — demote pages whose Accessed bit stayed clear for
+  N consecutive scans (Figure 1's mechanism).  It has no notion of access
+  *rate*, so it cannot bound slowdown — the motivating deficiency.
+* :class:`StaticFractionPolicy` — demote a random fixed fraction up front;
+  the strawman showing why online classification matters.
+* :class:`OraclePolicy` — budgeted placement with ground-truth rates; the
+  upper bound that quantifies Thermostat's optimality gap.
+"""
+
+from repro.baselines.alldram import AllDramPolicy
+from repro.baselines.kstaled_policy import KstaledPolicy
+from repro.baselines.oracle import OraclePolicy
+from repro.baselines.static import StaticFractionPolicy
+
+__all__ = [
+    "AllDramPolicy",
+    "KstaledPolicy",
+    "OraclePolicy",
+    "StaticFractionPolicy",
+]

@@ -1,0 +1,27 @@
+"""The all-DRAM baseline: no pages are ever demoted.
+
+This is the configuration every paper result is normalized against —
+maximum performance, maximum memory cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.policy import PlacementPolicy, PolicyReport
+from repro.sim.profile import EpochProfile
+from repro.sim.state import TieredMemoryState
+
+
+class AllDramPolicy(PlacementPolicy):
+    """Keep everything in fast memory; incur zero monitoring overhead."""
+
+    name = "all-dram"
+
+    def on_epoch(
+        self,
+        state: TieredMemoryState,
+        profile: EpochProfile,
+        rng: np.random.Generator,
+    ) -> PolicyReport:
+        return PolicyReport()

@@ -1,0 +1,78 @@
+"""Accessed-bit-only placement (kstaled-style), the motivating baseline.
+
+Section 2.1 of the paper: existing cold-page detection (kstaled) clears and
+re-reads the hardware Accessed bit.  A page idle for N consecutive scans is
+declared cold and demoted.  Two deficiencies Thermostat fixes:
+
+1. the single bit per 2MB page cannot estimate the access *rate*, so the
+   policy cannot bound the slowdown of its demotions (Figure 1's caption:
+   degradation "exceeds 10% for Redis");
+2. scanning at useful frequency costs a TLB shootdown per page per scan.
+
+The policy here also promotes a demoted page once it observes activity on
+it, since slow-page accesses are visible — without that it would be a pure
+strawman.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.policy import PlacementPolicy, PolicyReport
+from repro.sim.profile import EpochProfile
+from repro.sim.state import TieredMemoryState
+from repro.units import MICROSECOND
+
+
+class KstaledPolicy(PlacementPolicy):
+    """Demote after ``idle_scans`` consecutive untouched scan intervals."""
+
+    name = "kstaled"
+
+    def __init__(
+        self,
+        idle_scans: int = 1,
+        promote_on_access: bool = True,
+        shootdown_cost: float = 0.5 * MICROSECOND,
+    ) -> None:
+        if idle_scans < 1:
+            raise ConfigError(f"idle_scans must be >= 1: {idle_scans}")
+        self.idle_scans = idle_scans
+        self.promote_on_access = promote_on_access
+        self.shootdown_cost = shootdown_cost
+        self._idle_streak = np.empty(0, dtype=np.int64)
+
+    def on_epoch(
+        self,
+        state: TieredMemoryState,
+        profile: EpochProfile,
+        rng: np.random.Generator,
+    ) -> PolicyReport:
+        num = state.num_huge_pages
+        if self._idle_streak.size < num:
+            self._idle_streak = np.concatenate(
+                [self._idle_streak, np.zeros(num - self._idle_streak.size, np.int64)]
+            )
+
+        accessed = profile.huge_accessed_mask()
+        self._idle_streak[accessed] = 0
+        self._idle_streak[~accessed] += 1
+
+        slow = state.slow_mask()
+        cold = np.flatnonzero((self._idle_streak >= self.idle_scans) & ~slow)
+        demoted = state.demote(cold)
+
+        promoted = 0
+        if self.promote_on_access:
+            hot_again = np.flatnonzero(slow & accessed)
+            promoted = state.promote(hot_again)
+
+        # One Accessed-bit clear + shootdown per huge page per scan.
+        overhead = num * self.shootdown_cost
+        return PolicyReport(
+            overhead_seconds=overhead,
+            demoted=demoted,
+            promoted=promoted,
+            diagnostics={"idle_pages": int(np.count_nonzero(self._idle_streak >= self.idle_scans))},
+        )

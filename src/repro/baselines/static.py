@@ -1,0 +1,44 @@
+"""Static-fraction placement: demote a random fraction once, up front.
+
+The strawman two-tier configuration: with no access information at all, a
+deployment could simply back a fixed fraction of memory with the cheap
+tier.  Comparing its slowdown against Thermostat's at equal cold fraction
+quantifies the value of online classification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sim.policy import PlacementPolicy, PolicyReport
+from repro.sim.profile import EpochProfile
+from repro.sim.state import TieredMemoryState
+
+
+class StaticFractionPolicy(PlacementPolicy):
+    """Demote ``fraction`` of all huge pages in the first epoch, then idle."""
+
+    name = "static-fraction"
+
+    def __init__(self, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"fraction must be in [0, 1]: {fraction}")
+        self.fraction = fraction
+        self._placed = False
+
+    def on_epoch(
+        self,
+        state: TieredMemoryState,
+        profile: EpochProfile,
+        rng: np.random.Generator,
+    ) -> PolicyReport:
+        if self._placed:
+            return PolicyReport()
+        self._placed = True
+        count = int(round(self.fraction * state.num_huge_pages))
+        if count == 0:
+            return PolicyReport()
+        chosen = rng.choice(state.num_huge_pages, size=count, replace=False)
+        demoted = state.demote(chosen.astype(np.int64))
+        return PolicyReport(demoted=demoted, diagnostics={"static_fraction": self.fraction})

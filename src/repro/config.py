@@ -1,0 +1,125 @@
+"""Top-level configuration dataclasses.
+
+:class:`ThermostatConfig` collects the knobs of the paper's Section 3; the
+values of the evaluation (Section 5) are the defaults: 3% tolerable
+slowdown, 1us slow memory, 30s scan interval, 5% huge-page sampling, at
+most 50 poisoned 4KB pages per sampled huge page.
+
+:class:`SimulationConfig` collects engine-level knobs (duration, seed,
+footprint scale) shared by experiments and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.units import SLOW_MEMORY_LATENCY
+
+
+@dataclass(frozen=True)
+class ThermostatConfig:
+    """Tunables of the Thermostat policy (cgroup-settable in the paper).
+
+    The *only* externally required input in the paper is
+    ``tolerable_slowdown``; everything else has sane defaults.
+    """
+
+    #: Maximum tolerable slowdown as a fraction (0.03 = 3%).
+    tolerable_slowdown: float = 0.03
+    #: Assumed slow-memory access latency t_s, seconds (policy input).
+    slow_memory_latency: float = SLOW_MEMORY_LATENCY
+    #: Scan interval between policy invocations, seconds.
+    scan_interval: float = 30.0
+    #: Fraction of huge pages sampled (split) per scan interval.
+    sample_fraction: float = 0.05
+    #: Maximum number of 4KB pages poisoned within one sampled huge page.
+    max_poisoned_subpages: int = 50
+    #: Enable the Section 3.5 mis-classification correction mechanism.
+    enable_correction: bool = True
+    #: Enable the Accessed-bit prefilter before poisoning (Section 3.2);
+    #: disabling it falls back to naive random-K selection (ablation).
+    enable_accessed_prefilter: bool = True
+    #: Collapse sampled-but-hot pages back to 2MB after classification.
+    collapse_after_sampling: bool = True
+    #: Cap on new demotions per scan interval, as a fraction of all huge
+    #: pages.  Linux's migration machinery is rate-limited in practice; the
+    #: cap also bounds the damage of a burst of mis-classifications before
+    #: the correction mechanism can react.
+    max_demotion_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.tolerable_slowdown < 1.0:
+            raise ConfigError(
+                f"tolerable_slowdown must be in (0, 1): {self.tolerable_slowdown}"
+            )
+        if self.slow_memory_latency <= 0:
+            raise ConfigError(
+                f"slow_memory_latency must be positive: {self.slow_memory_latency}"
+            )
+        if self.scan_interval <= 0:
+            raise ConfigError(f"scan_interval must be positive: {self.scan_interval}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ConfigError(
+                f"sample_fraction must be in (0, 1]: {self.sample_fraction}"
+            )
+        if self.max_poisoned_subpages <= 0:
+            raise ConfigError(
+                f"max_poisoned_subpages must be positive: {self.max_poisoned_subpages}"
+            )
+        if not 0.0 < self.max_demotion_fraction <= 1.0:
+            raise ConfigError(
+                f"max_demotion_fraction must be in (0, 1]: "
+                f"{self.max_demotion_fraction}"
+            )
+
+    @property
+    def slow_access_rate_budget(self) -> float:
+        """Section 3.4: accesses/sec to slow memory the slowdown target buys.
+
+        A slowdown of x with slow latency t_s allows x / t_s accesses per
+        second (the paper's x/(100*t_s) with x already a fraction here).
+        With the defaults this is the 30K accesses/sec of Figure 3.
+        """
+        return self.tolerable_slowdown / self.slow_memory_latency
+
+    def with_slowdown(self, tolerable_slowdown: float) -> "ThermostatConfig":
+        """Return a copy with a different slowdown target (Figure 11 sweep)."""
+        return replace(self, tolerable_slowdown=tolerable_slowdown)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine-level knobs shared by experiments."""
+
+    #: Total simulated duration, seconds.
+    duration: float = 1200.0
+    #: Epoch length; defaults to the Thermostat scan interval.
+    epoch: float = 30.0
+    #: RNG seed (None = library default).
+    seed: int | None = None
+    #: Footprint scale factor applied to workload models (1.0 = paper size).
+    #: Benchmarks use smaller scales to keep runtimes tractable.
+    footprint_scale: float = 1.0
+    #: Draw per-epoch access counts from a Poisson around the rate model
+    #: (True) or use deterministic expectations (False, for tests).
+    stochastic: bool = True
+    extra: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigError(f"duration must be positive: {self.duration}")
+        if self.epoch <= 0 or self.epoch > self.duration:
+            raise ConfigError(
+                f"epoch must be in (0, duration]: epoch={self.epoch} "
+                f"duration={self.duration}"
+            )
+        if self.footprint_scale <= 0:
+            raise ConfigError(
+                f"footprint_scale must be positive: {self.footprint_scale}"
+            )
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of whole epochs in the configured duration."""
+        return int(self.duration // self.epoch)

@@ -1,0 +1,90 @@
+"""Correction of mis-classified cold pages.
+
+Paper Section 3.5.  Because each huge page's rate is estimated from at most
+50 poisoned subpages, a hot page is occasionally classified cold.  Left
+alone it would sit in slow memory for a long time (the sampling interval
+between visits to any given page is large), so Thermostat monitors *every*
+cold page continuously — cheap, since cold pages fault rarely by
+construction — and each interval:
+
+1. sums the observed access counts of all slow-memory pages;
+2. if the aggregate rate exceeds the budget, promotes the most-accessed
+   pages back to fast memory until the *remaining* aggregate fits.
+
+The same mechanism also adapts to workload phase changes: pages that
+*become* hot look exactly like mis-classifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CorrectionResult:
+    """Outcome of one correction pass."""
+
+    #: Huge-page ids to promote back to fast memory, hottest first.
+    promote: np.ndarray
+    #: Aggregate observed slow-memory access rate before correction.
+    observed_rate: float
+    #: Aggregate rate of the pages remaining in slow memory afterwards.
+    residual_rate: float
+
+
+def select_promotions(
+    cold_page_ids: np.ndarray,
+    access_counts: np.ndarray,
+    budget: float,
+    interval: float,
+) -> CorrectionResult:
+    """Choose which cold pages to pull back to fast memory.
+
+    ``access_counts`` are the per-page fault counts observed over the last
+    ``interval`` seconds for the pages currently in slow memory; ``budget``
+    is the application-wide slow-access-rate allotment (x / t_s).
+
+    Promotes the hottest pages first until the residual aggregate rate of
+    everything left in slow memory is at or below the budget.
+    """
+    cold_page_ids = np.asarray(cold_page_ids, dtype=np.int64)
+    access_counts = np.asarray(access_counts, dtype=float)
+    if cold_page_ids.shape != access_counts.shape:
+        raise ConfigError(
+            f"ids and counts must be parallel: {cold_page_ids.shape} vs "
+            f"{access_counts.shape}"
+        )
+    if interval <= 0:
+        raise ConfigError(f"interval must be positive: {interval}")
+    if budget < 0:
+        raise ConfigError(f"budget must be non-negative: {budget}")
+    if np.any(access_counts < 0):
+        raise ConfigError("access counts must be non-negative")
+
+    rates = access_counts / interval
+    observed = float(rates.sum())
+    if observed <= budget or cold_page_ids.size == 0:
+        return CorrectionResult(
+            promote=np.empty(0, dtype=np.int64),
+            observed_rate=observed,
+            residual_rate=observed,
+        )
+    # Hottest first; ties broken by page id for determinism.
+    order = np.lexsort((cold_page_ids, -rates))
+    sorted_rates = rates[order]
+    remaining = observed - np.cumsum(sorted_rates)
+    # Promote the minimal prefix whose removal brings the residual within
+    # budget.
+    num_promote = int(np.searchsorted(-remaining, -budget)) + 1
+    num_promote = min(num_promote, cold_page_ids.size)
+    promote = cold_page_ids[order[:num_promote]]
+    residual = float(remaining[num_promote - 1]) if num_promote else observed
+    return CorrectionResult(
+        promote=promote,
+        observed_rate=observed,
+        residual_rate=max(residual, 0.0),
+    )

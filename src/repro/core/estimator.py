@@ -1,0 +1,105 @@
+"""Spatial extrapolation of huge-page access rates from sampled subpages.
+
+Paper Section 3.2, last paragraph: "To compute the aggregate access rate at
+2MB granularity from the access rates of the sampled 4KB pages, we scale
+the observed access rate in the sample by the total number of 4KB pages
+that were marked as accessed.  The monitored 4KB pages comprise a random
+sample of accessed pages, while the remaining pages have a negligible
+access rate."
+
+Formally, for one huge page: let A be the number of subpages whose Accessed
+bit was set, P of which were poisoned and observed to receive counts
+c_1..c_P during an interval of length T.  The estimate is::
+
+    rate = (mean(c_i) * A) / T
+
+which is unbiased when the poisoned set is a uniform sample of the accessed
+set (the property tests in ``tests/core/test_estimator.py`` check this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HugePageSample:
+    """Observation of one sampled huge page over one interval."""
+
+    #: Index of the huge page in the policy's numbering.
+    page_id: int
+    #: Number of subpages whose Accessed bit was set (the prefilter result).
+    accessed_subpages: int
+    #: Fault counts observed on each poisoned subpage.
+    poisoned_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.accessed_subpages < 0:
+            raise ConfigError(
+                f"page {self.page_id}: negative accessed count "
+                f"{self.accessed_subpages}"
+            )
+
+
+def estimate_rate(sample: HugePageSample, interval: float) -> float:
+    """Estimate one huge page's access rate (accesses/sec).
+
+    A page with no accessed subpages, or with no poisoned observations, is
+    estimated at zero — exactly the paper's treatment (such pages are
+    trivially cold).
+    """
+    if interval <= 0:
+        raise ConfigError(f"interval must be positive: {interval}")
+    counts = np.asarray(sample.poisoned_counts, dtype=float)
+    if sample.accessed_subpages == 0 or counts.size == 0:
+        return 0.0
+    return float(counts.mean() * sample.accessed_subpages / interval)
+
+
+def estimate_huge_page_rates(
+    samples: list[HugePageSample], interval: float
+) -> dict[int, float]:
+    """Estimate rates for a batch of sampled huge pages.
+
+    Returns ``{page_id: accesses_per_second}``.
+    """
+    return {s.page_id: estimate_rate(s, interval) for s in samples}
+
+
+def estimate_rates_vectorized(
+    accessed_counts: np.ndarray,
+    poisoned_count_sums: np.ndarray,
+    poisoned_page_counts: np.ndarray,
+    interval: float,
+) -> np.ndarray:
+    """Vectorized form used by the epoch engine.
+
+    Parameters are per-sampled-huge-page arrays: number of accessed
+    subpages, the summed fault counts over that page's poisoned subpages,
+    and how many subpages were poisoned.  Pages with zero poisoned subpages
+    estimate to zero.
+    """
+    if interval <= 0:
+        raise ConfigError(f"interval must be positive: {interval}")
+    accessed_counts = np.asarray(accessed_counts, dtype=float)
+    poisoned_count_sums = np.asarray(poisoned_count_sums, dtype=float)
+    poisoned_page_counts = np.asarray(poisoned_page_counts, dtype=float)
+    if not (
+        accessed_counts.shape == poisoned_count_sums.shape == poisoned_page_counts.shape
+    ):
+        raise ConfigError(
+            "estimator inputs must have matching shapes: "
+            f"{accessed_counts.shape} vs {poisoned_count_sums.shape} vs "
+            f"{poisoned_page_counts.shape}"
+        )
+    mean_counts = np.divide(
+        poisoned_count_sums,
+        poisoned_page_counts,
+        out=np.zeros_like(poisoned_count_sums),
+        where=poisoned_page_counts > 0,
+    )
+    return mean_counts * accessed_counts / interval

@@ -1,0 +1,145 @@
+"""Page sampling: which huge pages to split, which subpages to poison.
+
+Paper Section 3.2.  Two stages bound the monitoring overhead:
+
+1. a random 5% of huge pages is *split* each scan interval so their 512
+   subpages can be observed individually;
+2. within each split page, the hardware Accessed bits first identify the
+   subpages with any activity at all, and only a bounded sample (at most
+   50) of *those* is poisoned for costly fault-based counting.
+
+The Accessed-bit prefilter is the load-bearing trick: a naive random-K
+choice of subpages misses the few hot 4KB regions of a mostly-idle huge
+page and under-estimates its rate (the ablation bench
+``benchmarks/test_ablation_prefilter.py`` quantifies this).  With the
+defaults only ~0.5% of memory is ever poisoned at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def choose_sampled_pages(
+    num_huge_pages: int,
+    sample_fraction: float,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pick the huge pages to split this interval.
+
+    Returns a sorted array of huge-page indices.  Sampling is uniform and
+    *agnostic of page temperature* (the paper's phrase), which is why at
+    steady state roughly ``sample_fraction`` of the cold footprint is
+    transiently 4KB-mapped in Figures 5-10.  Indices listed in ``exclude``
+    (e.g. not-yet-faulted-in regions) are never chosen.
+    """
+    if num_huge_pages < 0:
+        raise ConfigError(f"negative page count: {num_huge_pages}")
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ConfigError(f"sample_fraction must be in (0, 1]: {sample_fraction}")
+    candidates = np.arange(num_huge_pages)
+    if exclude is not None and len(exclude):
+        mask = np.ones(num_huge_pages, dtype=bool)
+        mask[exclude] = False
+        candidates = candidates[mask]
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    count = max(1, int(round(sample_fraction * len(candidates))))
+    count = min(count, len(candidates))
+    chosen = rng.choice(candidates, size=count, replace=False)
+    return np.sort(chosen.astype(np.int64))
+
+
+def choose_poison_subpages(
+    accessed_mask: np.ndarray,
+    max_poisoned: int,
+    rng: np.random.Generator,
+    use_prefilter: bool = True,
+) -> np.ndarray:
+    """Pick which subpages of one split huge page to poison.
+
+    ``accessed_mask`` is the 512-element boolean array of hardware Accessed
+    bits gathered since the page was split.  With the prefilter (the paper's
+    mechanism) the poisoned sample is drawn only from accessed subpages;
+    without it (ablation) it is drawn uniformly from all 512.
+
+    Returns a sorted array of subpage indices (possibly empty when the
+    prefilter finds no activity — the page is trivially cold).
+    """
+    if max_poisoned <= 0:
+        raise ConfigError(f"max_poisoned must be positive: {max_poisoned}")
+    accessed_mask = np.asarray(accessed_mask, dtype=bool)
+    if use_prefilter:
+        candidates = np.flatnonzero(accessed_mask)
+    else:
+        candidates = np.arange(len(accessed_mask))
+    if len(candidates) == 0:
+        return np.empty(0, dtype=np.int64)
+    count = min(max_poisoned, len(candidates))
+    chosen = rng.choice(candidates, size=count, replace=False)
+    return np.sort(chosen.astype(np.int64))
+
+
+class CyclingSampler:
+    """Without-replacement sampling across scan intervals.
+
+    Each interval still splits ``sample_fraction`` of the huge pages, but
+    successive intervals walk a shuffled permutation of the whole footprint
+    so every page is visited once per ``1/sample_fraction`` intervals —
+    coverage grows linearly instead of the ``1 - (1-f)^k`` of independent
+    resampling.  The permutation is reshuffled after each full pass (and
+    rebuilt when the footprint grows), so long-run selection remains
+    uniform and temperature-agnostic.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._queue: np.ndarray = np.empty(0, dtype=np.int64)
+        self._known_pages = 0
+
+    def _refill(self, num_huge_pages: int) -> None:
+        order = self._rng.permutation(num_huge_pages).astype(np.int64)
+        self._queue = order
+        self._known_pages = num_huge_pages
+
+    def next_sample(self, num_huge_pages: int, sample_fraction: float) -> np.ndarray:
+        """Return the next interval's sample (sorted huge-page indices)."""
+        if num_huge_pages <= 0:
+            return np.empty(0, dtype=np.int64)
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ConfigError(f"sample_fraction must be in (0, 1]: {sample_fraction}")
+        if num_huge_pages != self._known_pages:
+            # Footprint changed (growth): restart the pass over the new set.
+            self._refill(num_huge_pages)
+        count = max(1, int(round(sample_fraction * num_huge_pages)))
+        if count >= self._queue.size:
+            sample = self._queue
+            self._refill(num_huge_pages)
+            remainder = count - sample.size
+            if remainder > 0:
+                sample = np.concatenate([sample, self._queue[:remainder]])
+                self._queue = self._queue[remainder:]
+        else:
+            sample = self._queue[:count]
+            self._queue = self._queue[count:]
+        return np.sort(np.unique(sample))
+
+
+def poisoned_memory_fraction(
+    sample_fraction: float,
+    max_poisoned: int,
+    subpages_per_huge_page: int = 512,
+) -> float:
+    """Upper bound on the fraction of memory poisoned at once.
+
+    The paper quotes 0.5% for the default parameters (5% of huge pages,
+    at most 50 of 512 subpages each).
+    """
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ConfigError(f"sample_fraction must be in (0, 1]: {sample_fraction}")
+    if max_poisoned <= 0 or subpages_per_huge_page <= 0:
+        raise ConfigError("poison counts must be positive")
+    return sample_fraction * min(1.0, max_poisoned / subpages_per_huge_page)

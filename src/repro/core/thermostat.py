@@ -1,0 +1,231 @@
+"""Thermostat's scan-interval orchestration (epoch-engine driver).
+
+One :class:`ThermostatPolicy` invocation corresponds to the end of a scan
+interval in the paper's Figure 4 pipeline:
+
+* the huge pages sampled at the *previous* invocation were split and their
+  subpages poisoned during the epoch that just elapsed — their fault
+  counts are now in hand;
+* the estimator (Section 3.2) extrapolates per-huge-page access rates;
+* the classifier (Section 3.4) demotes the coldest sampled pages within
+  the sampled share of the slowdown budget;
+* the correction mechanism (Section 3.5) reads the monitored counts of
+  every page already in slow memory and promotes the hottest back until
+  the residual slow access rate fits the budget;
+* khugepaged collapses the sampled pages back to 2MB mappings and a fresh
+  5% sample is split for the *next* epoch.
+
+Monitoring honesty: the policy touches per-page counts only where the real
+mechanism could observe them — poisoned subpages of sampled pages (capped
+by TLB residency for hot pages) and slow-memory pages (whose every access
+faults).  Everything else it sees only as Accessed bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ThermostatConfig
+from repro.core.classifier import select_cold_pages
+from repro.core.correction import select_promotions
+from repro.core.estimator import estimate_rates_vectorized
+from repro.core.sampling import CyclingSampler, choose_poison_subpages
+from repro.kernel.cgroup import MemoryCgroup
+from repro.sim.policy import PlacementPolicy, PolicyReport
+from repro.sim.profile import EpochProfile
+from repro.sim.state import TieredMemoryState
+from repro.units import BADGERTRAP_FAULT_LATENCY, MICROSECOND
+
+#: Cost of one Accessed-bit clear + TLB shootdown during sampling scans.
+SHOOTDOWN_COST = 0.5 * MICROSECOND
+#: Maximum poison-fault rate a single hot subpage can sustain, faults/sec.
+#: After each fault BadgerTrap leaves a valid TLB entry behind, so a hot
+#: subpage faults only on TLB misses — this cap models that throttling
+#: (the paper's Section 6.1 notes the measurement serializes accesses).
+DEFAULT_POISON_FAULT_RATE_CAP = 100.0
+
+
+class ThermostatPolicy(PlacementPolicy):
+    """The paper's policy, parameterized by a config or a live cgroup."""
+
+    name = "thermostat"
+
+    def __init__(
+        self,
+        config: ThermostatConfig | MemoryCgroup | None = None,
+        fault_latency: float = BADGERTRAP_FAULT_LATENCY,
+        poison_fault_rate_cap: float = DEFAULT_POISON_FAULT_RATE_CAP,
+    ) -> None:
+        if config is None:
+            config = ThermostatConfig()
+        if isinstance(config, ThermostatConfig):
+            self.cgroup = MemoryCgroup("thermostat", config)
+        else:
+            self.cgroup = config
+        self.fault_latency = fault_latency
+        self.poison_fault_rate_cap = poison_fault_rate_cap
+        #: Huge pages split at the previous invocation, being monitored now.
+        self._pending_sample: np.ndarray = np.empty(0, dtype=np.int64)
+        #: Per-huge-page EWMA of observed slow-memory access rates.  A cold
+        #: page that bursts one interval and idles the next must not be
+        #: forgotten the moment it idles, or the correction mechanism would
+        #: trim to the budget using only this interval's observations and
+        #: the *long-run* slow access rate would settle above target.
+        self._slow_rate_ewma: np.ndarray = np.empty(0)
+        #: EWMA smoothing factor (weight of the newest interval).
+        self.ewma_alpha = 0.3
+        #: Backoff flag: when the last interval observed the slow set over
+        #: budget, pause demotions for one interval and let the correction
+        #: mechanism drain the excess first.
+        self._over_budget = False
+        #: Without-replacement sampler (built lazily with the policy rng).
+        self._sampler: CyclingSampler | None = None
+
+    @property
+    def config(self) -> ThermostatConfig:
+        """Live parameters (re-read every epoch; cgroup writes take effect)."""
+        return self.cgroup.config
+
+    # ------------------------------------------------------------------
+
+    def on_epoch(
+        self,
+        state: TieredMemoryState,
+        profile: EpochProfile,
+        rng: np.random.Generator,
+    ) -> PolicyReport:
+        cfg = self.config
+        epoch = profile.duration
+        budget = cfg.slow_access_rate_budget
+        subpage_counts = profile.subpage_counts()
+        slow_before = state.slow_mask().copy()
+        overhead = 0.0
+        demoted = promoted = 0
+        diagnostics: dict = {}
+        if self._slow_rate_ewma.size < state.num_huge_pages:
+            self._slow_rate_ewma = np.concatenate(
+                [
+                    self._slow_rate_ewma,
+                    np.zeros(state.num_huge_pages - self._slow_rate_ewma.size),
+                ]
+            )
+
+        # ------------------------------------------------------------------
+        # Scan 3 — classify the pages sampled last interval (Section 3.4).
+        # ------------------------------------------------------------------
+        sample = self._pending_sample
+        sample = sample[sample < state.num_huge_pages]
+        if sample.size:
+            counts = subpage_counts[sample]
+            accessed = counts > 0
+            num_accessed = accessed.sum(axis=1)
+
+            poisoned_sums = np.zeros(sample.size)
+            poisoned_pages = np.zeros(sample.size)
+            fault_cap = self.poison_fault_rate_cap * epoch
+            sampling_faults = 0.0
+            for i in range(sample.size):
+                chosen = choose_poison_subpages(
+                    accessed[i],
+                    cfg.max_poisoned_subpages,
+                    rng,
+                    use_prefilter=cfg.enable_accessed_prefilter,
+                )
+                if chosen.size == 0:
+                    continue
+                observed = np.minimum(counts[i, chosen], fault_cap)
+                poisoned_sums[i] = float(observed.sum())
+                poisoned_pages[i] = chosen.size
+                if not slow_before[sample[i]]:
+                    # Faults on slow-tier pages are already slow accesses
+                    # charged by the engine; only fast-tier monitoring adds
+                    # overhead.
+                    sampling_faults += float(observed.sum())
+
+            estimated = estimate_rates_vectorized(
+                num_accessed, poisoned_sums, poisoned_pages, epoch
+            )
+            sample_share = sample.size / max(state.num_huge_pages, 1)
+            classification = select_cold_pages(sample, estimated, sample_share * budget)
+            cold_now_fast = classification.cold_pages[
+                ~slow_before[classification.cold_pages]
+            ]
+            # Rate-limit demotion (migration is throttled in practice); the
+            # coldest candidates go first.  After an over-budget interval,
+            # pause entirely — demoting while the correction mechanism is
+            # still draining excess slow traffic only prolongs the overshoot.
+            demotion_cap = max(1, int(cfg.max_demotion_fraction * state.num_huge_pages))
+            if self._over_budget:
+                demotion_cap = 0
+                cold_now_fast = cold_now_fast[:0]
+            if cold_now_fast.size > demotion_cap:
+                rate_of = dict(zip(sample.tolist(), estimated.tolist()))
+                order = np.argsort([rate_of.get(p, 0.0) for p in cold_now_fast.tolist()])
+                cold_now_fast = cold_now_fast[order[:demotion_cap]]
+            demoted = state.demote(cold_now_fast)
+            # Seed the correction EWMA with the estimated rates so a newly
+            # demoted page is not presumed free until proven otherwise.
+            rate_by_id = dict(zip(sample.tolist(), estimated.tolist()))
+            for page in cold_now_fast.tolist():
+                self._slow_rate_ewma[page] = rate_by_id.get(page, 0.0)
+
+            # Accessed-bit scans on split pages: one shootdown per subpage
+            # per scan (split scan + poison scan).
+            overhead += sampling_faults * self.fault_latency
+            overhead += 2 * sample.size * 512 * SHOOTDOWN_COST
+
+            diagnostics["estimated_rates_mean"] = float(estimated.mean())
+            diagnostics["cold_selected"] = int(classification.cold_pages.size)
+            diagnostics["cold_rate"] = classification.cold_rate
+            diagnostics["sample_budget"] = classification.budget
+
+        # ------------------------------------------------------------------
+        # Correction — monitor every page that spent the epoch in slow
+        # memory (Section 3.5).
+        # ------------------------------------------------------------------
+        if cfg.enable_correction:
+            slow_ids = np.flatnonzero(slow_before)
+            if slow_ids.size:
+                observed_rates = subpage_counts[slow_ids].sum(axis=1) / epoch
+                alpha = self.ewma_alpha
+                self._slow_rate_ewma[slow_ids] = (
+                    alpha * observed_rates
+                    + (1.0 - alpha) * self._slow_rate_ewma[slow_ids]
+                )
+                # Promote by the larger of this interval's observation (the
+                # paper's Section 3.5 sorts by current access counts, which
+                # catches pages the moment they burst) and the EWMA (which
+                # remembers chronically hot pages through their lulls).
+                assessed = np.maximum(observed_rates, self._slow_rate_ewma[slow_ids])
+                correction = select_promotions(
+                    slow_ids, assessed * epoch, budget, epoch
+                )
+                promoted = state.promote(correction.promote)
+                self._slow_rate_ewma[correction.promote] = 0.0
+                self._over_budget = correction.observed_rate > budget
+                diagnostics["slow_observed_rate"] = float(observed_rates.sum())
+                diagnostics["slow_residual_rate"] = correction.residual_rate
+            else:
+                self._over_budget = False
+
+        # ------------------------------------------------------------------
+        # khugepaged collapses the finished sample; scan 1 of the next
+        # period splits a fresh one.
+        # ------------------------------------------------------------------
+        if cfg.collapse_after_sampling and sample.size:
+            state.set_split(sample, False)
+        if self._sampler is None:
+            self._sampler = CyclingSampler(rng)
+        new_sample = self._sampler.next_sample(
+            state.num_huge_pages, cfg.sample_fraction
+        )
+        state.set_split(new_sample, True)
+        self._pending_sample = new_sample
+        diagnostics["sampled"] = int(new_sample.size)
+
+        return PolicyReport(
+            overhead_seconds=overhead,
+            demoted=demoted,
+            promoted=promoted,
+            diagnostics=diagnostics,
+        )

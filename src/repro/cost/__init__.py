@@ -1,0 +1,5 @@
+"""Memory-cost modelling (the paper's Section 5.3 / Table 4)."""
+
+from repro.cost.model import CostModel, savings_table
+
+__all__ = ["CostModel", "savings_table"]

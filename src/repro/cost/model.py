@@ -1,0 +1,82 @@
+"""DRAM spending savings from two-tiered placement.
+
+Section 5.3 of the paper uses a deliberately simple model ("Since DRAM
+pricing is volatile, and slow memory prices remain unclear"): if a fraction
+``c`` of the footprint moves to slow memory costing ``r`` times DRAM per
+byte, the memory bill shrinks from 1 to ``(1 - c) + c * r``, a saving of
+``c * (1 - r)``.
+
+Table 4 sweeps r over {1/3, 1/4, 1/5} using each workload's measured cold
+fraction; with Cassandra's ~45% cold and r = 1/4 that is the headline
+"30% memory cost savings".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: The cost ratios swept in Table 4 (slow memory at 1/3, 1/4, 1/5 of DRAM).
+TABLE4_COST_RATIOS = (1.0 / 3.0, 1.0 / 4.0, 1.0 / 5.0)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Two-tier memory pricing.
+
+    ``slow_cost_ratio`` is the slow tier's cost per byte relative to DRAM.
+    """
+
+    slow_cost_ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.slow_cost_ratio < 1.0:
+            raise ConfigError(
+                f"slow_cost_ratio must be in (0, 1): {self.slow_cost_ratio}"
+            )
+
+    def relative_spend(self, cold_fraction: float) -> float:
+        """Memory bill relative to all-DRAM (1.0 = no savings)."""
+        if not 0.0 <= cold_fraction <= 1.0:
+            raise ConfigError(f"cold_fraction must be in [0, 1]: {cold_fraction}")
+        return (1.0 - cold_fraction) + cold_fraction * self.slow_cost_ratio
+
+    def savings_fraction(self, cold_fraction: float) -> float:
+        """Fraction of the DRAM bill saved (Table 4's cells)."""
+        return 1.0 - self.relative_spend(cold_fraction)
+
+    def break_even_slowdown(
+        self,
+        cold_fraction: float,
+        memory_cost_share: float = 0.15,
+    ) -> float:
+        """Slowdown at which CPU re-provisioning eats the memory savings.
+
+        The paper's argument for the 3% default: "a higher slowdown may
+        lead to an overall cost increase due to higher required CPU
+        provisioning (which is more expensive than memory)".  With memory
+        making up ``memory_cost_share`` of system cost, a slowdown ``s``
+        requires ~``s`` more CPU capacity costing
+        ``s * (1 - memory_cost_share)``; savings are
+        ``savings_fraction * memory_cost_share``.
+        """
+        if not 0.0 < memory_cost_share < 1.0:
+            raise ConfigError(
+                f"memory_cost_share must be in (0, 1): {memory_cost_share}"
+            )
+        savings = self.savings_fraction(cold_fraction) * memory_cost_share
+        return savings / (1.0 - memory_cost_share)
+
+
+def savings_table(
+    cold_fractions: dict[str, float],
+    cost_ratios: tuple[float, ...] = TABLE4_COST_RATIOS,
+) -> dict[str, dict[float, float]]:
+    """Build Table 4: {workload: {cost_ratio: savings_fraction}}."""
+    table: dict[str, dict[float, float]] = {}
+    for name, cold in cold_fractions.items():
+        table[name] = {
+            ratio: CostModel(ratio).savings_fraction(cold) for ratio in cost_ratios
+        }
+    return table

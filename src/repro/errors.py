@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Thermostat reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch simulator faults without also swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """An address or page number is malformed or out of bounds."""
+
+
+class MappingError(ReproError):
+    """A virtual-memory mapping operation is invalid.
+
+    Raised for double-maps, unmapping a hole, splitting a non-huge mapping,
+    or collapsing pages that are not uniformly mapped.
+    """
+
+
+class MigrationError(ReproError):
+    """A page migration could not be performed (e.g. tier out of capacity)."""
+
+
+class CapacityError(ReproError):
+    """A memory tier or zone ran out of frames."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or driven incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""

@@ -1,0 +1,17 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes a ``run(...)`` function returning structured results
+and a ``main()`` that prints the paper-comparable rows; the
+:mod:`repro.experiments.runner` CLI stitches them together.  The
+benchmarks under ``benchmarks/`` call the same ``run`` functions, so a
+bench run regenerates exactly what the CLI prints.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    run_suite,
+    run_thermostat,
+    suite_durations,
+)
+
+__all__ = ["DEFAULT_SCALE", "run_thermostat", "run_suite", "suite_durations"]

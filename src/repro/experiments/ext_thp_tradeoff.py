@@ -1,0 +1,98 @@
+"""Extension experiment: why huge-page awareness matters economically.
+
+The paper's central premise (Sections 1-2): prior two-tier systems manage
+4KB pages, but "huge pages are performance critical in cloud applications
+... any attempt to employ a dual-technology main memory must preserve the
+performance advantages of huge pages."
+
+This experiment composes the reproduction's two cost models to quantify
+that premise.  Relative to an *all-4KB, all-DRAM* system:
+
+* a **4KB-grain two-tier** system gets the memory savings but forgoes the
+  THP gain (Table 1) and still pays the slow-memory slowdown;
+* **Thermostat** gets the same savings while keeping the THP gain, paying
+  only its (bounded) slowdown.
+
+The gap between the two net-throughput columns is the paper's raison
+d'etre, per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, run_suite
+from repro.experiments.table1_thp_gain import PAPER_TABLE1
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """Net throughput vs an all-4KB all-DRAM baseline."""
+
+    workload: str
+    thp_gain: float
+    thermostat_slowdown: float
+    cold_fraction: float
+
+    @property
+    def thermostat_net(self) -> float:
+        """Throughput factor of Thermostat (2MB pages, two tiers)."""
+        return (1.0 + self.thp_gain) / (1.0 + self.thermostat_slowdown)
+
+    @property
+    def tier_4kb_net(self) -> float:
+        """Throughput factor of a 4KB-grain two-tier system.
+
+        Grants it the same placement quality (same cold set, same slow
+        traffic) but no THP benefit — generous, since 4KB scanning
+        overheads are also higher.
+        """
+        return 1.0 / (1.0 + self.thermostat_slowdown)
+
+    @property
+    def advantage(self) -> float:
+        """Thermostat's throughput advantage over 4KB tiering."""
+        return self.thermostat_net / self.tier_4kb_net - 1.0
+
+
+def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[TradeoffRow]:
+    """Compose Table 1 gains with the measured Thermostat slowdowns."""
+    rows = []
+    for name, result in run_suite(scale=scale, seed=seed).items():
+        rows.append(
+            TradeoffRow(
+                workload=name,
+                thp_gain=PAPER_TABLE1[name],
+                thermostat_slowdown=result.average_slowdown,
+                cold_fraction=result.final_cold_fraction,
+            )
+        )
+    return rows
+
+
+def render(rows: list[TradeoffRow]) -> str:
+    """Net-throughput comparison rows."""
+    return format_table(
+        "Huge-page awareness: net throughput vs all-4KB all-DRAM "
+        "(both systems place the same cold data)",
+        ["workload", "cold placed", "4KB two-tier", "thermostat", "advantage"],
+        [
+            (
+                r.workload,
+                f"{100 * r.cold_fraction:.0f}%",
+                f"{r.tier_4kb_net:.3f}x",
+                f"{r.thermostat_net:.3f}x",
+                f"+{100 * r.advantage:.0f}%",
+            )
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""CLI entry point: regenerate every table and figure of the paper.
+
+Installed as ``thermostat-repro``.  Examples::
+
+    thermostat-repro                 # everything, default scale
+    thermostat-repro fig3 table4     # a subset
+    thermostat-repro --scale 0.05    # faster, smaller footprints
+    thermostat-repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import common
+from repro.experiments import (
+    ext_counting,
+    ext_latency,
+    ext_oracle,
+    ext_thp_tradeoff,
+    ext_wear,
+    fig1_idle_fraction,
+    fig2_accessbit_scatter,
+    fig3_slowmem_rate,
+    fig4_example,
+    fig5to10_footprint,
+    fig11_slowdown_sweep,
+    table1_thp_gain,
+    table2_footprints,
+    table3_migration,
+    table4_cost,
+)
+
+
+def _fig5to10(scale: float, seed: int) -> str:
+    figures = fig5to10_footprint.run(scale, seed)
+    parts = [fig5to10_footprint.render(f) for f in figures]
+    parts.append(fig5to10_footprint.summary_table(figures))
+    return "\n\n".join(parts)
+
+
+#: Experiment name -> callable(scale, seed) -> report text.
+EXPERIMENTS: dict[str, Callable[[float, int], str]] = {
+    "fig1": lambda scale, seed: fig1_idle_fraction.render(
+        fig1_idle_fraction.run(scale, seed)
+    ),
+    "fig2": lambda scale, seed: fig2_accessbit_scatter.render(
+        fig2_accessbit_scatter.run(scale=scale, seed=seed)
+    ),
+    "table1": lambda scale, seed: table1_thp_gain.render(table1_thp_gain.run(scale)),
+    "table2": lambda scale, seed: table2_footprints.render(
+        table2_footprints.run(scale)
+    ),
+    "fig3": lambda scale, seed: fig3_slowmem_rate.render(
+        fig3_slowmem_rate.run(scale=scale, seed=seed)
+    ),
+    "fig4": lambda scale, seed: fig4_example.render(fig4_example.run(seed=seed)),
+    "fig5to10": _fig5to10,
+    "fig11": lambda scale, seed: fig11_slowdown_sweep.render(
+        fig11_slowdown_sweep.run(scale, seed)
+    ),
+    "table3": lambda scale, seed: table3_migration.render(
+        table3_migration.run(scale, seed)
+    ),
+    "table4": lambda scale, seed: table4_cost.render(table4_cost.run(scale, seed)),
+    # Extensions beyond the paper's tables (Section 6 material).
+    "ext-counting": lambda scale, seed: ext_counting.render(ext_counting.run(seed)),
+    "ext-wear": lambda scale, seed: ext_wear.render(
+        ext_wear.run_lifetimes(scale, seed), ext_wear.run_start_gap_demo(seed=seed)
+    ),
+    "ext-latency": lambda scale, seed: ext_latency.render(
+        ext_latency.run(scale, seed)
+    ),
+    "ext-oracle": lambda scale, seed: ext_oracle.render(ext_oracle.run(scale, seed)),
+    "ext-thp": lambda scale, seed: ext_thp_tradeoff.render(
+        ext_thp_tradeoff.run(scale, seed)
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested experiments and print their reports."""
+    parser = argparse.ArgumentParser(
+        prog="thermostat-repro",
+        description="Regenerate the tables and figures of the Thermostat paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="subset to run (default: all); see --list",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=common.DEFAULT_SCALE,
+        help="footprint scale factor (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=common.DEFAULT_SEED, help="RNG seed"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write each report (and, for the suite runs, per-workload "
+        "CSV time series) under this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    requested = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(choose from {', '.join(EXPERIMENTS)})"
+        )
+
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    for name in requested:
+        started = time.perf_counter()
+        report = EXPERIMENTS[name](args.scale, args.seed)
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"[{name}: {elapsed:.1f}s]")
+        print()
+        if output_dir is not None:
+            output_dir.mkdir(parents=True, exist_ok=True)
+            (output_dir / f"{name}.txt").write_text(report + "\n")
+    if output_dir is not None:
+        _export_series(output_dir, args.scale, args.seed)
+        print(f"[reports and CSV series written to {output_dir}]")
+    return 0
+
+
+def _export_series(output_dir: Path, scale: float, seed: int) -> None:
+    """Dump per-workload CSV time series for the suite runs (Figs 3, 5-10)."""
+    from repro.experiments.common import run_suite
+    from repro.metrics.export import export_simulation_series
+
+    for name, result in run_suite(scale=scale, seed=seed).items():
+        export_simulation_series(output_dir, f"series_{name}", result)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Table 2: application memory footprints (resident set + file-mapped).
+
+A configuration check more than an experiment: the workload models must
+expose the footprints the paper measured, scaled by the experiment's
+``scale`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import DEFAULT_SCALE
+from repro.metrics.report import format_table
+from repro.units import format_bytes
+from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.workloads.registry import TABLE2_FOOTPRINTS
+
+
+@dataclass(frozen=True)
+class FootprintRow:
+    """One Table 2 row."""
+
+    workload: str
+    resident_bytes: int
+    file_mapped_bytes: int
+    paper_resident: int
+    paper_file_mapped: int
+    scale: float
+
+
+def run(scale: float = DEFAULT_SCALE) -> list[FootprintRow]:
+    """Instantiate the suite and read back its footprints."""
+    rows = []
+    for name in WORKLOAD_NAMES:
+        workload = make_workload(name, scale=scale)
+        paper_resident, paper_file = TABLE2_FOOTPRINTS[name]
+        rows.append(
+            FootprintRow(
+                workload=name,
+                resident_bytes=workload.resident_bytes,
+                file_mapped_bytes=workload.file_mapped_bytes,
+                paper_resident=paper_resident,
+                paper_file_mapped=paper_file,
+                scale=scale,
+            )
+        )
+    return rows
+
+
+def render(rows: list[FootprintRow]) -> str:
+    """Paper-comparable rows (model values are scaled)."""
+    return format_table(
+        f"Table 2: application footprints (model at scale {rows[0].scale:g})",
+        ["workload", "RSS (model)", "file (model)", "RSS (paper)", "file (paper)"],
+        [
+            (
+                r.workload,
+                format_bytes(r.resident_bytes),
+                format_bytes(r.file_mapped_bytes),
+                format_bytes(r.paper_resident),
+                format_bytes(r.paper_file_mapped),
+            )
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Hardware-support extensions from the paper's Section 6.1.
+
+Thermostat's software-only counting (BadgerTrap) has two inaccuracies the
+paper acknowledges: it counts TLB misses rather than LLC misses, and the
+measurement throttles accesses to poisoned pages.  Section 6.1 sketches
+two x86 extensions that would fix both; this package models them so the
+trade-off can be quantified:
+
+* :mod:`repro.hwext.cm_bit` — a "count miss" (CM) PTE bit that faults on
+  every LLC miss to a marked page, with the data access performed in
+  parallel with the fault;
+* :mod:`repro.hwext.pebs` — precise-event-based sampling of LLC misses,
+  at both the stock kernel sampling rate (1000 Hz — far too low, the
+  paper notes) and the higher rate a compact 48-bit record would allow.
+
+:mod:`repro.hwext.compare` evaluates all three backends (plus ground
+truth) on the same pages.
+"""
+
+from repro.hwext.cm_bit import CountMissModel
+from repro.hwext.pebs import PebsModel
+from repro.hwext.compare import BackendComparison, compare_backends
+
+__all__ = ["CountMissModel", "PebsModel", "BackendComparison", "compare_backends"]

@@ -1,0 +1,108 @@
+"""PEBS-based access counting (paper Section 6.1.2).
+
+Intel's Precise Event Based Sampling writes a record on (a sample of) LLC
+misses into a memory buffer; the kernel drains the buffer on interrupt.
+Two regimes matter for Thermostat:
+
+* the **stock** configuration: the default kernel PEBS rate of 1000
+  samples/sec, "far too low to support ~30,000 slow memory accesses that
+  can be done by a single thread for a 3% performance slowdown" — the
+  per-page rate estimates are hopelessly noisy; and
+* the **extended** configuration the paper proposes: a compact record
+  holding only the 48-bit physical page address, allowing a much higher
+  sustainable sampling rate.
+
+The model samples each LLC-miss event independently with probability
+``sampling_rate / total_miss_rate`` (PEBS's counter-overflow sampling is
+uniform over events at steady state) and charges interrupt costs per
+buffer drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import MICROSECOND
+
+#: Default Linux PEBS sampling frequency the paper quotes.
+STOCK_PEBS_RATE = 1_000.0
+#: Sampling rate a 48-bit compact record could plausibly sustain.
+EXTENDED_PEBS_RATE = 100_000.0
+
+
+@dataclass(frozen=True)
+class PebsModel:
+    """Observation/cost model for PEBS-based counting."""
+
+    sampling_rate: float = STOCK_PEBS_RATE
+    #: Events per PEBS buffer before the drain interrupt fires.
+    buffer_entries: int = 64
+    #: Cost of one drain interrupt (save, parse, resume).
+    interrupt_latency: float = 4 * MICROSECOND
+    #: LLC miss ratio applied to raw accesses before sampling.
+    miss_ratio: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate <= 0:
+            raise ConfigError("sampling_rate must be positive")
+        if self.buffer_entries <= 0:
+            raise ConfigError("buffer_entries must be positive")
+        if self.interrupt_latency < 0:
+            raise ConfigError("interrupt_latency must be non-negative")
+        if not 0.0 < self.miss_ratio <= 1.0:
+            raise ConfigError(f"miss_ratio must be in (0, 1]: {self.miss_ratio}")
+
+    @classmethod
+    def stock(cls) -> "PebsModel":
+        """The default-kernel configuration (1000 Hz)."""
+        return cls(sampling_rate=STOCK_PEBS_RATE)
+
+    @classmethod
+    def extended(cls) -> "PebsModel":
+        """The paper's 48-bit-record proposal (much higher rate)."""
+        return cls(sampling_rate=EXTENDED_PEBS_RATE)
+
+    # ------------------------------------------------------------------
+
+    def sample_probability(self, total_miss_rate: float) -> float:
+        """Probability an individual miss event lands in the sample."""
+        if total_miss_rate <= 0:
+            return 1.0
+        return min(1.0, self.sampling_rate / total_miss_rate)
+
+    def observe(
+        self,
+        true_counts: np.ndarray,
+        interval: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-page PEBS sample counts for one interval."""
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval}")
+        misses = rng.binomial(
+            np.asarray(true_counts, dtype=np.int64), self.miss_ratio
+        )
+        total_rate = misses.sum() / interval
+        p = self.sample_probability(total_rate)
+        return rng.binomial(misses, p)
+
+    def estimate_rates(
+        self,
+        sampled_counts: np.ndarray,
+        total_true_rate: float,
+        interval: float,
+    ) -> np.ndarray:
+        """Scale sampled counts back to access-rate estimates."""
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive: {interval}")
+        p = self.sample_probability(total_true_rate * self.miss_ratio)
+        return np.asarray(sampled_counts) / (p * self.miss_ratio) / interval
+
+    def overhead_seconds(self, sampled_counts: np.ndarray) -> float:
+        """Interrupt time for the interval's samples."""
+        samples = float(np.asarray(sampled_counts).sum())
+        drains = samples / self.buffer_entries
+        return drains * self.interrupt_latency

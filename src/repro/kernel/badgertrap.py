@@ -1,0 +1,145 @@
+"""BadgerTrap: counting page accesses by poisoning PTEs.
+
+Section 3.3 of the paper, faithfully: current x86 hardware cannot count
+per-page accesses, so Thermostat sets reserved bit 51 in a PTE and flushes
+the TLB entry.  The next access misses the TLB, walks the table, hits the
+malformed entry, and raises a protection fault.  The fault handler:
+
+1. unpoisons the PTE,
+2. installs a valid translation in the TLB,
+3. repoisons the PTE,
+4. increments the page's access counter.
+
+Because the *TLB entry* stays valid until evicted, repeated accesses in a
+tight window are counted once — TLB misses, not raw accesses, are counted.
+The paper argues (and our cache model confirms, see
+``tests/mechanism/test_tlb_llc_proxy.py``) that for *cold* pages TLB misses
+track LLC misses within ~2x, which is all the policy needs.
+
+The same machinery doubles as the paper's slow-memory *emulator*
+(Section 4.2): with ``emulate_slow_memory`` the handler charges the fault
+latency but does not repoison-after-TLB-install bookkeeping differently —
+each fault simply models one slow access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.kernel.fault import FaultContext, FaultKind
+from repro.kernel.mmu import AddressSpace
+from repro.mem.address import PageNumber, page_number
+from repro.units import BADGERTRAP_FAULT_LATENCY, BASE_PAGE_SHIFT, HUGE_PAGE_SHIFT
+
+
+@dataclass
+class PoisonRecord:
+    """Monitoring state for one poisoned page."""
+
+    vpn: PageNumber
+    huge: bool
+    faults: int = 0
+
+
+@dataclass
+class BadgerTrap:
+    """Poisoned-PTE fault interception for one address space.
+
+    One instance registers itself as the POISON fault handler and owns the
+    poisoned-page set.  Access counts are read (and typically reset) by the
+    Thermostat policy at scan-interval boundaries.
+    """
+
+    address_space: AddressSpace
+    fault_latency: float = BADGERTRAP_FAULT_LATENCY
+    _records: dict[tuple[PageNumber, bool], PoisonRecord] = field(default_factory=dict)
+    total_faults: int = 0
+
+    def __post_init__(self) -> None:
+        self.address_space.faults.register(FaultKind.POISON, self.handle_fault)
+
+    # ------------------------------------------------------------------
+    # Poisoning control
+    # ------------------------------------------------------------------
+
+    def _entry(self, vpn: PageNumber, huge: bool):
+        table = self.address_space.page_table
+        entry = table.lookup_huge(vpn) if huge else table.lookup_base(vpn)
+        if entry is None:
+            raise MappingError(f"cannot poison unmapped page {vpn:#x} (huge={huge})")
+        return entry
+
+    def poison(self, vpn: PageNumber, huge: bool = False) -> PoisonRecord:
+        """Start monitoring a page: set bit 51 and shoot down the TLB entry."""
+        entry = self._entry(vpn, huge)
+        entry.poison()
+        self.address_space.tlb.invalidate(vpn, huge)
+        record = PoisonRecord(vpn=vpn, huge=huge)
+        self._records[(vpn, huge)] = record
+        return record
+
+    def unpoison(self, vpn: PageNumber, huge: bool = False) -> PoisonRecord:
+        """Stop monitoring a page; returns its record with final counts."""
+        key = (vpn, huge)
+        if key not in self._records:
+            raise MappingError(f"page {vpn:#x} (huge={huge}) is not poisoned")
+        entry = self._entry(vpn, huge)
+        entry.unpoison()
+        return self._records.pop(key)
+
+    def is_poisoned(self, vpn: PageNumber, huge: bool = False) -> bool:
+        """Whether a page is currently monitored."""
+        return (vpn, huge) in self._records
+
+    @property
+    def poisoned_count(self) -> int:
+        """Number of pages currently monitored."""
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # The fault handler (paper Section 3.3 protocol)
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, context: FaultContext) -> float:
+        """Count the access and service the fault; returns handler latency."""
+        shift = HUGE_PAGE_SHIFT if context.huge else BASE_PAGE_SHIFT
+        vpn = page_number(context.address, shift)
+        key = (vpn, context.huge)
+        record = self._records.get(key)
+        if record is None or context.entry is None:
+            raise MappingError(
+                f"poison fault on untracked page {vpn:#x} (huge={context.huge})"
+            )
+        # Unpoison, let the hardware install a valid TLB entry (done by the
+        # caller's fill), mark accessed, then repoison the PTE.  The TLB copy
+        # stays valid, so only the *next TLB miss* faults again.
+        context.entry.unpoison()
+        context.entry.mark_accessed(write=context.write)
+        context.entry.poison()
+        record.faults += 1
+        self.total_faults += 1
+        return self.fault_latency
+
+    # ------------------------------------------------------------------
+    # Reading results
+    # ------------------------------------------------------------------
+
+    def fault_count(self, vpn: PageNumber, huge: bool = False) -> int:
+        """Faults (TLB misses) observed on a monitored page so far."""
+        key = (vpn, huge)
+        if key not in self._records:
+            raise MappingError(f"page {vpn:#x} (huge={huge}) is not poisoned")
+        return self._records[key].faults
+
+    def drain_counts(self, reset: bool = True) -> dict[tuple[PageNumber, bool], int]:
+        """Return {(vpn, huge): faults} for all monitored pages.
+
+        With ``reset`` the counters restart from zero (scan-interval
+        semantics).
+        """
+        counts = {key: record.faults for key, record in self._records.items()}
+        if reset:
+            for record in self._records.values():
+                record.faults = 0
+        return counts

@@ -1,0 +1,112 @@
+"""kstaled: Accessed-bit-based idle page tracking (the paper's baseline).
+
+Figures 1 and 2 of the paper motivate Thermostat by showing what the
+pre-existing mechanism can and cannot do.  kstaled periodically clears the
+hardware Accessed bit of every page (forcing a TLB shootdown each time) and
+re-reads it on the next pass:
+
+* a page whose bit stayed clear for N consecutive scans is *idle/cold*
+  (Figure 1 uses N scans covering 10 seconds);
+* but the single bit per page says nothing about the access *rate*, so it
+  cannot bound the slowdown of demoting a page (Figure 2's dispersed
+  scatter) — that gap is exactly what Thermostat's poisoning fills.
+
+The scanner works at 2MB granularity and can optionally split pages to
+scan the 512 subpage bits (the paper's Figure 2 methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.mmu import AddressSpace
+from repro.mem.address import PageNumber
+from repro.units import SUBPAGES_PER_HUGE_PAGE, huge_to_base
+
+
+@dataclass
+class IdleState:
+    """Scan history for one 2MB page."""
+
+    consecutive_idle_scans: int = 0
+    total_scans: int = 0
+    #: Set when the Accessed bit was found set in each of the last three
+    #: scans — the paper's "hot" definition for Figure 2.
+    consecutive_accessed_scans: int = 0
+
+
+@dataclass
+class Kstaled:
+    """Accessed-bit scanner over one address space.
+
+    Each :meth:`scan` visits every huge page, records whether the bit was
+    set since the previous scan, clears it, and performs the TLB shootdown
+    that makes the next access re-walk the table.  The shootdowns are the
+    overhead that caps the feasible scan frequency — the paper's reason the
+    technique cannot be pushed to access-rate resolution.
+    """
+
+    address_space: AddressSpace
+    _state: dict[PageNumber, IdleState] = field(default_factory=dict)
+    scans_completed: int = 0
+
+    def scan(self) -> dict[PageNumber, bool]:
+        """One pass over all huge pages; returns {page: accessed-since-last}."""
+        results: dict[PageNumber, bool] = {}
+        for huge_vpn in self.address_space.huge_pages():
+            accessed = self.address_space.clear_accessed_huge(huge_vpn)
+            state = self._state.setdefault(huge_vpn, IdleState())
+            state.total_scans += 1
+            if accessed:
+                state.consecutive_idle_scans = 0
+                state.consecutive_accessed_scans += 1
+            else:
+                state.consecutive_idle_scans += 1
+                state.consecutive_accessed_scans = 0
+            results[huge_vpn] = accessed
+        self.scans_completed += 1
+        return results
+
+    def idle_pages(self, min_idle_scans: int) -> list[PageNumber]:
+        """Pages idle for at least ``min_idle_scans`` consecutive scans."""
+        return sorted(
+            vpn
+            for vpn, state in self._state.items()
+            if state.consecutive_idle_scans >= min_idle_scans
+        )
+
+    def idle_fraction(self, min_idle_scans: int) -> float:
+        """Fraction of tracked pages idle for ``min_idle_scans`` scans.
+
+        With a 10s scan period and ``min_idle_scans=1`` this is the paper's
+        Figure 1 quantity ("fraction of 2MB pages idle for 10 seconds").
+        """
+        if not self._state:
+            return 0.0
+        idle = sum(
+            1
+            for state in self._state.values()
+            if state.consecutive_idle_scans >= min_idle_scans
+        )
+        return idle / len(self._state)
+
+    def scan_subpages(self, huge_vpn: PageNumber) -> list[bool]:
+        """Read-and-clear the 512 subpage Accessed bits of a split page.
+
+        Used for Figure 2: count how many 4KB regions of a (split) 2MB page
+        were touched during a scan period.  The page must already be split.
+        """
+        first = huge_to_base(huge_vpn)
+        bits: list[bool] = []
+        for offset in range(SUBPAGES_PER_HUGE_PAGE):
+            entry = self.address_space.page_table.lookup_base(first + offset)
+            if entry is None:
+                bits.append(False)
+                continue
+            bits.append(entry.clear_accessed())
+            self.address_space.tlb.invalidate(first + offset, huge=False)
+        return bits
+
+    def shootdowns_per_scan(self) -> int:
+        """TLB invalidations each scan performs (the overhead driver)."""
+        return len(self.address_space.huge_pages())

@@ -1,0 +1,102 @@
+"""Transparent huge page policy and khugepaged-style collapse.
+
+The paper's evaluation always runs with THP enabled at both host and guest
+(Section 2.2); Thermostat *temporarily* splits sampled huge pages and
+relies on something khugepaged-like to re-form them afterwards.  This
+module provides that janitor: :class:`Khugepaged` scans an address space
+for split 2MB regions that are collapsible (fully mapped, physically
+contiguous, not poisoned, single node) and merges them back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.kernel.mmu import AddressSpace
+from repro.mem.address import PageNumber
+from repro.units import SUBPAGES_PER_HUGE_PAGE, base_to_huge, huge_to_base
+
+
+class ThpMode(enum.Enum):
+    """Mirror of /sys/kernel/mm/transparent_hugepage/enabled."""
+
+    ALWAYS = "always"
+    MADVISE = "madvise"
+    NEVER = "never"
+
+
+@dataclass
+class ThpPolicy:
+    """Whether new mappings use huge pages.
+
+    ``NEVER`` reproduces the paper's 4KB baseline (the "THP disabled" column
+    implied by Table 1); ``ALWAYS`` is the evaluated configuration.
+    """
+
+    mode: ThpMode = ThpMode.ALWAYS
+
+    def huge_eligible(self, advised: bool = False) -> bool:
+        """Should a THP-capable VMA get 2MB mappings?"""
+        if self.mode is ThpMode.ALWAYS:
+            return True
+        if self.mode is ThpMode.MADVISE:
+            return advised
+        return False
+
+
+class Khugepaged:
+    """Background collapser for split huge-page regions.
+
+    Thermostat splits ~5% of huge pages per scan interval; pages it
+    classifies hot must return to 2MB mappings or the THP benefit decays
+    over time.  ``scan`` attempts to collapse every fully split region and
+    reports how many merges succeeded.
+    """
+
+    def __init__(self, address_space: AddressSpace) -> None:
+        self.address_space = address_space
+        self.collapsed = 0
+        self.skipped = 0
+
+    def _candidate_regions(self) -> list[PageNumber]:
+        seen: set[PageNumber] = set()
+        candidates: list[PageNumber] = []
+        for base_vpn in self.address_space.page_table.base_mappings:
+            huge_vpn = base_to_huge(base_vpn)
+            if huge_vpn in seen:
+                continue
+            seen.add(huge_vpn)
+            candidates.append(huge_vpn)
+        return candidates
+
+    def _collapsible(self, huge_vpn: PageNumber) -> bool:
+        first = huge_to_base(huge_vpn)
+        table = self.address_space.page_table
+        for offset in range(SUBPAGES_PER_HUGE_PAGE):
+            entry = table.lookup_base(first + offset)
+            if entry is None or entry.poisoned:
+                return False
+        return True
+
+    def scan(self, exclude: set[PageNumber] | None = None) -> int:
+        """One collapse pass; returns the number of regions merged.
+
+        ``exclude`` lists 2MB page numbers Thermostat wants kept split
+        (e.g. cold pages still under per-subpage monitoring).
+        """
+        exclude = exclude or set()
+        merged = 0
+        for huge_vpn in self._candidate_regions():
+            if huge_vpn in exclude or not self._collapsible(huge_vpn):
+                self.skipped += 1
+                continue
+            try:
+                self.address_space.collapse_huge(huge_vpn)
+            except MappingError:
+                self.skipped += 1
+                continue
+            merged += 1
+        self.collapsed += merged
+        return merged

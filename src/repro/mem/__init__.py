@@ -1,0 +1,37 @@
+"""Memory-system substrate: addresses, page tables, TLBs, tiers, migration.
+
+This package models the hardware that Thermostat's mechanism relies on:
+
+* :mod:`repro.mem.address` — virtual/physical address arithmetic;
+* :mod:`repro.mem.pte` — page-table entries with Accessed/Dirty bits and the
+  reserved *poison* bit (bit 51) that BadgerTrap abuses;
+* :mod:`repro.mem.page_table` — an x86-64-style 4-level radix page table
+  supporting both 4KB and 2MB leaf mappings;
+* :mod:`repro.mem.tlb` — a two-level set-associative TLB hierarchy;
+* :mod:`repro.mem.walker` — page-walk cost models (native and nested);
+* :mod:`repro.mem.cache` — a coarse last-level cache model;
+* :mod:`repro.mem.tiers` / :mod:`repro.mem.numa` — fast (DRAM) and slow
+  (NVM-like) memory tiers exposed as NUMA zones;
+* :mod:`repro.mem.migration` — the page migration engine with bandwidth
+  accounting (Table 3).
+"""
+
+from repro.mem.address import PageNumber, VirtualAddress, split_virtual_address
+from repro.mem.pte import PageTableEntry, PteFlag
+from repro.mem.page_table import PageTable, TranslationResult
+from repro.mem.tiers import MemoryTier, TierKind
+from repro.mem.tlb import Tlb, TlbHierarchy
+
+__all__ = [
+    "PageNumber",
+    "VirtualAddress",
+    "split_virtual_address",
+    "PageTableEntry",
+    "PteFlag",
+    "PageTable",
+    "TranslationResult",
+    "MemoryTier",
+    "TierKind",
+    "Tlb",
+    "TlbHierarchy",
+]

@@ -1,0 +1,23 @@
+"""Access records exchanged between workloads and the mechanism engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.address import VirtualAddress
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference issued by a workload.
+
+    The mechanism engine replays these through the TLB hierarchy, page
+    table, LLC, and poison-fault path, accumulating latency.
+    """
+
+    address: VirtualAddress
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative address: {self.address:#x}")

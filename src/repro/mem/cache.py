@@ -1,0 +1,86 @@
+"""A coarse last-level cache model.
+
+Thermostat's access-counting trick (Section 3.3) hinges on a claim about
+the cache: *cold pages have no temporal locality, so nearly every access to
+a cold page misses both the TLB and the LLC* — which is why TLB misses are
+an acceptable proxy for memory accesses on cold pages, while being a poor
+proxy on hot pages.
+
+The model here is a set-associative cache over 64B lines with LRU
+replacement, sized like one socket of the paper's Xeon E5-2699 v3 (45MB
+LLC).  It is used by the mechanism engine to validate that claim (the
+"TLB miss rate within 2x of LLC miss rate for cold pages" check) and to
+derive the hot/cold miss-rate inputs of the Table 1 model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+from repro.units import MB
+
+#: Cache line size in bytes.
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+
+class LastLevelCache:
+    """Set-associative LRU cache indexed by physical line address."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 45 * MB,
+        associativity: int = 20,
+        name: str = "LLC",
+    ) -> None:
+        if capacity_bytes <= 0 or associativity <= 0:
+            raise ConfigError("cache geometry must be positive")
+        lines = capacity_bytes // LINE_SIZE
+        if lines % associativity:
+            raise ConfigError(
+                f"{lines} lines not divisible by associativity {associativity}"
+            )
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.associativity = associativity
+        self.num_sets = lines // associativity
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, physical_address: int) -> bool:
+        """Touch the line holding ``physical_address``; True on hit."""
+        line = physical_address >> LINE_SHIFT
+        way = self._sets[line % self.num_sets]
+        if line in way:
+            way.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(way) >= self.associativity:
+            way.popitem(last=False)
+        way[line] = None
+        return False
+
+    def flush(self) -> None:
+        """Invalidate the whole cache."""
+        for way in self._sets:
+            way.clear()
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (NaN before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (NaN before any access)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else float("nan")
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently cached."""
+        return sum(len(way) for way in self._sets)

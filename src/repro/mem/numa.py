@@ -1,0 +1,79 @@
+"""NUMA topology exposing the two memory tiers as zones.
+
+Section 3.6 of the paper: cold pages are moved with the existing NUMA
+machinery — "The NVM memory space is exposed to the guest OS as a separate
+NUMA zone, to which the guest OS can then transfer memory."  We mirror that
+arrangement: node 0 is the fast (DRAM) zone, node 1 the slow zone, and
+placement code talks in node ids exactly like ``migrate_pages`` would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.mem.tiers import MemoryTier, TierKind, TierSpec
+from repro.units import GB
+
+#: Conventional node ids used throughout the library.
+FAST_NODE = 0
+SLOW_NODE = 1
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """A NUMA node backed by one memory tier."""
+
+    node_id: int
+    tier: MemoryTier
+
+    @property
+    def kind(self) -> TierKind:
+        return self.tier.kind
+
+
+class NumaTopology:
+    """A two-node topology: fast DRAM plus one slow zone.
+
+    The class is intentionally not generalized to N nodes — the paper's
+    system is strictly two-tiered, and a flat pair keeps placement code
+    obvious.
+    """
+
+    def __init__(self, fast: TierSpec | None = None, slow: TierSpec | None = None) -> None:
+        fast = fast or TierSpec.dram()
+        slow = slow or TierSpec.slow()
+        if fast.kind is not TierKind.FAST:
+            raise ConfigError(f"node {FAST_NODE} must be a FAST tier, got {fast.kind}")
+        if slow.kind is not TierKind.SLOW:
+            raise ConfigError(f"node {SLOW_NODE} must be a SLOW tier, got {slow.kind}")
+        self._nodes = (
+            NumaNode(FAST_NODE, MemoryTier(fast)),
+            NumaNode(SLOW_NODE, MemoryTier(slow)),
+        )
+
+    @property
+    def fast(self) -> NumaNode:
+        return self._nodes[FAST_NODE]
+
+    @property
+    def slow(self) -> NumaNode:
+        return self._nodes[SLOW_NODE]
+
+    def node(self, node_id: int) -> NumaNode:
+        """Return the node with id ``node_id``."""
+        if node_id not in (FAST_NODE, SLOW_NODE):
+            raise ConfigError(f"unknown NUMA node {node_id}")
+        return self._nodes[node_id]
+
+    def latency(self, node_id: int) -> float:
+        """Access latency of a node's memory."""
+        return self.node(node_id).tier.spec.access_latency
+
+    @classmethod
+    def small(cls, fast_gb: float = 1.0, slow_gb: float = 1.0) -> "NumaTopology":
+        """A scaled-down topology convenient for tests."""
+        return cls(
+            fast=TierSpec.dram(int(fast_gb * GB)),
+            slow=TierSpec.slow(int(slow_gb * GB)),
+        )

@@ -1,0 +1,132 @@
+"""Page-table entries and the bit protocol Thermostat depends on.
+
+Thermostat's access-counting mechanism (paper Section 3.3) works entirely
+through PTE bits:
+
+* the hardware-maintained **Accessed** bit, set by the page walker on every
+  TLB fill and cleared by software scanners (kstaled, Thermostat's
+  prefilter);
+* the **poison** bit — a reserved bit (bit 51 on x86-64) that, when set,
+  makes the translation malformed so the next page walk raises a protection
+  fault that BadgerTrap intercepts.
+
+This module keeps the full flag set so the mechanism-level simulation can be
+bit-faithful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.mem.address import PageNumber
+
+
+class PteFlag(enum.IntFlag):
+    """x86-64-style PTE flag bits (subset relevant to the simulation)."""
+
+    PRESENT = 1 << 0
+    WRITABLE = 1 << 1
+    USER = 1 << 2
+    ACCESSED = 1 << 5
+    DIRTY = 1 << 6
+    #: PSE / huge-page bit: set on a PMD entry mapping a 2MB page.
+    HUGE = 1 << 7
+    #: Reserved bit 51, repurposed by BadgerTrap as the poison marker.
+    POISON = 1 << 51
+
+
+@dataclass
+class PageTableEntry:
+    """A leaf translation: virtual page -> physical frame plus flag bits.
+
+    The entry carries its mapping granularity via :attr:`huge`; a huge entry
+    lives at the PMD level and translates 2MB at once.
+    """
+
+    frame: PageNumber
+    flags: PteFlag = field(default=PteFlag.PRESENT | PteFlag.WRITABLE | PteFlag.USER)
+
+    # -- flag accessors -------------------------------------------------
+
+    @property
+    def present(self) -> bool:
+        return bool(self.flags & PteFlag.PRESENT)
+
+    @property
+    def accessed(self) -> bool:
+        return bool(self.flags & PteFlag.ACCESSED)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.flags & PteFlag.DIRTY)
+
+    @property
+    def huge(self) -> bool:
+        return bool(self.flags & PteFlag.HUGE)
+
+    @property
+    def poisoned(self) -> bool:
+        return bool(self.flags & PteFlag.POISON)
+
+    # -- hardware-side transitions --------------------------------------
+
+    def mark_accessed(self, write: bool = False) -> None:
+        """Page walker behaviour: set Accessed (and Dirty on writes)."""
+        self.flags |= PteFlag.ACCESSED
+        if write:
+            self.flags |= PteFlag.DIRTY
+
+    # -- software-side transitions ---------------------------------------
+
+    def clear_accessed(self) -> bool:
+        """Scanner behaviour: clear Accessed, returning whether it was set.
+
+        The caller is responsible for flushing the TLB entry — without a
+        flush the hardware will keep hitting the stale cached translation
+        and never re-set the bit, which is exactly the overhead trade-off
+        the paper discusses for kstaled.
+        """
+        was_set = self.accessed
+        self.flags &= ~PteFlag.ACCESSED
+        return was_set
+
+    def poison(self) -> None:
+        """Set the reserved bit so the next walk faults (BadgerTrap)."""
+        self.flags |= PteFlag.POISON
+
+    def unpoison(self) -> None:
+        """Clear the reserved bit, restoring a valid translation."""
+        self.flags &= ~PteFlag.POISON
+
+    def clone(self) -> "PageTableEntry":
+        """Return an independent copy of this entry."""
+        return PageTableEntry(frame=self.frame, flags=self.flags)
+
+    def __repr__(self) -> str:
+        bits = "".join(
+            letter if self.flags & flag else "-"
+            for letter, flag in (
+                ("P", PteFlag.PRESENT),
+                ("W", PteFlag.WRITABLE),
+                ("U", PteFlag.USER),
+                ("A", PteFlag.ACCESSED),
+                ("D", PteFlag.DIRTY),
+                ("H", PteFlag.HUGE),
+                ("X", PteFlag.POISON),
+            )
+        )
+        return f"PTE(frame={self.frame:#x}, {bits})"
+
+
+def make_base_pte(frame: PageNumber) -> PageTableEntry:
+    """Construct a present, writable 4KB leaf entry."""
+    return PageTableEntry(frame=frame)
+
+
+def make_huge_pte(frame: PageNumber) -> PageTableEntry:
+    """Construct a present, writable 2MB leaf entry (PMD level)."""
+    return PageTableEntry(
+        frame=frame,
+        flags=PteFlag.PRESENT | PteFlag.WRITABLE | PteFlag.USER | PteFlag.HUGE,
+    )

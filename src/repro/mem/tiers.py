@@ -1,0 +1,162 @@
+"""Memory tiers: fast DRAM and slow, cheap memory.
+
+The paper's hardware premise (Section 1): slow memory (3D XPoint-class) has
+400ns-to-several-microsecond access latency versus 50-100ns for DRAM, at a
+cost per bit of 1/3 to 1/5 of DRAM (Table 4's sweep).  A tier here is a
+frame allocator plus a latency/cost descriptor; the NUMA layer
+(:mod:`repro.mem.numa`) exposes tiers the way Thermostat sees them — as
+NUMA zones that Linux's migration machinery can move pages between.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, ConfigError
+from repro.mem.address import PageNumber
+from repro.units import DRAM_LATENCY, GB, SLOW_MEMORY_LATENCY
+
+
+class TierKind(enum.Enum):
+    """Which technology a tier is made of."""
+
+    FAST = "fast"  # DRAM
+    SLOW = "slow"  # dense, cheap, high-latency (3D XPoint-like)
+
+
+@dataclass
+class TierSpec:
+    """Static description of a tier."""
+
+    kind: TierKind
+    capacity_bytes: int
+    access_latency: float
+    #: Price per byte relative to DRAM (DRAM = 1.0).
+    relative_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"tier capacity must be positive: {self.capacity_bytes}")
+        if self.access_latency <= 0:
+            raise ConfigError(f"tier latency must be positive: {self.access_latency}")
+        if self.relative_cost <= 0:
+            raise ConfigError(f"tier cost must be positive: {self.relative_cost}")
+
+    @classmethod
+    def dram(cls, capacity_bytes: int = 512 * GB) -> "TierSpec":
+        """The paper's fast tier (512GB DRAM host)."""
+        return cls(TierKind.FAST, capacity_bytes, DRAM_LATENCY, relative_cost=1.0)
+
+    @classmethod
+    def slow(
+        cls,
+        capacity_bytes: int = 512 * GB,
+        access_latency: float = SLOW_MEMORY_LATENCY,
+        relative_cost: float = 1.0 / 3.0,
+    ) -> "TierSpec":
+        """A near-future slow tier (1us latency, 1/3 DRAM cost by default)."""
+        return cls(TierKind.SLOW, capacity_bytes, access_latency, relative_cost)
+
+
+@dataclass
+class MemoryTier:
+    """A tier with a bump-pointer frame allocator and a free list.
+
+    Frames are 4KB-granular physical frame numbers local to the tier; huge
+    allocations take 512 contiguous, aligned frames.  The allocator is
+    deliberately simple — Thermostat never stresses physical allocation,
+    only placement — but it enforces capacity so experiments cannot
+    silently over-commit a tier.
+    """
+
+    spec: TierSpec
+    _next_frame: PageNumber = 0
+    _free_base: list[PageNumber] = field(default_factory=list)
+    _free_huge: list[PageNumber] = field(default_factory=list)
+    allocated_bytes: int = 0
+
+    @property
+    def kind(self) -> TierKind:
+        return self.spec.kind
+
+    @property
+    def capacity_frames(self) -> int:
+        """Total 4KB frames in the tier."""
+        return self.spec.capacity_bytes >> 12
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.capacity_bytes - self.allocated_bytes
+
+    def _bump(self, frames: int, align: int) -> PageNumber:
+        start = self._next_frame
+        if align > 1 and start % align:
+            start += align - start % align
+        if start + frames > self.capacity_frames:
+            raise CapacityError(
+                f"{self.kind.value} tier exhausted: need {frames} frames at "
+                f"{start}, capacity {self.capacity_frames}"
+            )
+        self._next_frame = start + frames
+        return start
+
+    def allocate_base(self) -> PageNumber:
+        """Allocate one 4KB frame, returning its frame number."""
+        if self._free_base:
+            frame = self._free_base.pop()
+        else:
+            frame = self._bump(1, align=1)
+        self.allocated_bytes += 4096
+        return frame
+
+    def allocate_huge(self) -> PageNumber:
+        """Allocate a 2MB-aligned run of 512 frames; returns the first."""
+        if self._free_huge:
+            frame = self._free_huge.pop()
+        else:
+            frame = self._bump(512, align=512)
+        self.allocated_bytes += 512 * 4096
+        return frame
+
+    def free_base(self, frame: PageNumber) -> None:
+        """Return a 4KB frame to the tier."""
+        if self.allocated_bytes < 4096:
+            raise CapacityError(f"{self.kind.value} tier: free without allocate")
+        self._free_base.append(frame)
+        self.allocated_bytes -= 4096
+
+    def reserve_bytes(self, nbytes: int) -> None:
+        """Capacity-only reservation (no frame identity).
+
+        Used by the migration engine and the epoch engine, which track page
+        identity themselves and only need the tier to enforce capacity.
+        """
+        if nbytes < 0:
+            raise ConfigError(f"cannot reserve negative bytes: {nbytes}")
+        if self.allocated_bytes + nbytes > self.spec.capacity_bytes:
+            raise CapacityError(
+                f"{self.kind.value} tier exhausted: need {nbytes} bytes, "
+                f"{self.free_bytes} free"
+            )
+        self.allocated_bytes += nbytes
+
+    def release_bytes(self, nbytes: int) -> None:
+        """Release a capacity-only reservation."""
+        if nbytes < 0:
+            raise ConfigError(f"cannot release negative bytes: {nbytes}")
+        if nbytes > self.allocated_bytes:
+            raise CapacityError(
+                f"{self.kind.value} tier: releasing {nbytes} bytes but only "
+                f"{self.allocated_bytes} allocated"
+            )
+        self.allocated_bytes -= nbytes
+
+    def free_huge(self, frame: PageNumber) -> None:
+        """Return a 2MB run to the tier (``frame`` is its first 4KB frame)."""
+        if frame % 512:
+            raise ConfigError(f"huge free of unaligned frame {frame:#x}")
+        if self.allocated_bytes < 512 * 4096:
+            raise CapacityError(f"{self.kind.value} tier: free without allocate")
+        self._free_huge.append(frame)
+        self.allocated_bytes -= 512 * 4096

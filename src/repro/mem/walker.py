@@ -1,0 +1,98 @@
+"""Page-walk cost models: native and virtualized (nested) walks.
+
+Table 1 of the paper rests on walk-cost arithmetic:
+
+* native 4KB walk: up to 4 memory references (PGD, PUD, PMD, PTE);
+* native 2MB walk: up to 3 (the walk terminates at the PMD);
+* two-dimensional (guest + host) 4KB/4KB walk: up to 24 references —
+  each of the guest's 4 steps requires a nested walk of the host table
+  (4 references) plus the guest reference itself, then a final host walk
+  for the data address: ``4 * (4 + 1) + 4 = 24``;
+* two-dimensional 2MB/2MB walk: up to 15 — ``3 * (3 + 1) + 3 = 15``.
+
+Walk references frequently hit in the data caches (page-table lines are
+small and reused), which the model captures with a cacheability fraction:
+huge pages need fewer distinct page-table lines, so their walks cache
+better — a second-order effect the paper calls out ("improve the
+cacheability of intermediate levels of the page tables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import DRAM_LATENCY, NANOSECOND
+
+#: Native walk lengths.
+NATIVE_WALK_STEPS_4K = 4
+NATIVE_WALK_STEPS_2M = 3
+
+
+def nested_walk_steps(guest_steps: int, host_steps: int) -> int:
+    """Total memory references of a two-dimensional page walk.
+
+    Every guest page-table reference is itself a guest-physical address
+    that must be translated through the host table (``host_steps``
+    references) before the guest entry can be read (1 more), and the final
+    guest-physical data address needs one more host walk.
+    """
+    if guest_steps <= 0 or host_steps <= 0:
+        raise ConfigError("walk steps must be positive")
+    return guest_steps * (host_steps + 1) + host_steps
+
+
+#: Two-dimensional walk lengths quoted by the paper (Section 2.2).
+NESTED_WALK_STEPS_4K = nested_walk_steps(NATIVE_WALK_STEPS_4K, NATIVE_WALK_STEPS_4K)  # 24
+NESTED_WALK_STEPS_2M = nested_walk_steps(NATIVE_WALK_STEPS_2M, NATIVE_WALK_STEPS_2M)  # 15
+
+
+@dataclass(frozen=True)
+class WalkCostModel:
+    """Latency model for page walks.
+
+    Each walk reference either hits in the cache hierarchy (cheap) or goes
+    to DRAM.  ``cached_fraction_4k`` / ``cached_fraction_2m`` give the
+    expected hit fraction of walk references for each leaf size; 2MB tables
+    are denser (one PMD entry per 2MB rather than 512 PTEs) so they cache
+    markedly better.
+    """
+
+    cache_latency: float = 20 * NANOSECOND
+    memory_latency: float = DRAM_LATENCY
+    cached_fraction_4k: float = 0.60
+    cached_fraction_2m: float = 0.80
+    virtualized: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("cached_fraction_4k", "cached_fraction_2m"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be within [0, 1], got {value}")
+        if self.cache_latency < 0 or self.memory_latency < 0:
+            raise ConfigError("walk latencies must be non-negative")
+
+    def walk_steps(self, huge: bool) -> int:
+        """Worst-case memory references for one walk."""
+        if self.virtualized:
+            return NESTED_WALK_STEPS_2M if huge else NESTED_WALK_STEPS_4K
+        return NATIVE_WALK_STEPS_2M if huge else NATIVE_WALK_STEPS_4K
+
+    def reference_latency(self, huge: bool) -> float:
+        """Expected latency of a single walk reference."""
+        cached = self.cached_fraction_2m if huge else self.cached_fraction_4k
+        return cached * self.cache_latency + (1.0 - cached) * self.memory_latency
+
+    def walk_latency(self, huge: bool) -> float:
+        """Expected latency of one full page walk."""
+        return self.walk_steps(huge) * self.reference_latency(huge)
+
+    @classmethod
+    def native(cls) -> "WalkCostModel":
+        """Bare-metal walk model."""
+        return cls(virtualized=False)
+
+    @classmethod
+    def nested(cls) -> "WalkCostModel":
+        """KVM/EPT two-dimensional walk model (the paper's setting)."""
+        return cls(virtualized=True)

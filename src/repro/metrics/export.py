@@ -1,0 +1,83 @@
+"""CSV export of experiment data for downstream plotting.
+
+``thermostat-repro --output-dir results/`` writes, per experiment, the
+rendered text report plus machine-readable CSVs of any time series —
+enough to regenerate the paper's plots in any charting tool without
+re-running simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.sim.stats import TimeSeries
+
+
+def export_timeseries(
+    path: str | Path, series: dict[str, TimeSeries]
+) -> Path:
+    """Write one or more aligned time series as a CSV.
+
+    Series are joined on their timestamps (outer join); missing values are
+    left empty.  Column order: ``time`` then the series names as given.
+    """
+    if not series:
+        raise ReproError("export_timeseries needs at least one series")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    all_times = sorted({t for ts in series.values() for t in ts.times})
+    lookup = {
+        name: dict(zip(ts.times.tolist(), ts.values.tolist()))
+        for name, ts in series.items()
+    }
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time"] + list(series))
+        for t in all_times:
+            writer.writerow(
+                [t] + [lookup[name].get(t, "") for name in series]
+            )
+    return path
+
+
+def export_rows(
+    path: str | Path,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write tabular experiment rows as a CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(columns))
+        for row in rows:
+            if len(row) != len(columns):
+                raise ReproError(
+                    f"row has {len(row)} cells for {len(columns)} columns"
+                )
+            writer.writerow(list(row))
+    return path
+
+
+def export_simulation_series(
+    directory: str | Path,
+    prefix: str,
+    result,
+    names: Sequence[str] = (
+        "slow_access_rate",
+        "slowdown",
+        "cold_fraction",
+        "cold_2mb_bytes",
+        "cold_4kb_bytes",
+        "hot_2mb_bytes",
+        "hot_4kb_bytes",
+    ),
+) -> Path:
+    """Dump a :class:`~repro.sim.engine.SimulationResult`'s standard series."""
+    series = {name: result.series(name) for name in names}
+    return export_timeseries(Path(directory) / f"{prefix}.csv", series)

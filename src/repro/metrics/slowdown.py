@@ -1,0 +1,49 @@
+"""The slowdown model shared by policy and measurement.
+
+Section 3.4 of the paper converts between slowdown and slow-memory access
+rate with one formula; this module keeps that arithmetic in one place so
+the classifier's budget, the engine's measurement, and the experiments'
+reporting can never disagree about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import SLOW_MEMORY_LATENCY
+
+
+@dataclass(frozen=True)
+class SlowdownModel:
+    """slowdown <-> slow-access-rate conversions at one slow latency."""
+
+    slow_latency: float = SLOW_MEMORY_LATENCY
+
+    def __post_init__(self) -> None:
+        if self.slow_latency <= 0:
+            raise ConfigError(f"slow_latency must be positive: {self.slow_latency}")
+
+    def rate_for_slowdown(self, slowdown: float) -> float:
+        """Accesses/sec to slow memory that produce ``slowdown``."""
+        if slowdown < 0:
+            raise ConfigError(f"slowdown must be non-negative: {slowdown}")
+        return slowdown / self.slow_latency
+
+    def slowdown_for_rate(self, rate: float) -> float:
+        """Slowdown produced by ``rate`` accesses/sec to slow memory."""
+        if rate < 0:
+            raise ConfigError(f"rate must be non-negative: {rate}")
+        return rate * self.slow_latency
+
+    def stall_time(self, accesses: float) -> float:
+        """Total stall seconds for a number of slow accesses."""
+        if accesses < 0:
+            raise ConfigError(f"accesses must be non-negative: {accesses}")
+        return accesses * self.slow_latency
+
+    def throughput_factor(self, slowdown: float) -> float:
+        """Multiplier on baseline throughput under ``slowdown``."""
+        if slowdown < 0:
+            raise ConfigError(f"slowdown must be non-negative: {slowdown}")
+        return 1.0 / (1.0 + slowdown)

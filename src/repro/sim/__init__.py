@@ -1,0 +1,16 @@
+"""Simulation kernel: virtual time, statistics, events, and the epoch engine.
+
+Two execution models share this package:
+
+* the **epoch engine** (:mod:`repro.sim.engine`) advances time in scan
+  intervals and feeds aggregate per-page access profiles to a placement
+  policy — fast enough for multi-gigabyte footprints; and
+* the **mechanism path** (:mod:`repro.mem` / :mod:`repro.kernel`), which
+  simulates individual accesses through TLBs, page tables, and poison
+  faults and borrows :mod:`repro.sim.clock` and :mod:`repro.sim.stats`.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.stats import Counter, StatsRegistry, TimeSeries
+
+__all__ = ["VirtualClock", "Counter", "StatsRegistry", "TimeSeries"]

@@ -1,0 +1,48 @@
+"""Virtual time for the simulator.
+
+The clock is a plain monotonically non-decreasing float of seconds.  It is
+shared by the engine, the policies, and the metrics recorders so that every
+time series is stamped from the same source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic simulated wall-clock.
+
+    The engine advances the clock once per epoch; mechanism-level components
+    may advance it by per-access latencies.  Attempts to move time backwards
+    raise :class:`~repro.errors.SimulationError` — that is always a bug.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before zero: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by {delta} s")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.3f}s)"

@@ -1,0 +1,233 @@
+"""The epoch-driven simulation engine.
+
+Each epoch (one Thermostat scan interval, 30s by default) the engine:
+
+1. asks the workload for its access profile;
+2. charges the epoch's slow-memory stalls against the placement that was
+   in force (every access to a slow-tier page costs that tier's latency);
+3. invokes the placement policy, which may demote/promote pages for
+   subsequent epochs and reports its own monitoring overhead;
+4. records the time series behind Figures 3 and 5-11 — slow-memory access
+   rate, achieved slowdown, throughput, and the hot/cold x 2MB/4KB
+   footprint breakdown.
+
+The measured slowdown is the paper's model applied as measurement::
+
+    slowdown = (slow_accesses * t_slow + monitoring_overhead) / epoch
+
+which is also how the paper's own emulation works — each slow access is a
+~1us BadgerTrap fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.errors import SimulationError
+from repro.mem.migration import MigrationReason
+from repro.mem.numa import NumaTopology, SLOW_NODE
+from repro.rng import child_rng, make_rng
+from repro.sim.clock import VirtualClock
+from repro.sim.policy import PlacementPolicy
+from repro.sim.state import TieredMemoryState
+from repro.sim.stats import StatsRegistry
+from repro.units import GB, MB
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one run."""
+
+    workload_name: str
+    policy_name: str
+    config: SimulationConfig
+    stats: StatsRegistry
+    state: TieredMemoryState
+    duration: float
+    baseline_ops_per_second: float
+    extras: dict = field(default_factory=dict)
+
+    # -- headline scalar metrics ----------------------------------------
+
+    @property
+    def average_slowdown(self) -> float:
+        """Mean achieved slowdown across epochs (fraction)."""
+        return self.stats.timeseries("slowdown").mean()
+
+    @property
+    def average_cold_fraction(self) -> float:
+        """Mean fraction of footprint in slow memory across epochs."""
+        return self.stats.timeseries("cold_fraction").mean()
+
+    @property
+    def final_cold_fraction(self) -> float:
+        """Cold fraction at the end of the run."""
+        series = self.stats.timeseries("cold_fraction")
+        return series.last().value if len(series) else 0.0
+
+    @property
+    def throughput_degradation(self) -> float:
+        """Fractional throughput loss vs the all-DRAM baseline."""
+        slowdown = self.average_slowdown
+        return slowdown / (1.0 + slowdown)
+
+    @property
+    def achieved_ops_per_second(self) -> float:
+        """Throughput after slowdown (ops/sec)."""
+        return self.baseline_ops_per_second / (1.0 + self.average_slowdown)
+
+    # -- Table 3 ---------------------------------------------------------
+
+    def migration_rate_mbps(self) -> float:
+        """Average demotion traffic, MB/s."""
+        return (
+            self.state.migration.average_rate(MigrationReason.DEMOTION, self.duration)
+            / MB
+        )
+
+    def correction_rate_mbps(self) -> float:
+        """Average false-classification (promotion) traffic, MB/s."""
+        return (
+            self.state.migration.average_rate(
+                MigrationReason.CORRECTION, self.duration
+            )
+            / MB
+        )
+
+    def peak_slow_traffic_mbps(self, window: float = 30.0) -> float:
+        """Peak total traffic to/from slow memory over any window, MB/s."""
+        demo = self.state.migration.peak_rate(MigrationReason.DEMOTION, window)
+        corr = self.state.migration.peak_rate(MigrationReason.CORRECTION, window)
+        return (demo + corr) / MB
+
+    # -- Figure accessors -------------------------------------------------
+
+    def series(self, name: str):
+        """Convenience accessor for a recorded time series."""
+        return self.stats.timeseries(name)
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers as a flat dict (used by reports)."""
+        return {
+            "average_slowdown": self.average_slowdown,
+            "average_cold_fraction": self.average_cold_fraction,
+            "final_cold_fraction": self.final_cold_fraction,
+            "throughput_degradation": self.throughput_degradation,
+            "migration_rate_mbps": self.migration_rate_mbps(),
+            "correction_rate_mbps": self.correction_rate_mbps(),
+        }
+
+
+class EpochSimulation:
+    """Drives one workload under one placement policy."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: PlacementPolicy,
+        config: SimulationConfig | None = None,
+        topology: NumaTopology | None = None,
+    ) -> None:
+        self.workload = workload
+        self.policy = policy
+        self.config = config or SimulationConfig()
+        if topology is None:
+            # Provision both tiers generously relative to the footprint so
+            # capacity never interferes with placement decisions (as in the
+            # paper's 512GB host).
+            headroom = max(4 * workload.footprint_bytes, 1 * GB)
+            topology = NumaTopology(
+                fast=_fast_spec(headroom), slow=_slow_spec(headroom)
+            )
+        self.topology = topology
+        self.clock = VirtualClock()
+        self.stats = StatsRegistry()
+        self.state = TieredMemoryState(
+            workload.num_huge_pages_at(0.0), topology, self.clock, self.stats
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the configured number of epochs and return the result."""
+        rng = make_rng(self.config.seed)
+        workload_rng = child_rng(rng, f"workload:{self.workload.name}")
+        policy_rng = child_rng(rng, f"policy:{self.policy.name}")
+        epoch = self.config.epoch
+        slow_latency = self.topology.latency(SLOW_NODE)
+
+        for _ in range(self.config.num_epochs):
+            start = self.clock.now
+            needed = self.workload.num_huge_pages_at(start)
+            if needed > self.state.num_huge_pages:
+                self.state.grow(needed)
+            profile = self.workload.epoch_profile(
+                start, epoch, workload_rng, stochastic=self.config.stochastic
+            )
+            if profile.num_huge_pages != self.state.num_huge_pages:
+                raise SimulationError(
+                    f"workload produced {profile.num_huge_pages} huge pages "
+                    f"but state tracks {self.state.num_huge_pages}"
+                )
+
+            # 2. Charge this epoch's slow-memory stalls against the current
+            # placement.
+            huge_counts = profile.huge_counts()
+            slow_accesses = float(huge_counts[self.state.slow_mask()].sum())
+            slow_rate = slow_accesses / epoch
+
+            # 3. Let the policy observe and reshuffle.
+            report = self.policy.on_epoch(self.state, profile, policy_rng)
+
+            stall_time = slow_accesses * slow_latency + report.overhead_seconds
+            slowdown = stall_time / epoch
+
+            # 4. Record.
+            now = self.clock.advance(epoch)
+            ts = self.stats.timeseries
+            ts("slow_access_rate").record(now, slow_rate)
+            ts("slowdown").record(now, slowdown)
+            ts("overhead_seconds").record(now, report.overhead_seconds)
+            ts("cold_fraction").record(now, self.state.cold_fraction())
+            breakdown = self.state.footprint_breakdown()
+            for key, value in breakdown.items():
+                ts(key).record(now, value)
+            ts("throughput_ops").record(
+                now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
+            )
+            self.stats.counter("total_slow_accesses").add(slow_accesses)
+            self.stats.counter("epochs").add(1)
+
+        return SimulationResult(
+            workload_name=self.workload.name,
+            policy_name=self.policy.name,
+            config=self.config,
+            stats=self.stats,
+            state=self.state,
+            duration=self.clock.now,
+            baseline_ops_per_second=self.workload.baseline_ops_per_second,
+        )
+
+
+def _fast_spec(capacity: int):
+    from repro.mem.tiers import TierSpec
+
+    return TierSpec.dram(capacity)
+
+
+def _slow_spec(capacity: int):
+    from repro.mem.tiers import TierSpec
+
+    return TierSpec.slow(capacity)
+
+
+def run_simulation(
+    workload: Workload,
+    policy: PlacementPolicy,
+    config: SimulationConfig | None = None,
+    topology: NumaTopology | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`EpochSimulation`."""
+    return EpochSimulation(workload, policy, config, topology).run()

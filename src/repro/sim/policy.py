@@ -1,0 +1,59 @@
+"""Placement-policy interface for the epoch engine.
+
+A policy is invoked once per epoch, *after* the engine has accounted the
+epoch's slow-memory traffic against the placement that was in force.  The
+policy may then reshuffle pages for subsequent epochs and report the
+monitoring overhead it incurred during the epoch (poison-fault handler
+time, Accessed-bit shootdown time).
+
+Policies must observe the information-visibility discipline the paper's
+mechanism implies: per-page access *counts* are only knowable for pages the
+policy poisoned (its sample and the slow-memory set); for everything else
+only Accessed-bit-grade information (``counts > 0``) is legitimately
+available, and only after paying scan overhead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.profile import EpochProfile
+from repro.sim.state import TieredMemoryState
+
+
+@dataclass
+class PolicyReport:
+    """What one policy invocation did and what it cost."""
+
+    #: CPU/stall time spent on monitoring during the epoch (seconds):
+    #: poison-fault handling on *fast-tier* sampled pages, Accessed-bit
+    #: scans, etc.  Slow-memory access stalls are accounted by the engine.
+    overhead_seconds: float = 0.0
+    #: Pages demoted this invocation.
+    demoted: int = 0
+    #: Pages promoted this invocation.
+    promoted: int = 0
+    #: Free-form diagnostics for experiments.
+    diagnostics: dict = field(default_factory=dict)
+
+
+class PlacementPolicy(abc.ABC):
+    """Decides page placement from (partially observable) access profiles."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def on_epoch(
+        self,
+        state: TieredMemoryState,
+        profile: EpochProfile,
+        rng: np.random.Generator,
+    ) -> PolicyReport:
+        """Observe one epoch and adjust placement for the next."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return self.name

@@ -1,0 +1,78 @@
+"""Epoch access profiles: what a workload did during one scan interval.
+
+The epoch engine trades per-access fidelity for scale: instead of replaying
+billions of references, a workload reports *how many accesses each 4KB page
+received* during the interval.  That is exactly the information Thermostat's
+monitoring can (partially) observe — Accessed bits are ``counts > 0``,
+poison-fault counts are the counts themselves (capped by TLB residency for
+hot pages) — so the policy code runs unmodified logic against these arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+
+
+@dataclass(frozen=True)
+class EpochProfile:
+    """Access counts for one epoch.
+
+    ``counts[i]`` is the number of memory accesses (LLC-miss-grade, i.e.
+    the accesses that would reach DRAM/slow memory) to 4KB page ``i``
+    during the epoch.  The array length must be a whole number of huge
+    pages — workloads pad their footprint up to a 2MB boundary.
+    """
+
+    start_time: float
+    duration: float
+    counts: np.ndarray
+    #: Fraction of the accesses that are writes (used by wear accounting).
+    write_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"epoch duration must be positive: {self.duration}")
+        if self.counts.ndim != 1:
+            raise WorkloadError(f"counts must be 1-D, got shape {self.counts.shape}")
+        if len(self.counts) % SUBPAGES_PER_HUGE_PAGE:
+            raise WorkloadError(
+                f"counts length {len(self.counts)} is not a whole number of "
+                f"huge pages ({SUBPAGES_PER_HUGE_PAGE} subpages each)"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise WorkloadError(
+                f"write_fraction must be in [0, 1]: {self.write_fraction}"
+            )
+
+    @property
+    def num_base_pages(self) -> int:
+        return len(self.counts)
+
+    @property
+    def num_huge_pages(self) -> int:
+        return len(self.counts) // SUBPAGES_PER_HUGE_PAGE
+
+    def subpage_counts(self) -> np.ndarray:
+        """Counts reshaped to (num_huge_pages, 512)."""
+        return self.counts.reshape(self.num_huge_pages, SUBPAGES_PER_HUGE_PAGE)
+
+    def huge_counts(self) -> np.ndarray:
+        """Per-huge-page aggregate access counts."""
+        return self.subpage_counts().sum(axis=1)
+
+    def total_accesses(self) -> int:
+        """All accesses in the epoch."""
+        return int(self.counts.sum())
+
+    def accessed_mask(self) -> np.ndarray:
+        """Per-4KB-page hardware-Accessed-bit equivalent (counts > 0)."""
+        return self.counts > 0
+
+    def huge_accessed_mask(self) -> np.ndarray:
+        """Per-huge-page Accessed-bit equivalent (any subpage touched)."""
+        return self.huge_counts() > 0

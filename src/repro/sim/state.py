@@ -1,0 +1,159 @@
+"""Tiered placement state for the epoch engine.
+
+One :class:`TieredMemoryState` tracks, for every 2MB region of a workload's
+footprint, which NUMA node backs it and whether it is currently split into
+4KB mappings (Thermostat's transient monitoring state).  Demotions and
+promotions go through the shared :class:`~repro.mem.migration.MigrationEngine`
+so Table 3's traffic accounting is identical between engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MigrationError, SimulationError
+from repro.mem.migration import MigrationEngine, MigrationReason
+from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
+from repro.sim.clock import VirtualClock
+from repro.sim.stats import StatsRegistry
+from repro.units import HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE_PAGE
+
+
+class TieredMemoryState:
+    """Per-huge-page tier and split flags, numpy-backed.
+
+    Page ids are indices into the workload's (padded) footprint; growth
+    (Cassandra's memtables, the analytics benchmark) appends new fast-tier
+    pages.
+    """
+
+    def __init__(
+        self,
+        num_huge_pages: int,
+        topology: NumaTopology,
+        clock: VirtualClock,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        if num_huge_pages < 0:
+            raise SimulationError(f"negative page count: {num_huge_pages}")
+        self.topology = topology
+        self.clock = clock
+        self.stats = stats or StatsRegistry()
+        self.migration = MigrationEngine(topology, clock, self.stats)
+        self.tier = np.full(num_huge_pages, FAST_NODE, dtype=np.int8)
+        self.split = np.zeros(num_huge_pages, dtype=bool)
+        topology.fast.tier.reserve_bytes(num_huge_pages * HUGE_PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_huge_pages(self) -> int:
+        return len(self.tier)
+
+    @property
+    def num_base_pages(self) -> int:
+        return len(self.tier) * SUBPAGES_PER_HUGE_PAGE
+
+    def grow(self, new_num_huge_pages: int) -> None:
+        """Extend the footprint; new pages start in fast memory, unsplit."""
+        added = new_num_huge_pages - self.num_huge_pages
+        if added < 0:
+            raise SimulationError(
+                f"footprint cannot shrink: {self.num_huge_pages} -> "
+                f"{new_num_huge_pages}"
+            )
+        if added == 0:
+            return
+        self.topology.fast.tier.reserve_bytes(added * HUGE_PAGE_SIZE)
+        self.tier = np.concatenate([self.tier, np.full(added, FAST_NODE, np.int8)])
+        self.split = np.concatenate([self.split, np.zeros(added, bool)])
+
+    # ------------------------------------------------------------------
+    # Placement changes
+    # ------------------------------------------------------------------
+
+    def _move(self, page_ids: np.ndarray, target: int, reason: MigrationReason) -> int:
+        # Deduplicate: a repeated id must not double-charge capacity or
+        # double-count migration traffic.
+        page_ids = np.unique(np.asarray(page_ids, dtype=np.int64))
+        if page_ids.size == 0:
+            return 0
+        if page_ids.min() < 0 or page_ids.max() >= self.num_huge_pages:
+            raise MigrationError(
+                f"page ids out of range [0, {self.num_huge_pages}): "
+                f"{page_ids.min()}..{page_ids.max()}"
+            )
+        movable = page_ids[self.tier[page_ids] != target]
+        if movable.size == 0:
+            return 0
+        source = SLOW_NODE if target == FAST_NODE else FAST_NODE
+        # Split pages move as 512 4KB migrations, whole pages as one 2MB
+        # migration; the byte traffic is identical but Table 3 and the
+        # footprint breakdowns distinguish them.
+        split_pages = movable[self.split[movable]]
+        whole_pages = movable[~self.split[movable]]
+        if whole_pages.size:
+            self.migration.migrate(
+                source, target, huge=True, reason=reason, count=int(whole_pages.size)
+            )
+        if split_pages.size:
+            self.migration.migrate(
+                source,
+                target,
+                huge=False,
+                reason=reason,
+                count=int(split_pages.size) * SUBPAGES_PER_HUGE_PAGE,
+            )
+        self.tier[movable] = target
+        return int(movable.size)
+
+    def demote(self, page_ids: np.ndarray) -> int:
+        """Move pages to slow memory (cold classification); returns count."""
+        return self._move(page_ids, SLOW_NODE, MigrationReason.DEMOTION)
+
+    def promote(self, page_ids: np.ndarray) -> int:
+        """Move pages back to fast memory (correction); returns count."""
+        return self._move(page_ids, FAST_NODE, MigrationReason.CORRECTION)
+
+    def set_split(self, page_ids: np.ndarray, split: bool) -> None:
+        """Mark pages as split (monitoring) or collapsed."""
+        page_ids = np.asarray(page_ids, dtype=np.int64)
+        if page_ids.size:
+            self.split[page_ids] = split
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def slow_mask(self) -> np.ndarray:
+        """Boolean mask of pages currently in slow memory."""
+        return self.tier == SLOW_NODE
+
+    def slow_ids(self) -> np.ndarray:
+        """Ids of pages currently in slow memory."""
+        return np.flatnonzero(self.tier == SLOW_NODE)
+
+    def fast_ids(self) -> np.ndarray:
+        """Ids of pages currently in fast memory."""
+        return np.flatnonzero(self.tier == FAST_NODE)
+
+    def footprint_breakdown(self) -> dict[str, int]:
+        """Bytes by (temperature, granularity) — the Figure 5-10 stacks.
+
+        "Cold" means resident in slow memory; "4KB" means currently split.
+        """
+        slow = self.slow_mask()
+        split = self.split
+        page = HUGE_PAGE_SIZE
+        return {
+            "cold_2mb_bytes": int(np.count_nonzero(slow & ~split)) * page,
+            "cold_4kb_bytes": int(np.count_nonzero(slow & split)) * page,
+            "hot_2mb_bytes": int(np.count_nonzero(~slow & ~split)) * page,
+            "hot_4kb_bytes": int(np.count_nonzero(~slow & split)) * page,
+        }
+
+    def cold_fraction(self) -> float:
+        """Fraction of the footprint resident in slow memory."""
+        if self.num_huge_pages == 0:
+            return 0.0
+        return float(np.count_nonzero(self.slow_mask())) / self.num_huge_pages

@@ -1,0 +1,183 @@
+"""Counters, histograms, and time series for simulation metrics.
+
+Every figure in the paper is either a time series (Figs 3, 5-10), a scatter
+(Fig 2), or a scalar table (Tables 1-4).  The classes here are the common
+substrate: components increment :class:`Counter` objects and append to
+:class:`TimeSeries`; experiments read them back out and format rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class Counter:
+    """A named monotonic (unless reset) accumulator."""
+
+    def __init__(self, name: str, initial: float = 0.0) -> None:
+        self.name = name
+        self.value = float(initial)
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` into the counter."""
+        self.value += amount
+
+    def reset(self) -> float:
+        """Zero the counter, returning the value it held."""
+        held, self.value = self.value, 0.0
+        return held
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+@dataclass
+class Sample:
+    """A single (time, value) observation."""
+
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only sequence of timestamped observations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one observation; timestamps must not decrease."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} went backwards: "
+                f"{time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return (Sample(t, v) for t, v in zip(self._times, self._values))
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps as a numpy array (copy)."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Values as a numpy array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    def last(self) -> Sample:
+        """Return the most recent observation."""
+        if not self._times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return Sample(self._times[-1], self._values[-1])
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values (NaN if empty)."""
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def max(self) -> float:
+        """Maximum value (NaN if empty)."""
+        return float(np.max(self._values)) if self._values else float("nan")
+
+    def windowed_mean(self, window: float) -> "TimeSeries":
+        """Return a new series averaging values over windows of ``window`` s.
+
+        Used to reproduce the paper's Figure 3, which plots slow-memory
+        access rate "averaged over 30 seconds".
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        smoothed = TimeSeries(f"{self.name}[avg {window:g}s]")
+        if not self._times:
+            return smoothed
+        times = self.times
+        values = self.values
+        start = times[0]
+        edge = start + window
+        bucket: list[float] = []
+        bucket_times: list[float] = []
+        for t, v in zip(times, values):
+            if t >= edge and bucket:
+                smoothed.record(float(np.mean(bucket_times)), float(np.mean(bucket)))
+                bucket, bucket_times = [], []
+                while t >= edge:
+                    edge += window
+            bucket.append(v)
+            bucket_times.append(t)
+        if bucket:
+            smoothed.record(float(np.mean(bucket_times)), float(np.mean(bucket)))
+        return smoothed
+
+
+class Histogram:
+    """A simple accumulating histogram over float observations."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._observations.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        self._observations.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._observations)
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile (0-100)."""
+        if not self._observations:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return float(np.percentile(self._observations, q))
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN if empty)."""
+        if not self._observations:
+            return float("nan")
+        return float(np.mean(self._observations))
+
+
+@dataclass
+class StatsRegistry:
+    """A namespace of counters, series, and histograms for one simulation."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it on first use."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        """Return the time series called ``name``, creating it on first use."""
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the histogram called ``name``, creating it on first use."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Return the current value of every counter."""
+        return {name: c.value for name, c in self.counters.items()}

@@ -1,0 +1,95 @@
+"""Guest memory layout and vmexit cost model.
+
+Section 4.2 of the paper explains a subtle deployment decision: BadgerTrap
+(the poison-fault handler) must run *inside the guest*, because a poison
+fault that exits to the host costs a vmexit — microseconds of state save,
+a VPID switch to 0, and TLB tag churn — on top of the handler itself.
+:class:`VmexitModel` quantifies that comparison so the reproduction can show
+why the guest-side placement is the only viable one.
+
+:class:`GuestMemoryMap` is the one-level gPA->hPA mapping used by the
+mechanism engine when simulating a virtualized address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.mem.address import PageNumber
+from repro.units import MICROSECOND, NANOSECOND
+
+
+@dataclass(frozen=True)
+class VmexitModel:
+    """Latency components of handling a fault in guest vs host.
+
+    Defaults follow the paper's reasoning: the guest-side BadgerTrap fault
+    costs ~1us; routing the same fault through the host adds the vmexit
+    round trip and TLB re-tagging penalties.
+    """
+
+    guest_fault_latency: float = 1 * MICROSECOND
+    vmexit_round_trip: float = 1.5 * MICROSECOND
+    #: TLB refill penalty after the VPID is clobbered by the exit.
+    retag_penalty: float = 500 * NANOSECOND
+
+    def guest_handled(self) -> float:
+        """Fault cost when BadgerTrap runs in the guest (paper's choice)."""
+        return self.guest_fault_latency
+
+    def host_handled(self) -> float:
+        """Fault cost when the handler lives in the host."""
+        return self.guest_fault_latency + self.vmexit_round_trip + self.retag_penalty
+
+    def guest_side_speedup(self) -> float:
+        """How much cheaper guest-side handling is (ratio > 1)."""
+        return self.host_handled() / self.guest_handled()
+
+
+class GuestMemoryMap:
+    """Identity-free guest-physical to host-physical page mapping.
+
+    KVM backs guest memory with host pages; for the simulation the map is a
+    dictionary at 4KB granularity with a helper for 2MB-aligned runs.
+    """
+
+    def __init__(self) -> None:
+        self._map: dict[PageNumber, PageNumber] = {}
+
+    def map_page(self, guest_pfn: PageNumber, host_pfn: PageNumber) -> None:
+        """Install gPA page -> hPA frame."""
+        if guest_pfn in self._map:
+            raise MappingError(f"guest frame {guest_pfn:#x} already mapped")
+        self._map[guest_pfn] = host_pfn
+
+    def map_huge(self, guest_pfn: PageNumber, host_pfn: PageNumber) -> None:
+        """Install a 2MB-aligned run of 512 page mappings."""
+        if guest_pfn % 512 or host_pfn % 512:
+            raise MappingError(
+                f"huge guest mapping must be 2MB aligned: "
+                f"{guest_pfn:#x} -> {host_pfn:#x}"
+            )
+        for offset in range(512):
+            self.map_page(guest_pfn + offset, host_pfn + offset)
+
+    def translate(self, guest_pfn: PageNumber) -> PageNumber:
+        """Return the host frame backing a guest frame."""
+        try:
+            return self._map[guest_pfn]
+        except KeyError:
+            raise MappingError(f"guest frame {guest_pfn:#x} not mapped") from None
+
+    def remap(self, guest_pfn: PageNumber, new_host_pfn: PageNumber) -> PageNumber:
+        """Point a guest frame at a new host frame (migration); returns old."""
+        if guest_pfn not in self._map:
+            raise MappingError(f"guest frame {guest_pfn:#x} not mapped")
+        old = self._map[guest_pfn]
+        self._map[guest_pfn] = new_host_pfn
+        return old
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, guest_pfn: PageNumber) -> bool:
+        return guest_pfn in self._map

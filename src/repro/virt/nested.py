@@ -1,0 +1,177 @@
+"""Nested-paging walk costs and the translation-overhead model of Table 1.
+
+Table 1 reports the throughput gain of running with 2MB huge pages at both
+guest and host versus 4KB pages at both levels, for each cloud workload.
+The gain comes from two multiplicative effects:
+
+1. fewer TLB misses — one 2MB entry covers 512x the reach of a 4KB entry,
+   so the hot working set fits in the TLB; and
+2. cheaper misses — a two-dimensional walk shrinks from up to 24 memory
+   references to 15 when both levels use 2MB leaves.
+
+:class:`TranslationOverheadModel` folds both into an execution-time model:
+
+    time/op = cpu_time + accesses * (avg data latency)
+                        + tlb_misses * walk_latency
+
+where the TLB miss fraction is derived from the workload's access
+concentration (what fraction of accesses land within the TLB's reach).
+Apps with low memory intensity (web-search) see ~no gain; apps with large,
+flat access distributions (Redis) see large gains — the paper's spread is
+"no difference" to 30%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.mem.tlb import TlbGeometry
+from repro.mem.walker import WalkCostModel
+from repro.units import BASE_PAGE_SIZE, DRAM_LATENCY, HUGE_PAGE_SIZE, NANOSECOND
+
+
+@dataclass(frozen=True)
+class NestedPagingModel:
+    """Walk-latency pairing for a (guest, host) page-size configuration."""
+
+    walk_model: WalkCostModel
+
+    @classmethod
+    def virtualized(cls) -> "NestedPagingModel":
+        """KVM with EPT — the paper's evaluation setting."""
+        return cls(WalkCostModel.nested())
+
+    @classmethod
+    def native(cls) -> "NestedPagingModel":
+        """Bare-metal comparison point."""
+        return cls(WalkCostModel.native())
+
+    def walk_latency(self, huge: bool) -> float:
+        """Expected latency of one TLB-miss-induced walk."""
+        return self.walk_model.walk_latency(huge)
+
+    def walk_steps(self, huge: bool) -> int:
+        """Worst-case memory references for one walk."""
+        return self.walk_model.walk_steps(huge)
+
+
+#: An access-concentration curve: ``cdf(x)`` is the fraction of accesses
+#: that fall within the hottest ``x`` bytes of the footprint.
+AccessConcentration = Callable[[float], float]
+
+
+def tlb_reach(geometry: TlbGeometry, huge: bool) -> int:
+    """Bytes of address space one core's TLB hierarchy can cover."""
+    if huge:
+        entries = geometry.l1_2m_entries + geometry.l2_entries
+        return entries * HUGE_PAGE_SIZE
+    entries = geometry.l1_4k_entries + geometry.l2_entries
+    return entries * BASE_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class WorkloadTranslationProfile:
+    """Per-application inputs to the Table 1 model.
+
+    ``memory_intensity`` is the fraction of baseline execution time spent
+    waiting on data memory accesses; ``concentration`` characterises the
+    access skew.  Both are workload properties, independent of page size.
+    """
+
+    name: str
+    footprint_bytes: int
+    #: Memory accesses (LLC-visible) per operation.
+    accesses_per_op: float
+    #: CPU (non-memory) time per operation, seconds.
+    cpu_time_per_op: float
+    #: Average data-access latency (cache mix folded in), seconds.
+    data_latency: float
+    concentration: AccessConcentration
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ConfigError(f"{self.name}: footprint must be positive")
+        if self.accesses_per_op < 0 or self.cpu_time_per_op < 0:
+            raise ConfigError(f"{self.name}: negative cost parameters")
+
+
+class TranslationOverheadModel:
+    """Throughput model across page-size and virtualization configurations."""
+
+    def __init__(
+        self,
+        geometry: TlbGeometry | None = None,
+        paging: NestedPagingModel | None = None,
+    ) -> None:
+        self.geometry = geometry or TlbGeometry.xeon_e5_v3()
+        self.paging = paging or NestedPagingModel.virtualized()
+
+    def tlb_miss_fraction(self, profile: WorkloadTranslationProfile, huge: bool) -> float:
+        """Fraction of accesses that miss the TLB for one page size.
+
+        Accesses inside the TLB's reach (the hottest bytes) hit; the rest
+        walk.  A conflict/cold-miss floor keeps the fraction above zero even
+        for footprints smaller than the reach.
+        """
+        reach = tlb_reach(self.geometry, huge)
+        covered = min(1.0, reach / profile.footprint_bytes)
+        hit_fraction = profile.concentration(covered * profile.footprint_bytes)
+        hit_fraction = min(1.0, max(0.0, hit_fraction))
+        conflict_floor = 0.001 if huge else 0.005
+        return max(1.0 - hit_fraction, conflict_floor)
+
+    def time_per_op(self, profile: WorkloadTranslationProfile, huge: bool) -> float:
+        """Expected execution time of one operation under a page size."""
+        miss_fraction = self.tlb_miss_fraction(profile, huge)
+        walk = self.paging.walk_latency(huge)
+        translation = profile.accesses_per_op * miss_fraction * walk
+        data = profile.accesses_per_op * profile.data_latency
+        return profile.cpu_time_per_op + data + translation
+
+    def throughput(self, profile: WorkloadTranslationProfile, huge: bool) -> float:
+        """Operations per second under a page size."""
+        return 1.0 / self.time_per_op(profile, huge)
+
+    def thp_gain(self, profile: WorkloadTranslationProfile) -> float:
+        """Fractional throughput gain of 2MB pages over 4KB pages.
+
+        This is the quantity in Table 1 (e.g. 0.30 for Redis).
+        """
+        return (
+            self.throughput(profile, huge=True)
+            / self.throughput(profile, huge=False)
+            - 1.0
+        )
+
+
+def zipf_like_concentration(hot_fraction: float, hot_mass: float, footprint: int) -> AccessConcentration:
+    """Build a two-segment concentration curve.
+
+    ``hot_mass`` of all accesses go (uniformly) to the hottest
+    ``hot_fraction`` of the footprint; the remainder is uniform over the
+    rest.  Two segments capture the skews the paper describes (e.g. Redis's
+    0.01% of keys receiving 90% of traffic) without needing a full Zipf fit.
+    """
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ConfigError(f"hot_fraction out of range: {hot_fraction}")
+    if not 0.0 <= hot_mass <= 1.0:
+        raise ConfigError(f"hot_mass out of range: {hot_mass}")
+
+    hot_bytes = hot_fraction * footprint
+
+    def concentration(covered_bytes: float) -> float:
+        covered_bytes = max(0.0, min(float(footprint), covered_bytes))
+        if covered_bytes <= hot_bytes:
+            return hot_mass * covered_bytes / hot_bytes if hot_bytes else 0.0
+        cold_bytes = footprint - hot_bytes
+        extra = covered_bytes - hot_bytes
+        return hot_mass + (1.0 - hot_mass) * (extra / cold_bytes if cold_bytes else 1.0)
+
+    return concentration
+
+
+#: Typical latencies used when building profiles.
+DEFAULT_DATA_LATENCY = 30 * NANOSECOND  # cache-mix average
+DEFAULT_MEMORY_LATENCY = DRAM_LATENCY

@@ -1,0 +1,292 @@
+"""Workload abstraction for the epoch engine.
+
+A workload owns a (possibly time-varying) per-4KB-page access-rate vector
+and renders it into per-epoch access counts, either deterministically (the
+expected counts, for tests) or stochastically (Poisson around the
+expectation, for experiments).
+
+Subclasses override :meth:`rates_at` (and optionally
+:meth:`num_huge_pages_at` for growing footprints); everything else — count
+generation, padding to 2MB boundaries, write mixes — is shared here.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.profile import EpochProfile
+from repro.units import BASE_PAGE_SIZE, SUBPAGES_PER_HUGE_PAGE, bytes_to_pages
+
+
+def pad_to_huge(num_base_pages: int) -> int:
+    """Round a 4KB page count up to a whole number of 2MB pages."""
+    remainder = num_base_pages % SUBPAGES_PER_HUGE_PAGE
+    if remainder:
+        num_base_pages += SUBPAGES_PER_HUGE_PAGE - remainder
+    return num_base_pages
+
+
+class Workload(abc.ABC):
+    """One application's memory behaviour.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    resident_bytes / file_mapped_bytes:
+        The Table 2 footprint components (file-mapped pages are part of the
+        managed footprint because the paper maps them with hugetmpfs).
+    baseline_ops_per_second:
+        Throughput of the all-DRAM, THP-enabled baseline; used to convert
+        slowdown fractions into the operations/sec the paper quotes.
+    write_fraction:
+        Fraction of memory accesses that are writes.
+    burstiness:
+        Sigma of a per-page, per-epoch log-normal rate multiplier (mean 1).
+        Real request streams are bursty: a page's epoch-to-epoch traffic
+        fluctuates around its long-run rate.  Burstiness is what produces
+        genuine mis-classifications (a page measured during a lull looks
+        cold) and hence the correction traffic of Table 3 and the
+        slow-access-rate overshoots of Figure 3.  Zero disables it.
+    duty_threshold / duty_floor:
+        Per-*huge-page* duty cycling.  A 2MB page whose aggregate long-run
+        rate is ``r`` is active in any given epoch with probability
+        ``clip(r / duty_threshold, duty_floor, 1)``, and when active
+        receives its traffic scaled by ``1/duty`` so the long-run rate is
+        preserved.  This models the temporal clustering of real accesses:
+        a page can be idle for a whole 10-second window while still having
+        a substantial long-run rate — the phenomenon behind the paper's
+        Figure 1 (many 2MB pages idle for 10s) and Figure 2 (idleness does
+        not predict access rate), and the reason Accessed-bit-only
+        policies cause unbounded slowdowns.  ``None`` disables it.
+    duty_persistence:
+        Expected length (in epochs) of an *idle* phase.  Activity follows a
+        two-state Markov chain whose stationary on-probability is the duty
+        value, so idleness comes in multi-epoch runs rather than flipping
+        every epoch — real pages go quiet for minutes, not for exactly one
+        scan interval.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        resident_bytes: int,
+        file_mapped_bytes: int = 0,
+        baseline_ops_per_second: float = 100_000.0,
+        write_fraction: float = 0.1,
+        burstiness: float = 0.0,
+        duty_threshold: float | None = None,
+        duty_floor: float = 0.05,
+        duty_persistence: float = 4.0,
+    ) -> None:
+        if resident_bytes <= 0:
+            raise WorkloadError(f"{name}: resident_bytes must be positive")
+        if file_mapped_bytes < 0:
+            raise WorkloadError(f"{name}: file_mapped_bytes must be non-negative")
+        if burstiness < 0:
+            raise WorkloadError(f"{name}: burstiness must be non-negative")
+        if duty_threshold is not None and duty_threshold <= 0:
+            raise WorkloadError(f"{name}: duty_threshold must be positive")
+        if not 0.0 < duty_floor <= 1.0:
+            raise WorkloadError(f"{name}: duty_floor must be in (0, 1]")
+        if duty_persistence < 1.0:
+            raise WorkloadError(f"{name}: duty_persistence must be >= 1 epoch")
+        self.name = name
+        self.resident_bytes = resident_bytes
+        self.file_mapped_bytes = file_mapped_bytes
+        self.baseline_ops_per_second = baseline_ops_per_second
+        self.write_fraction = write_fraction
+        self.burstiness = burstiness
+        self.duty_threshold = duty_threshold
+        self.duty_floor = duty_floor
+        self.duty_persistence = duty_persistence
+        #: Markov activity state per huge page (lazily initialized).
+        self._duty_on: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Size
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total managed footprint (resident + file-mapped)."""
+        return self.resident_bytes + self.file_mapped_bytes
+
+    @property
+    def total_base_pages(self) -> int:
+        """Footprint in 4KB pages, padded to a 2MB boundary."""
+        return pad_to_huge(bytes_to_pages(self.footprint_bytes, BASE_PAGE_SIZE))
+
+    @property
+    def total_huge_pages(self) -> int:
+        """Footprint in 2MB pages."""
+        return self.total_base_pages // SUBPAGES_PER_HUGE_PAGE
+
+    def num_huge_pages_at(self, time: float) -> int:
+        """Footprint (2MB pages) resident at ``time``.
+
+        Static by default; growing workloads (Cassandra, analytics)
+        override this.  Must be non-decreasing.
+        """
+        return self.total_huge_pages
+
+    # ------------------------------------------------------------------
+    # Access behaviour
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def rates_at(self, time: float) -> np.ndarray:
+        """Per-4KB-page access rates (accesses/sec) at ``time``.
+
+        The returned array has length ``num_huge_pages_at(time) * 512``.
+        """
+
+    def huge_page_duty(self, rates: np.ndarray) -> np.ndarray | None:
+        """Per-huge-page activity probability for one epoch.
+
+        Derived from the aggregate 2MB-page rate: hotter pages are active
+        every epoch; colder pages are active only occasionally (with their
+        traffic compressed into the active epochs).  Returns ``None`` when
+        duty cycling is disabled.
+        """
+        if self.duty_threshold is None:
+            return None
+        huge_rates = rates.reshape(-1, SUBPAGES_PER_HUGE_PAGE).sum(axis=1)
+        duty = huge_rates / self.duty_threshold
+        return np.clip(duty, self.duty_floor, 1.0)
+
+    def _advance_duty_state(
+        self, duty: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One Markov step of the per-huge-page activity chain.
+
+        Off-runs last ``duty_persistence`` epochs on average; transition
+        probabilities are chosen so the stationary on-probability equals
+        ``duty``, keeping long-run page rates exact.
+        """
+        num = duty.size
+        if self._duty_on is None:
+            self._duty_on = rng.random(num) < duty
+        elif self._duty_on.size < num:
+            fresh = rng.random(num - self._duty_on.size) < duty[self._duty_on.size :]
+            self._duty_on = np.concatenate([self._duty_on, fresh])
+        on = self._duty_on[:num]
+        wake = 1.0 / self.duty_persistence
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sleep = np.where(
+                duty > 0, wake * (1.0 - duty) / duty, 1.0
+            )
+        sleep = np.clip(sleep, 0.0, 1.0)
+        draws = rng.random(num)
+        new_on = np.where(on, draws >= sleep, draws < wake)
+        self._duty_on = new_on
+        return new_on
+
+    def epoch_profile(
+        self,
+        start_time: float,
+        duration: float,
+        rng: np.random.Generator,
+        stochastic: bool = True,
+    ) -> EpochProfile:
+        """Render one epoch of accesses.
+
+        With ``stochastic`` the per-page counts are Poisson draws around
+        ``rate * duration``; otherwise they are the rounded expectations.
+        """
+        if duration <= 0:
+            raise WorkloadError(f"{self.name}: epoch duration must be positive")
+        rates = np.asarray(self.rates_at(start_time), dtype=float)
+        expected = rates * duration
+        if stochastic:
+            duty = self.huge_page_duty(rates)
+            if duty is not None:
+                active = self._advance_duty_state(duty, rng)
+                factor = np.where(active, 1.0 / duty, 0.0)
+                expected = expected * np.repeat(factor, SUBPAGES_PER_HUGE_PAGE)
+            if self.burstiness > 0:
+                sigma = self.burstiness
+                # Mean-one log-normal multiplier: bursts and lulls.
+                factors = rng.lognormal(
+                    mean=-0.5 * sigma * sigma, sigma=sigma, size=expected.size
+                )
+                expected = expected * factors
+            # Poisson draws; numpy handles lam=0 fine (always 0).
+            counts = rng.poisson(expected)
+        else:
+            counts = np.rint(expected).astype(np.int64)
+        return EpochProfile(
+            start_time=start_time,
+            duration=duration,
+            counts=counts.astype(np.int64),
+            write_fraction=self.write_fraction,
+        )
+
+    def total_access_rate(self, time: float = 0.0) -> float:
+        """Aggregate accesses/sec across the footprint at ``time``."""
+        return float(self.rates_at(time).sum())
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        from repro.units import format_bytes
+
+        return (
+            f"{self.name}: RSS {format_bytes(self.resident_bytes)}, "
+            f"file-mapped {format_bytes(self.file_mapped_bytes)}, "
+            f"{self.total_huge_pages} huge pages"
+        )
+
+
+class RateModelWorkload(Workload):
+    """A workload defined by a static per-page rate vector.
+
+    The simplest concrete workload: a fixed rate array (padded with zero
+    rates up to the 2MB boundary).  Most synthetic scenarios and tests use
+    this directly; the application models build their rate vectors with
+    :mod:`repro.workloads.distributions` and add time variation on top.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rates: np.ndarray,
+        file_mapped_bytes: int = 0,
+        baseline_ops_per_second: float = 100_000.0,
+        write_fraction: float = 0.1,
+        burstiness: float = 0.0,
+        duty_threshold: float | None = None,
+        duty_floor: float = 0.05,
+        duty_persistence: float = 4.0,
+    ) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.ndim != 1 or rates.size == 0:
+            raise WorkloadError(f"{name}: rates must be a non-empty 1-D array")
+        if np.any(rates < 0):
+            raise WorkloadError(f"{name}: rates must be non-negative")
+        # The rate vector covers the whole managed footprint (resident plus
+        # file-mapped, since hugetmpfs puts both under Thermostat's control).
+        resident_bytes = rates.size * BASE_PAGE_SIZE - file_mapped_bytes
+        if resident_bytes <= 0:
+            raise WorkloadError(
+                f"{name}: file_mapped_bytes exceeds the rate-vector footprint"
+            )
+        super().__init__(
+            name,
+            resident_bytes,
+            file_mapped_bytes=file_mapped_bytes,
+            baseline_ops_per_second=baseline_ops_per_second,
+            write_fraction=write_fraction,
+            burstiness=burstiness,
+            duty_threshold=duty_threshold,
+            duty_floor=duty_floor,
+            duty_persistence=duty_persistence,
+        )
+        padded = pad_to_huge(rates.size)
+        self._rates = np.zeros(padded, dtype=float)
+        self._rates[: rates.size] = rates
+
+    def rates_at(self, time: float) -> np.ndarray:
+        return self._rates

@@ -1,0 +1,116 @@
+"""YCSB-style traffic descriptions projected onto page access rates.
+
+The paper drives Aerospike and Cassandra with the Yahoo! Cloud Serving
+Benchmark: a keyspace accessed under a request distribution (Zipfian with
+exponent 0.99 by default) and a read/write mix (95:5 read-heavy or 5:95
+write-heavy).  :class:`YcsbSpec` captures that description and
+:func:`page_rates_from_keys` converts per-key popularity into per-4KB-page
+access rates by packing keys into pages — the aggregation step that makes
+page-grain skew *flatter* than key-grain skew (many keys share a page), an
+effect Thermostat's huge-page problem statement depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import spatial_layout
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """One YCSB workload configuration.
+
+    ``record_count`` keys of roughly ``record_bytes`` each are accessed
+    ``ops_per_second`` times per second with ``read_fraction`` reads.
+    """
+
+    record_count: int
+    record_bytes: int
+    ops_per_second: float
+    read_fraction: float = 0.95
+    zipf_exponent: float = 0.99
+    #: Average page-level memory accesses each operation performs (index
+    #: walk + record touch).
+    accesses_per_op: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0 or self.record_bytes <= 0:
+            raise WorkloadError("record geometry must be positive")
+        if self.ops_per_second <= 0:
+            raise WorkloadError("ops_per_second must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(f"read_fraction must be in [0,1]: {self.read_fraction}")
+        if self.zipf_exponent <= 0:
+            raise WorkloadError(f"zipf_exponent must be positive: {self.zipf_exponent}")
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    @property
+    def total_access_rate(self) -> float:
+        """Aggregate page-level accesses per second."""
+        return self.ops_per_second * self.accesses_per_op
+
+    @classmethod
+    def read_heavy(cls, record_count: int = 5_000_000, record_bytes: int = 1024,
+                   ops_per_second: float = 176_000.0) -> "YcsbSpec":
+        """The paper's 95:5 configuration (Aerospike observes 176K ops/s)."""
+        return cls(record_count, record_bytes, ops_per_second, read_fraction=0.95)
+
+    @classmethod
+    def write_heavy(cls, record_count: int = 5_000_000, record_bytes: int = 1024,
+                    ops_per_second: float = 215_000.0) -> "YcsbSpec":
+        """The paper's 5:95 configuration."""
+        return cls(record_count, record_bytes, ops_per_second, read_fraction=0.05)
+
+
+def zipf_key_masses(record_count: int, exponent: float) -> np.ndarray:
+    """Normalized Zipfian popularity of each key rank."""
+    if record_count <= 0:
+        raise WorkloadError(f"record_count must be positive: {record_count}")
+    ranks = np.arange(1, record_count + 1, dtype=float)
+    masses = ranks**-exponent
+    return masses / masses.sum()
+
+
+def page_rates_from_keys(
+    key_masses: np.ndarray,
+    keys_per_page: int,
+    total_rate: float,
+    num_pages: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """Aggregate key popularity into page access rates.
+
+    Keys are assigned to pages in rank order, ``keys_per_page`` at a time
+    (then optionally shuffled so hot pages scatter through the address
+    space).  Pages beyond the keyspace (index structures, allocator slack)
+    receive zero rate from this step.
+    """
+    if keys_per_page <= 0:
+        raise WorkloadError(f"keys_per_page must be positive: {keys_per_page}")
+    if num_pages <= 0:
+        raise WorkloadError(f"num_pages must be positive: {num_pages}")
+    key_masses = np.asarray(key_masses, dtype=float)
+    pages_needed = -(-key_masses.size // keys_per_page)
+    if pages_needed > num_pages:
+        raise WorkloadError(
+            f"{key_masses.size} keys at {keys_per_page}/page need "
+            f"{pages_needed} pages, only {num_pages} available"
+        )
+    padded = np.zeros(pages_needed * keys_per_page)
+    padded[: key_masses.size] = key_masses
+    page_masses = padded.reshape(pages_needed, keys_per_page).sum(axis=1)
+    rates = np.zeros(num_pages)
+    rates[:pages_needed] = page_masses * total_rate
+    if shuffle:
+        if rng is None:
+            raise WorkloadError("shuffle requires an rng")
+        rates = spatial_layout(rates, rng)
+    return rates

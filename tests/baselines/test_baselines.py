@@ -1,0 +1,103 @@
+"""Tests for the baseline placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AllDramPolicy, KstaledPolicy, StaticFractionPolicy
+from repro.config import SimulationConfig
+from repro.errors import ConfigError
+from repro.sim.engine import run_simulation
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+
+
+def two_band_workload(num_huge: int = 32, cold_rate: float = 0.0,
+                      hot_rate: float = 1000.0) -> RateModelWorkload:
+    per_page = np.concatenate(
+        [np.zeros(num_huge // 2) + cold_rate, np.full(num_huge // 2, hot_rate)]
+    )
+    rates = np.repeat(per_page / SUBPAGES_PER_HUGE_PAGE, SUBPAGES_PER_HUGE_PAGE)
+    return RateModelWorkload("two-band", rates)
+
+
+def run(workload, policy, duration=600.0, stochastic=True):
+    return run_simulation(
+        workload, policy, SimulationConfig(duration=duration, epoch=30, seed=2,
+                                           stochastic=stochastic)
+    )
+
+
+class TestAllDram:
+    def test_never_demotes(self):
+        result = run(two_band_workload(), AllDramPolicy())
+        assert result.final_cold_fraction == 0.0
+        assert result.average_slowdown == 0.0
+
+
+class TestStaticFraction:
+    def test_places_requested_fraction(self):
+        result = run(two_band_workload(), StaticFractionPolicy(0.25))
+        assert result.final_cold_fraction == pytest.approx(0.25)
+
+    def test_zero_fraction(self):
+        result = run(two_band_workload(), StaticFractionPolicy(0.0))
+        assert result.final_cold_fraction == 0.0
+
+    def test_random_placement_hits_hot_pages(self):
+        """The strawman's deficiency: blind placement demotes hot data."""
+        result = run(two_band_workload(), StaticFractionPolicy(0.5))
+        slow_ids = result.state.slow_ids()
+        assert (slow_ids >= 16).any()  # some hot pages demoted
+        assert result.average_slowdown > 0.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            StaticFractionPolicy(1.5)
+
+
+class TestKstaled:
+    def test_demotes_idle_pages(self):
+        result = run(two_band_workload(), KstaledPolicy(idle_scans=2))
+        slow_ids = result.state.slow_ids()
+        assert slow_ids.size > 0
+        assert slow_ids.max() < 16  # only the idle band
+
+    def test_promotes_on_access(self):
+        """A demoted page that becomes active returns to fast memory."""
+
+        class PhaseChange(RateModelWorkload):
+            def rates_at(self, time):
+                rates = self._rates.copy()
+                if time >= 300.0:
+                    rates[: rates.size // 2] = 100.0 / 512
+                return rates
+
+        workload = PhaseChange("phase", two_band_workload().rates_at(0.0).copy())
+        result = run(workload, KstaledPolicy(idle_scans=2))
+        assert result.final_cold_fraction < 0.1
+
+    def test_no_rate_knowledge_causes_unbounded_slowdown(self):
+        """The paper's core criticism: kstaled demotes pages that are
+        'idle for 10s' even when their long-run rate is ruinous."""
+
+        class DutyCycled(RateModelWorkload):
+            pass
+
+        num_huge = 32
+        per_page = np.full(num_huge, 20_000.0)  # every page genuinely hot
+        rates = np.repeat(per_page / 512, 512)
+        workload = DutyCycled(
+            "duty", rates, duty_threshold=100_000.0, duty_floor=0.3,
+        )
+        result = run(workload, KstaledPolicy(idle_scans=1), duration=1200)
+        # kstaled keeps demoting whichever pages duty-cycle off, paying
+        # wake-up storms far above Thermostat's 3% discipline.
+        assert result.average_slowdown > 0.05
+
+    def test_scan_overhead_charged(self):
+        result = run(two_band_workload(), KstaledPolicy())
+        assert result.series("overhead_seconds").values.max() > 0
+
+    def test_bad_idle_scans_rejected(self):
+        with pytest.raises(ConfigError):
+            KstaledPolicy(idle_scans=0)

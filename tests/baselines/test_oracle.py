@@ -1,0 +1,75 @@
+"""Tests for the oracle placement policy."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OraclePolicy
+from repro.config import SimulationConfig, ThermostatConfig
+from repro.sim.engine import run_simulation
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+
+
+def two_band(num_huge=32, cold_rate=10.0, hot_rate=50_000.0):
+    per_page = np.concatenate(
+        [np.full(num_huge // 2, cold_rate), np.full(num_huge // 2, hot_rate)]
+    )
+    rates = np.repeat(per_page / SUBPAGES_PER_HUGE_PAGE, SUBPAGES_PER_HUGE_PAGE)
+    return RateModelWorkload("two-band", rates)
+
+
+def run(workload, config=None, duration=300.0, stochastic=False):
+    return run_simulation(
+        workload,
+        OraclePolicy(config or ThermostatConfig()),
+        SimulationConfig(duration=duration, epoch=30, seed=4,
+                         stochastic=stochastic),
+    )
+
+
+class TestOracle:
+    def test_finds_full_cold_band_immediately(self):
+        result = run(two_band())
+        cold = result.series("cold_fraction").values
+        # The oracle needs exactly one epoch of observation.
+        assert cold[1] == pytest.approx(0.5)
+
+    def test_never_demotes_hot_pages(self):
+        result = run(two_band())
+        assert result.state.slow_ids().max() < 16
+
+    def test_respects_budget(self):
+        # Cold band alone exceeds budget: 16 pages * 3000/s = 48K > 30K.
+        result = run(two_band(cold_rate=3000.0))
+        settled = result.series("slow_access_rate").values[2:]
+        assert settled.max() <= 31_000
+
+    def test_adapts_instantly_to_phase_change(self):
+        class Phase(RateModelWorkload):
+            def rates_at(self, time):
+                rates = self._rates.copy()
+                if time >= 150.0:
+                    rates[: rates.size // 2] = 50_000.0 / 512
+                return rates
+
+        workload = Phase("phase", two_band().rates_at(0.0).copy())
+        result = run(workload)
+        # After the phase change the formerly-cold half is hot: promoted.
+        assert result.final_cold_fraction == pytest.approx(0.0)
+
+    def test_zero_overhead(self):
+        result = run(two_band())
+        assert result.series("overhead_seconds").max() == 0.0
+
+    def test_oracle_at_least_matches_thermostat(self):
+        """The upper-bound property on a stationary workload."""
+        from repro.core.thermostat import ThermostatPolicy
+
+        workload_a = two_band(num_huge=64)
+        workload_b = two_band(num_huge=64)
+        config = SimulationConfig(duration=1200, epoch=30, seed=4)
+        oracle = run_simulation(workload_a, OraclePolicy(), config)
+        thermostat = run_simulation(workload_b, ThermostatPolicy(), config)
+        assert (
+            oracle.final_cold_fraction >= thermostat.final_cold_fraction - 0.02
+        )

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel.mmu import AddressSpace
+from repro.mem.numa import NumaTopology
+from repro.units import HUGE_PAGE_SIZE
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_space() -> AddressSpace:
+    """An address space with 8 huge pages mapped at address 0."""
+    space = AddressSpace(
+        topology=NumaTopology.small(fast_gb=0.5, slow_gb=0.5), use_llc=False
+    )
+    space.mmap(0, 8 * HUGE_PAGE_SIZE, name="test-heap")
+    return space
+
+
+@pytest.fixture
+def llc_space() -> AddressSpace:
+    """An address space with the LLC model enabled."""
+    space = AddressSpace(
+        topology=NumaTopology.small(fast_gb=0.5, slow_gb=0.5), use_llc=True
+    )
+    space.mmap(0, 4 * HUGE_PAGE_SIZE, name="test-heap")
+    return space

@@ -1,0 +1,82 @@
+"""Tests for mis-classification correction."""
+
+import numpy as np
+import pytest
+
+from repro.core.correction import select_promotions
+from repro.errors import ConfigError
+
+
+class TestSelectPromotions:
+    def test_no_promotion_when_under_budget(self):
+        result = select_promotions(
+            np.array([1, 2]), np.array([10.0, 10.0]), budget=100.0, interval=1.0
+        )
+        assert result.promote.size == 0
+        assert result.observed_rate == pytest.approx(20.0)
+        assert result.residual_rate == pytest.approx(20.0)
+
+    def test_promotes_hottest_first(self):
+        result = select_promotions(
+            np.array([1, 2, 3]),
+            np.array([50.0, 200.0, 10.0]),
+            budget=100.0,
+            interval=1.0,
+        )
+        assert list(result.promote) == [2]
+        assert result.residual_rate == pytest.approx(60.0)
+
+    def test_promotes_minimal_prefix(self):
+        result = select_promotions(
+            np.array([1, 2, 3, 4]),
+            np.array([90.0, 80.0, 70.0, 60.0]),
+            budget=140.0,
+            interval=1.0,
+        )
+        # 300 total: removing 90 -> 210, removing 170 -> 130 <= 140.
+        assert list(result.promote) == [1, 2]
+
+    def test_promotes_everything_if_needed(self):
+        result = select_promotions(
+            np.array([1]), np.array([500.0]), budget=10.0, interval=1.0
+        )
+        assert list(result.promote) == [1]
+        assert result.residual_rate == 0.0
+
+    def test_interval_scales_counts(self):
+        # 300 accesses over 30s = 10/s, under a 20/s budget.
+        result = select_promotions(
+            np.array([1]), np.array([300.0]), budget=20.0, interval=30.0
+        )
+        assert result.promote.size == 0
+
+    def test_deterministic_tiebreak(self):
+        result = select_promotions(
+            np.array([9, 3]), np.array([50.0, 50.0]), budget=60.0, interval=1.0
+        )
+        assert list(result.promote) == [3]
+
+    def test_empty_cold_set(self):
+        result = select_promotions(np.array([]), np.array([]), 10.0, 1.0)
+        assert result.promote.size == 0
+        assert result.observed_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            select_promotions(np.array([1]), np.array([1.0, 2.0]), 1.0, 1.0)
+        with pytest.raises(ConfigError):
+            select_promotions(np.array([1]), np.array([1.0]), 1.0, 0.0)
+        with pytest.raises(ConfigError):
+            select_promotions(np.array([1]), np.array([1.0]), -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            select_promotions(np.array([1]), np.array([-1.0]), 1.0, 1.0)
+
+    def test_invariant_residual_within_budget_when_over(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            n = int(rng.integers(1, 60))
+            ids = np.arange(n)
+            counts = rng.exponential(40.0, size=n)
+            budget = float(rng.uniform(0, 50))
+            result = select_promotions(ids, counts, budget, interval=1.0)
+            assert result.residual_rate <= budget + 1e-9 or result.promote.size == n

@@ -1,0 +1,105 @@
+"""Tests for spatial-extrapolation rate estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import (
+    HugePageSample,
+    estimate_huge_page_rates,
+    estimate_rate,
+    estimate_rates_vectorized,
+)
+from repro.errors import ConfigError
+
+
+class TestEstimateRate:
+    def test_paper_formula(self):
+        """rate = mean(counts) * accessed_subpages / interval."""
+        sample = HugePageSample(
+            page_id=0,
+            accessed_subpages=100,
+            poisoned_counts=np.array([3.0, 5.0, 4.0]),
+        )
+        assert estimate_rate(sample, interval=2.0) == pytest.approx(4.0 * 100 / 2.0)
+
+    def test_no_accessed_subpages_is_zero(self):
+        sample = HugePageSample(0, 0, np.array([5.0]))
+        assert estimate_rate(sample, 1.0) == 0.0
+
+    def test_no_poisoned_counts_is_zero(self):
+        sample = HugePageSample(0, 10, np.array([]))
+        assert estimate_rate(sample, 1.0) == 0.0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_rate(HugePageSample(0, 1, np.array([1.0])), 0.0)
+
+    def test_negative_accessed_rejected(self):
+        with pytest.raises(ConfigError):
+            HugePageSample(0, -1, np.array([1.0]))
+
+
+class TestBatchEstimation:
+    def test_returns_per_page_dict(self):
+        samples = [
+            HugePageSample(3, 10, np.array([2.0])),
+            HugePageSample(7, 0, np.array([])),
+        ]
+        rates = estimate_huge_page_rates(samples, 1.0)
+        assert rates == {3: pytest.approx(20.0), 7: 0.0}
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        intervals = 30.0
+        scalar_rates = []
+        accessed, sums, counts = [], [], []
+        for page in range(20):
+            num_accessed = int(rng.integers(0, 512))
+            poisoned = rng.integers(0, 100, size=min(50, max(num_accessed, 1)))
+            sample = HugePageSample(page, num_accessed, poisoned.astype(float))
+            scalar_rates.append(estimate_rate(sample, intervals))
+            accessed.append(num_accessed)
+            sums.append(float(poisoned.sum()))
+            counts.append(len(poisoned))
+        vector = estimate_rates_vectorized(
+            np.array(accessed), np.array(sums), np.array(counts), intervals
+        )
+        assert np.allclose(vector, scalar_rates)
+
+    def test_zero_poisoned_pages_is_zero(self):
+        rates = estimate_rates_vectorized(
+            np.array([10.0]), np.array([0.0]), np.array([0.0]), 1.0
+        )
+        assert rates[0] == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_rates_vectorized(
+                np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]), 1.0
+            )
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            estimate_rates_vectorized(
+                np.array([1.0]), np.array([1.0]), np.array([1.0]), 0.0
+            )
+
+
+class TestStatisticalProperties:
+    def test_unbiased_under_uniform_sampling(self):
+        """The estimator is unbiased when poisoned subpages are a uniform
+        sample of the accessed set (Section 3.2's claim)."""
+        rng = np.random.default_rng(1)
+        true_counts = np.zeros(512)
+        accessed_idx = rng.choice(512, size=200, replace=False)
+        true_counts[accessed_idx] = rng.integers(1, 50, size=200)
+        true_rate = true_counts.sum()  # interval = 1s
+
+        estimates = []
+        for _ in range(400):
+            poisoned = rng.choice(accessed_idx, size=50, replace=False)
+            sample = HugePageSample(0, 200, true_counts[poisoned])
+            estimates.append(estimate_rate(sample, 1.0))
+        assert np.mean(estimates) == pytest.approx(true_rate, rel=0.05)

@@ -1,0 +1,160 @@
+"""Integration tests for the epoch-engine Thermostat policy."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, ThermostatConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.kernel.cgroup import MemoryCgroup
+from repro.sim.engine import run_simulation
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+
+
+def two_band_workload(
+    num_huge: int = 64, cold_fraction: float = 0.5, cold_rate: float = 1.0,
+    hot_rate: float = 5000.0,
+) -> RateModelWorkload:
+    """Half the pages nearly idle, half clearly hot (per-huge-page rates)."""
+    num_cold = int(cold_fraction * num_huge)
+    per_page = np.concatenate(
+        [np.full(num_cold, cold_rate), np.full(num_huge - num_cold, hot_rate)]
+    )
+    rates = np.repeat(per_page / SUBPAGES_PER_HUGE_PAGE, SUBPAGES_PER_HUGE_PAGE)
+    return RateModelWorkload("two-band", rates)
+
+
+def run_policy(workload, config=None, duration=1200.0, seed=5, stochastic=True):
+    return run_simulation(
+        workload,
+        ThermostatPolicy(config or ThermostatConfig()),
+        SimulationConfig(duration=duration, epoch=30, seed=seed, stochastic=stochastic),
+    )
+
+
+class TestClassificationQuality:
+    def test_demotes_cold_band_only(self):
+        workload = two_band_workload()
+        result = run_policy(workload)
+        slow_ids = result.state.slow_ids()
+        # All demoted pages must be from the cold band (ids < 32).
+        assert slow_ids.size > 0
+        assert slow_ids.max() < 32
+
+    def test_reaches_cold_band_coverage(self):
+        result = run_policy(two_band_workload())
+        assert result.final_cold_fraction > 0.4  # most of the 50% cold band
+
+    def test_respects_slowdown_target(self):
+        result = run_policy(two_band_workload())
+        assert result.average_slowdown < 0.035
+
+    def test_higher_budget_more_cold(self):
+        """Figure 11's monotonicity on a gradient workload."""
+        rng = np.random.default_rng(0)
+        per_page = np.sort(rng.exponential(300.0, size=64))
+        rates = np.repeat(per_page / 512, 512)
+        lo = run_policy(RateModelWorkload("gradient", rates.copy()),
+                        ThermostatConfig(tolerable_slowdown=0.03))
+        hi = run_policy(RateModelWorkload("gradient", rates.copy()),
+                        ThermostatConfig(tolerable_slowdown=0.10))
+        assert hi.final_cold_fraction > lo.final_cold_fraction
+
+
+class TestBudgetTracking:
+    def test_slow_rate_tracks_budget_on_gradient(self):
+        """Figure 3: the slow access rate should settle near the budget
+        when there is a continuum of lukewarm pages to demote."""
+        rng = np.random.default_rng(1)
+        per_page = rng.exponential(1500.0, size=128)
+        rates = np.repeat(per_page / 512, 512)
+        workload = RateModelWorkload("gradient", rates)
+        config = ThermostatConfig()
+        result = run_policy(workload, config, duration=2400)
+        settled = result.series("slow_access_rate").values[-20:]
+        assert np.mean(settled) == pytest.approx(
+            config.slow_access_rate_budget, rel=0.35
+        )
+
+
+class TestCorrection:
+    def test_correction_limits_damage_after_phase_change(self):
+        """A cold region turning hot must be promoted back (Section 3.5)."""
+
+        class PhaseChange(RateModelWorkload):
+            def rates_at(self, time):
+                rates = self._rates.copy()
+                if time >= 600.0:
+                    # The formerly cold half wakes up violently.
+                    rates[: rates.size // 2] = 2000.0 / 512
+                return rates
+
+        workload = two_band_workload()
+        phase = PhaseChange("phase", workload.rates_at(0.0).copy())
+        result = run_policy(phase, duration=1500)
+        late_slowdowns = result.series("slowdown").values[-5:]
+        # Without correction this would sit at 32 pages * 2000/s * 1us = 6.4%.
+        assert np.mean(late_slowdowns) < 0.04
+        assert result.stats.counter("correction_bytes").value > 0
+
+    def test_correction_disabled_leaves_damage(self):
+        class PhaseChange(RateModelWorkload):
+            def rates_at(self, time):
+                rates = self._rates.copy()
+                if time >= 600.0:
+                    rates[: rates.size // 2] = 2000.0 / 512
+                return rates
+
+        workload = two_band_workload()
+        phase = PhaseChange("phase", workload.rates_at(0.0).copy())
+        config = ThermostatConfig(enable_correction=False)
+        result = run_policy(phase, config, duration=1500)
+        late = result.series("slowdown").values[-5:]
+        assert np.mean(late) > 0.04  # mis-placed pages never rescued
+
+
+class TestMonitoringOverhead:
+    def test_overhead_below_one_percent(self):
+        """Section 4.4: sampling overhead is < 1% of runtime."""
+        result = run_policy(two_band_workload())
+        overheads = result.series("overhead_seconds").values
+        assert overheads.max() / 30.0 < 0.01
+
+
+class TestSplitFlags:
+    def test_sample_fraction_of_pages_split(self):
+        result = run_policy(two_band_workload(num_huge=100))
+        split_fraction = result.state.split.mean()
+        assert split_fraction == pytest.approx(0.05, abs=0.02)
+
+    def test_cold_4kb_share_near_sample_fraction(self):
+        """Paper: ~5% of cold data is 4KB (the transiently split pages)."""
+        result = run_policy(two_band_workload(num_huge=200), duration=2400)
+        cold4k = result.series("cold_4kb_bytes").values[-20:]
+        cold2m = result.series("cold_2mb_bytes").values[-20:]
+        share = cold4k.sum() / max(cold4k.sum() + cold2m.sum(), 1)
+        assert share < 0.12
+
+
+class TestCgroupIntegration:
+    def test_runtime_retuning_takes_effect(self):
+        """Raising the slowdown target mid-run demotes more data."""
+        workload = two_band_workload(num_huge=64, cold_rate=600.0, hot_rate=50000.0)
+        group = MemoryCgroup("live", ThermostatConfig(tolerable_slowdown=0.01))
+        policy = ThermostatPolicy(group)
+
+        config = SimulationConfig(duration=900, epoch=30, seed=5)
+        from repro.sim.engine import EpochSimulation
+
+        sim = EpochSimulation(workload, policy, config)
+        # Run half, retune, run the rest (mirrors echoing into the cgroup).
+        rng_result = sim.run()
+        cold_at_low_target = rng_result.final_cold_fraction
+        group.write("tolerable_slowdown", 0.10)
+        sim2 = EpochSimulation(
+            two_band_workload(num_huge=64, cold_rate=600.0, hot_rate=50000.0),
+            policy,
+            config,
+        )
+        result2 = sim2.run()
+        assert result2.final_cold_fraction > cold_at_low_target

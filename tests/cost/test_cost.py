@@ -1,0 +1,64 @@
+"""Tests for the Table 4 cost model."""
+
+import pytest
+
+from repro.cost.model import TABLE4_COST_RATIOS, CostModel, savings_table
+from repro.errors import ConfigError
+
+
+class TestCostModel:
+    def test_no_cold_no_savings(self):
+        assert CostModel(0.25).savings_fraction(0.0) == 0.0
+        assert CostModel(0.25).relative_spend(0.0) == 1.0
+
+    def test_paper_headline(self):
+        """~45% cold at 1/4 cost -> ~34% savings (paper: 'up to 30%'
+        with Cassandra's measured fraction)."""
+        model = CostModel(0.25)
+        assert model.savings_fraction(0.40) == pytest.approx(0.30)
+
+    def test_savings_formula(self):
+        model = CostModel(1 / 3)
+        assert model.savings_fraction(0.5) == pytest.approx(0.5 * (1 - 1 / 3))
+
+    def test_spend_plus_savings_is_one(self):
+        model = CostModel(0.2)
+        for cold in (0.0, 0.3, 1.0):
+            assert model.relative_spend(cold) + model.savings_fraction(
+                cold
+            ) == pytest.approx(1.0)
+
+    def test_cheaper_slow_memory_saves_more(self):
+        cold = 0.4
+        savings = [CostModel(r).savings_fraction(cold) for r in TABLE4_COST_RATIOS]
+        assert savings == sorted(savings)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(0.0)
+        with pytest.raises(ConfigError):
+            CostModel(1.0)
+        with pytest.raises(ConfigError):
+            CostModel(0.25).savings_fraction(1.5)
+
+    def test_break_even_slowdown(self):
+        model = CostModel(0.25)
+        break_even = model.break_even_slowdown(0.45, memory_cost_share=0.15)
+        # Memory savings of ~34% of 15% of system cost ~ 5% of system cost;
+        # worth about 6% of CPU slowdown.
+        assert 0.02 < break_even < 0.12
+
+    def test_break_even_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(0.25).break_even_slowdown(0.5, memory_cost_share=0.0)
+
+
+class TestSavingsTable:
+    def test_structure(self):
+        table = savings_table({"redis": 0.1, "cassandra": 0.45})
+        assert set(table) == {"redis", "cassandra"}
+        assert set(table["redis"]) == set(TABLE4_COST_RATIOS)
+
+    def test_values(self):
+        table = savings_table({"app": 0.5}, cost_ratios=(0.5,))
+        assert table["app"][0.5] == pytest.approx(0.25)

@@ -1,0 +1,60 @@
+"""Tests for experiment plumbing (durations, caching, policies)."""
+
+import pytest
+
+from repro.experiments import common
+
+
+class TestSuiteDurations:
+    def test_covers_suite(self):
+        from repro.workloads import WORKLOAD_NAMES
+
+        durations = common.suite_durations()
+        assert set(durations) == set(WORKLOAD_NAMES)
+        assert all(d > 0 for d in durations.values())
+
+    def test_analytics_short_like_paper(self):
+        """Cloudsuite analytics runs ~317s in the paper."""
+        durations = common.suite_durations()
+        assert durations["in-memory-analytics"] < 400
+        assert durations["in-memory-analytics"] == min(durations.values())
+
+    def test_analytics_scanned_faster(self):
+        epochs = common.suite_epochs()
+        assert epochs["in-memory-analytics"] == 10.0
+
+
+class TestRunCaching:
+    def test_cache_returns_same_object(self):
+        a = common.run_thermostat("web-search", scale=0.02, seed=3)
+        b = common.run_thermostat("web-search", scale=0.02, seed=3)
+        assert a is b
+
+    def test_different_params_different_runs(self):
+        a = common.run_thermostat("web-search", scale=0.02, seed=3)
+        b = common.run_thermostat("web-search", scale=0.02, seed=4)
+        assert a is not b
+
+    def test_clear_cache(self):
+        a = common.run_thermostat("web-search", scale=0.02, seed=3)
+        common.clear_run_cache()
+        b = common.run_thermostat("web-search", scale=0.02, seed=3)
+        assert a is not b
+
+
+class TestPolicies:
+    def test_alldram_policy_selectable(self):
+        result = common.run_thermostat(
+            "web-search", scale=0.02, seed=5, policy="all-dram", duration=90.0
+        )
+        assert result.final_cold_fraction == 0.0
+
+    def test_kstaled_policy_selectable(self):
+        result = common.run_thermostat(
+            "web-search", scale=0.02, seed=5, policy="kstaled", duration=90.0
+        )
+        assert result.policy_name == "kstaled"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            common.run_thermostat("web-search", scale=0.02, policy="magic")

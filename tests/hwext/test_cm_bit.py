@@ -1,0 +1,67 @@
+"""Tests for the CM-bit counting model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwext.cm_bit import CountMissModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestObservation:
+    def test_cold_pages_observed_nearly_fully(self, rng):
+        model = CountMissModel(cold_miss_ratio=0.95)
+        true_counts = np.full(50, 1000)
+        observed = model.observe(true_counts, np.zeros(50, bool), rng)
+        assert observed.mean() == pytest.approx(950, rel=0.05)
+
+    def test_hot_pages_observed_at_hot_ratio(self, rng):
+        model = CountMissModel(hot_miss_ratio=0.35)
+        true_counts = np.full(50, 1000)
+        observed = model.observe(true_counts, np.ones(50, bool), rng)
+        assert observed.mean() == pytest.approx(350, rel=0.1)
+
+    def test_estimates_unbiased(self, rng):
+        model = CountMissModel()
+        true_counts = np.full(200, 500)
+        is_hot = np.zeros(200, bool)
+        observed = model.observe(true_counts, is_hot, rng)
+        estimates = model.estimate_rates(observed, is_hot, interval=1.0)
+        assert estimates.mean() == pytest.approx(500, rel=0.05)
+
+    def test_no_cap_on_hot_pages(self, rng):
+        """Unlike BadgerTrap, CM counts every miss."""
+        model = CountMissModel(hot_miss_ratio=1.0)
+        observed = model.observe(np.array([100_000]), np.array([True]), rng)
+        assert observed[0] == 100_000
+
+
+class TestOverhead:
+    def test_parallel_service_hides_latency(self):
+        cheap = CountMissModel(hidden_fraction=0.9)
+        expensive = CountMissModel(hidden_fraction=0.0)
+        counts = np.array([1000])
+        assert cheap.overhead_seconds(counts) < expensive.overhead_seconds(counts)
+
+    def test_overhead_proportional_to_faults(self):
+        model = CountMissModel()
+        assert model.overhead_seconds(np.array([200])) == pytest.approx(
+            2 * model.overhead_seconds(np.array([100]))
+        )
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            CountMissModel(fault_latency=0)
+        with pytest.raises(ConfigError):
+            CountMissModel(hidden_fraction=1.5)
+        with pytest.raises(ConfigError):
+            CountMissModel(cold_miss_ratio=-0.1)
+        model = CountMissModel()
+        with pytest.raises(ConfigError):
+            model.estimate_rates(np.array([1.0]), np.array([True]), 0.0)

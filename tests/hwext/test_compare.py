@@ -1,0 +1,53 @@
+"""Tests for the counting-backend comparison (Section 6.1)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwext.compare import compare_backends
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_backends(seed=3)
+
+
+class TestComparison:
+    def test_four_backends(self, comparison):
+        assert len(comparison.results) == 4
+        names = set(comparison.by_name())
+        assert any("badgertrap" in n for n in names)
+        assert any("CM bit" in n for n in names)
+
+    def test_badgertrap_accurate_on_cold_pages(self, comparison):
+        """Section 3.3's claim: TLB misses track accesses on cold pages."""
+        badger = next(
+            r for r in comparison.results if "badgertrap" in r.name
+        )
+        assert badger.cold_rate_error < 0.1
+        assert badger.hardware_change == "none"
+
+    def test_stock_pebs_too_noisy(self, comparison):
+        """Section 6.1.2: the default rate is far too low."""
+        stock = next(r for r in comparison.results if "1KHz" in r.name)
+        badger = next(r for r in comparison.results if "badgertrap" in r.name)
+        assert stock.cold_rate_error > 5 * badger.cold_rate_error
+
+    def test_extended_pebs_recovers_accuracy(self, comparison):
+        stock = next(r for r in comparison.results if "1KHz" in r.name)
+        extended = next(r for r in comparison.results if "48b" in r.name)
+        assert extended.cold_rate_error < 0.5 * stock.cold_rate_error
+
+    def test_cm_bit_detects_everything(self, comparison):
+        cm = next(r for r in comparison.results if "CM bit" in r.name)
+        assert cm.cold_rate_error < 0.1
+        assert cm.hot_detection_rate == 1.0
+
+    def test_all_backends_separate_hot_pages(self, comparison):
+        for result in comparison.results:
+            assert result.hot_detection_rate > 0.9, result.name
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compare_backends(num_cold_pages=0)
+        with pytest.raises(ConfigError):
+            compare_backends(cold_rate=10.0, hot_rate=5.0)

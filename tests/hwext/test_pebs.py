@@ -1,0 +1,77 @@
+"""Tests for the PEBS counting model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hwext.pebs import EXTENDED_PEBS_RATE, STOCK_PEBS_RATE, PebsModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestSampling:
+    def test_sample_probability_caps_at_one(self):
+        model = PebsModel(sampling_rate=1000)
+        assert model.sample_probability(total_miss_rate=10.0) == 1.0
+        assert model.sample_probability(total_miss_rate=100_000.0) == pytest.approx(0.01)
+
+    def test_stock_rate_matches_paper(self):
+        assert PebsModel.stock().sampling_rate == STOCK_PEBS_RATE == 1000.0
+        assert PebsModel.extended().sampling_rate == EXTENDED_PEBS_RATE
+
+    def test_observation_respects_sampling(self, rng):
+        model = PebsModel(sampling_rate=1000, miss_ratio=1.0)
+        # 100K misses/sec over 10s: p = 0.01, expect ~1% of counts sampled.
+        true_counts = np.full(100, 10_000)
+        sampled = model.observe(true_counts, interval=10.0, rng=rng)
+        assert sampled.sum() == pytest.approx(0.01 * true_counts.sum(), rel=0.1)
+
+    def test_estimates_unbiased_in_aggregate(self, rng):
+        model = PebsModel.extended()
+        true_counts = np.full(100, 3000)
+        sampled = model.observe(true_counts, 10.0, rng)
+        estimates = model.estimate_rates(sampled, true_counts.sum() / 10.0, 10.0)
+        assert estimates.mean() == pytest.approx(300.0, rel=0.15)
+
+    def test_stock_pebs_too_noisy_for_cold_pages(self, rng):
+        """The paper's Section 6.1.2 point: 1KHz cannot resolve per-page
+        rates when the system does ~30K+ slow accesses/sec."""
+        stock = PebsModel.stock()
+        extended = PebsModel.extended()
+        # 1000 cold pages at 30 acc/s each (the Figure 3 operating point).
+        true_counts = rng.poisson(30 * 30.0, size=1000)
+        total_rate = true_counts.sum() / 30.0
+
+        def error(model):
+            sampled = model.observe(true_counts, 30.0, rng)
+            est = model.estimate_rates(sampled, total_rate, 30.0)
+            return np.abs(est - 30.0).mean() / 30.0
+
+        assert error(stock) > 3 * error(extended)
+
+
+class TestOverhead:
+    def test_overhead_counts_buffer_drains(self):
+        model = PebsModel(buffer_entries=64, interrupt_latency=4e-6)
+        overhead = model.overhead_seconds(np.array([6400]))
+        assert overhead == pytest.approx(100 * 4e-6)
+
+    def test_stock_overhead_tiny(self, rng):
+        model = PebsModel.stock()
+        sampled = model.observe(np.full(100, 10_000), 10.0, rng)
+        assert model.overhead_seconds(sampled) / 10.0 < 0.001
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            PebsModel(sampling_rate=0)
+        with pytest.raises(ConfigError):
+            PebsModel(buffer_entries=0)
+        with pytest.raises(ConfigError):
+            PebsModel(miss_ratio=0.0)
+        with pytest.raises(ConfigError):
+            PebsModel().observe(np.array([1]), 0.0, np.random.default_rng(0))

@@ -1,0 +1,116 @@
+"""End-to-end checks of the paper's headline claims (shape, not numbers).
+
+These run the real experiment harness at a small scale and assert the
+qualitative structure the paper reports.  They are the slowest tests in
+the suite (a few seconds each); each one regenerates a figure or table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig11_slowdown_sweep, table1_thp_gain
+from repro.experiments.common import run_thermostat
+
+SCALE = 0.05
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    from repro.workloads import WORKLOAD_NAMES
+
+    return {
+        name: run_thermostat(name, scale=SCALE, seed=SEED)
+        for name in WORKLOAD_NAMES
+    }
+
+
+class TestHeadlineClaims:
+    def test_cold_fraction_ordering(self, suite_results):
+        """TPCC and web-search demote far more than Redis and Aerospike."""
+        cold = {n: r.final_cold_fraction for n, r in suite_results.items()}
+        assert cold["mysql-tpcc"] > 2 * cold["redis"]
+        assert cold["web-search"] > 2 * cold["aerospike"]
+
+    def test_up_to_half_footprint_migrates(self, suite_results):
+        """Abstract: 'migrates up to 50% of application footprint'."""
+        best = max(r.final_cold_fraction for r in suite_results.values())
+        assert 0.35 < best <= 0.60
+
+    def test_slowdowns_near_target(self, suite_results):
+        """All apps stay in the neighbourhood of the 3% target."""
+        for name, result in suite_results.items():
+            assert result.average_slowdown < 0.055, name
+
+    def test_websearch_nearly_free(self, suite_results):
+        """Figure 10: <1% degradation for web search."""
+        assert suite_results["web-search"].throughput_degradation < 0.015
+
+    def test_redis_limited_to_about_ten_percent(self, suite_results):
+        """Section 6: Redis cannot give up much more than 10%."""
+        assert suite_results["redis"].final_cold_fraction < 0.18
+
+    def test_migration_traffic_within_bounds(self, suite_results):
+        """Table 3: normalized traffic well below 30MB/s average."""
+        for name, result in suite_results.items():
+            assert result.migration_rate_mbps() / SCALE < 30.0, name
+
+    def test_redis_has_highest_correction_traffic(self, suite_results):
+        """Table 3: Redis suffers the most mis-classification."""
+        corrections = {
+            n: r.correction_rate_mbps() for n, r in suite_results.items()
+        }
+        assert corrections["redis"] == max(corrections.values())
+        assert corrections["web-search"] == min(corrections.values())
+
+    def test_cost_savings_headline(self, suite_results):
+        """Abstract: 'reducing memory cost up to 30%' at 1/4 cost ratio."""
+        from repro.cost.model import CostModel
+
+        best = max(r.final_cold_fraction for r in suite_results.values())
+        assert CostModel(0.25).savings_fraction(best) > 0.25
+
+
+class TestFigure11Shape:
+    def test_sweep_structure(self):
+        cells = fig11_slowdown_sweep.run(scale=SCALE, seed=SEED)
+        grouped = fig11_slowdown_sweep.by_workload(cells)
+
+        def fractions(name):
+            return [c.cold_fraction for c in grouped[name]]
+
+        # Monotone non-decreasing for every workload (small tolerance for
+        # run-to-run noise).
+        for name, row in grouped.items():
+            values = [c.cold_fraction for c in row]
+            assert all(
+                b >= a - 0.05 for a, b in zip(values, values[1:])
+            ), name
+
+        # Aerospike scales strongly; TPCC and web-search saturate.
+        aero = fractions("aerospike")
+        assert aero[-1] > 1.8 * aero[0]
+        tpcc = fractions("mysql-tpcc")
+        assert tpcc[-1] < 1.35 * tpcc[0]
+        search = fractions("web-search")
+        assert search[-1] < 1.25 * search[0]
+
+
+class TestTable1Shape:
+    def test_gains_match_paper_structure(self):
+        rows = {r.workload: r for r in table1_thp_gain.run()}
+        # Redis is the biggest winner; web-search gains nothing.
+        assert rows["redis"].gain_virtualized == max(
+            r.gain_virtualized for r in rows.values()
+        )
+        assert rows["web-search"].gain_virtualized < 0.01
+        # Virtualization magnifies every gain.
+        for name, row in rows.items():
+            if row.gain_virtualized > 0.01:
+                assert row.gain_virtualized > row.gain_native, name
+
+    def test_gains_within_tolerance_of_paper(self):
+        for row in table1_thp_gain.run():
+            assert row.gain_virtualized == pytest.approx(
+                row.paper_gain, abs=0.025
+            ), row.workload

@@ -1,0 +1,48 @@
+"""Scale robustness: conclusions must not depend on the footprint scale.
+
+The workload models keep aggregate access rates scale-invariant, so the
+budgeted cold fraction should be roughly the same whether a run uses 2%
+or 10% of the paper's footprints.  If this ever breaks, every scaled
+figure is suspect — worth a dedicated test even though it is slow-ish.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.sim.engine import run_simulation
+from repro.workloads import make_workload
+
+
+def run_at_scale(name: str, scale: float, duration: float = 1440.0):
+    return run_simulation(
+        make_workload(name, scale=scale),
+        ThermostatPolicy(),
+        SimulationConfig(duration=duration, epoch=30, seed=1),
+    )
+
+
+class TestScaleRobustness:
+    @pytest.mark.parametrize("name,tolerance", [
+        ("mysql-tpcc", 0.10),
+        ("web-search", 0.12),
+    ])
+    def test_cold_fraction_scale_invariant(self, name, tolerance):
+        small = run_at_scale(name, 0.02)
+        large = run_at_scale(name, 0.08)
+        assert abs(
+            small.final_cold_fraction - large.final_cold_fraction
+        ) < tolerance
+
+    def test_slowdown_scale_invariant(self):
+        small = run_at_scale("mysql-tpcc", 0.02)
+        large = run_at_scale("mysql-tpcc", 0.08)
+        assert abs(small.average_slowdown - large.average_slowdown) < 0.02
+
+    def test_normalized_migration_traffic_scale_invariant(self):
+        """MB/s divided by scale should be comparable across scales."""
+        small = run_at_scale("web-search", 0.02)
+        large = run_at_scale("web-search", 0.08)
+        normalized_small = small.migration_rate_mbps() / 0.02
+        normalized_large = large.migration_rate_mbps() / 0.08
+        assert normalized_small == pytest.approx(normalized_large, rel=0.6)

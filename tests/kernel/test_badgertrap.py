@@ -1,0 +1,128 @@
+"""Tests for BadgerTrap: poisoning, fault counting, TLB interaction."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.kernel.badgertrap import BadgerTrap
+from repro.kernel.mmu import AddressSpace
+from repro.mem.numa import NumaTopology
+from repro.units import HUGE_PAGE_SIZE
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    space = AddressSpace(topology=NumaTopology.small(), use_llc=False)
+    space.mmap(0, 4 * HUGE_PAGE_SIZE)
+    return space
+
+
+@pytest.fixture
+def trap(space) -> BadgerTrap:
+    return BadgerTrap(space)
+
+
+class TestPoisoning:
+    def test_poison_sets_bit_and_flushes(self, space, trap):
+        space.split_huge(0)
+        space.access(0)  # warm the TLB
+        trap.poison(0)
+        assert space.page_table.lookup_base(0).poisoned
+        # The next access must fault (TLB entry was shot down).
+        outcome = space.access(0)
+        assert outcome.poison_fault
+
+    def test_poison_unmapped_rejected(self, space, trap):
+        with pytest.raises(MappingError):
+            trap.poison(99999)
+
+    def test_unpoison_restores(self, space, trap):
+        space.split_huge(0)
+        trap.poison(3)
+        record = trap.unpoison(3)
+        assert record.vpn == 3
+        assert not space.page_table.lookup_base(3).poisoned
+        assert not trap.is_poisoned(3)
+
+    def test_unpoison_untracked_rejected(self, trap):
+        with pytest.raises(MappingError):
+            trap.unpoison(5)
+
+    def test_huge_page_poisoning(self, space, trap):
+        trap.poison(1, huge=True)
+        outcome = space.access(HUGE_PAGE_SIZE)
+        assert outcome.poison_fault
+        assert trap.fault_count(1, huge=True) == 1
+
+    def test_poisoned_count(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        trap.poison(1)
+        assert trap.poisoned_count == 2
+        trap.unpoison(0)
+        assert trap.poisoned_count == 1
+
+
+class TestFaultProtocol:
+    def test_fault_counts_tlb_misses_not_accesses(self, space, trap):
+        """The Section 3.3 protocol: only the first access after a TLB miss
+        faults; the installed translation absorbs the rest."""
+        space.split_huge(0)
+        trap.poison(0)
+        space.access(0)  # fault 1: fills TLB
+        space.access(64)  # TLB hit: no fault
+        space.access(128)  # TLB hit: no fault
+        assert trap.fault_count(0) == 1
+        # Shoot down the entry: the next access faults again.
+        space.tlb.invalidate(0, huge=False)
+        space.access(0)
+        assert trap.fault_count(0) == 2
+
+    def test_fault_charges_latency(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        faulting = space.access(0)
+        space.tlb.invalidate(0, huge=False)
+        plain_entry_cost = space.access(1 << 12)  # unpoisoned neighbour
+        assert faulting.latency >= trap.fault_latency
+
+    def test_pte_repoisoned_after_fault(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        space.access(0)
+        assert space.page_table.lookup_base(0).poisoned
+
+    def test_fault_marks_accessed(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        space.access(0, write=True)
+        entry = space.page_table.lookup_base(0)
+        assert entry.accessed and entry.dirty
+
+    def test_total_faults(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        trap.poison(1)
+        space.access(0)
+        space.access(4096)
+        assert trap.total_faults == 2
+
+
+class TestDrainCounts:
+    def test_drain_resets(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        space.access(0)
+        counts = trap.drain_counts()
+        assert counts[(0, False)] == 1
+        assert trap.fault_count(0) == 0
+
+    def test_drain_without_reset(self, space, trap):
+        space.split_huge(0)
+        trap.poison(0)
+        space.access(0)
+        trap.drain_counts(reset=False)
+        assert trap.fault_count(0) == 1
+
+    def test_fault_count_untracked_rejected(self, trap):
+        with pytest.raises(MappingError):
+            trap.fault_count(77)

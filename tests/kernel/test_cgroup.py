@@ -1,0 +1,78 @@
+"""Tests for the cgroup control surface."""
+
+import pytest
+
+from repro.config import ThermostatConfig
+from repro.errors import ConfigError
+from repro.kernel.cgroup import MemoryCgroup
+
+
+class TestReadWrite:
+    def test_defaults_readable(self):
+        group = MemoryCgroup("test")
+        assert group.read("thermostat.tolerable_slowdown") == "0.03"
+        assert group.read("scan_interval") == "30"
+
+    def test_write_by_cgroup_name(self):
+        group = MemoryCgroup("test")
+        group.write("thermostat.tolerable_slowdown", "0.06")
+        assert group.config.tolerable_slowdown == pytest.approx(0.06)
+
+    def test_write_by_field_name(self):
+        group = MemoryCgroup("test")
+        group.write("sample_fraction", 0.1)
+        assert group.config.sample_fraction == pytest.approx(0.1)
+
+    def test_int_knob(self):
+        group = MemoryCgroup("test")
+        group.write("max_poisoned_subpages", "25")
+        assert group.config.max_poisoned_subpages == 25
+
+    def test_bool_knob_strings(self):
+        group = MemoryCgroup("test")
+        group.write("enable_correction", "0")
+        assert group.config.enable_correction is False
+        group.write("enable_correction", "true")
+        assert group.config.enable_correction is True
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryCgroup("test").write("enable_correction", "maybe")
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryCgroup("test").write("nonsense", 1)
+        with pytest.raises(ConfigError):
+            MemoryCgroup("test").read("nonsense")
+
+    def test_validation_still_applies(self):
+        group = MemoryCgroup("test")
+        with pytest.raises(ConfigError):
+            group.write("tolerable_slowdown", "2.0")
+        # Failed write leaves the config untouched.
+        assert group.config.tolerable_slowdown == pytest.approx(0.03)
+
+    def test_generation_bumps_on_write(self):
+        group = MemoryCgroup("test")
+        assert group.generation == 0
+        group.write("scan_interval", 10)
+        assert group.generation == 1
+
+    def test_snapshot_is_immutable(self):
+        group = MemoryCgroup("test")
+        snapshot = group.config
+        group.write("scan_interval", 10)
+        assert snapshot.scan_interval == pytest.approx(30.0)
+
+    def test_custom_initial_config(self):
+        group = MemoryCgroup("g", ThermostatConfig(tolerable_slowdown=0.1))
+        assert group.read("tolerable_slowdown") == "0.1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            MemoryCgroup("")
+
+    def test_knobs_lists_everything(self):
+        knobs = MemoryCgroup("test").knobs()
+        assert "thermostat.tolerable_slowdown" in knobs
+        assert len(knobs) == 7

@@ -1,0 +1,40 @@
+"""Tests for fault dispatch."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernel.fault import FaultContext, FaultDispatcher, FaultKind
+
+
+def make_context(kind=FaultKind.POISON) -> FaultContext:
+    return FaultContext(kind=kind, address=0x1000, write=False, entry=None, huge=False)
+
+
+class TestDispatch:
+    def test_routes_to_handler(self):
+        dispatcher = FaultDispatcher()
+        seen = []
+        dispatcher.register(FaultKind.POISON, lambda ctx: seen.append(ctx) or 1e-6)
+        latency = dispatcher.dispatch(make_context())
+        assert latency == pytest.approx(1e-6)
+        assert seen[0].address == 0x1000
+
+    def test_unhandled_raises(self):
+        with pytest.raises(SimulationError):
+            FaultDispatcher().dispatch(make_context())
+
+    def test_counts_per_kind(self):
+        dispatcher = FaultDispatcher()
+        dispatcher.register(FaultKind.POISON, lambda ctx: 0.0)
+        dispatcher.register(FaultKind.NOT_MAPPED, lambda ctx: 0.0)
+        dispatcher.dispatch(make_context(FaultKind.POISON))
+        dispatcher.dispatch(make_context(FaultKind.POISON))
+        dispatcher.dispatch(make_context(FaultKind.NOT_MAPPED))
+        assert dispatcher.counts[FaultKind.POISON] == 2
+        assert dispatcher.counts[FaultKind.NOT_MAPPED] == 1
+
+    def test_handler_replacement(self):
+        dispatcher = FaultDispatcher()
+        dispatcher.register(FaultKind.POISON, lambda ctx: 1.0)
+        dispatcher.register(FaultKind.POISON, lambda ctx: 2.0)
+        assert dispatcher.dispatch(make_context()) == pytest.approx(2.0)

@@ -1,0 +1,65 @@
+"""Tests for THP policy and khugepaged collapse."""
+
+import pytest
+
+from repro.kernel.badgertrap import BadgerTrap
+from repro.kernel.mmu import AddressSpace
+from repro.kernel.thp import Khugepaged, ThpMode, ThpPolicy
+from repro.mem.numa import NumaTopology, SLOW_NODE
+from repro.units import HUGE_PAGE_SIZE
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    space = AddressSpace(topology=NumaTopology.small(), use_llc=False)
+    space.mmap(0, 4 * HUGE_PAGE_SIZE)
+    return space
+
+
+class TestThpPolicy:
+    def test_always(self):
+        assert ThpPolicy(ThpMode.ALWAYS).huge_eligible()
+
+    def test_never(self):
+        assert not ThpPolicy(ThpMode.NEVER).huge_eligible(advised=True)
+
+    def test_madvise(self):
+        policy = ThpPolicy(ThpMode.MADVISE)
+        assert policy.huge_eligible(advised=True)
+        assert not policy.huge_eligible(advised=False)
+
+
+class TestKhugepaged:
+    def test_collapses_split_regions(self, space):
+        daemon = Khugepaged(space)
+        space.split_huge(1)
+        space.split_huge(2)
+        merged = daemon.scan()
+        assert merged == 2
+        assert len(space.huge_pages()) == 4
+        assert daemon.collapsed == 2
+
+    def test_skips_poisoned_regions(self, space):
+        daemon = Khugepaged(space)
+        trap = BadgerTrap(space)
+        space.split_huge(1)
+        trap.poison(512)  # first subpage of huge page 1
+        assert daemon.scan() == 0
+        assert daemon.skipped >= 1
+        trap.unpoison(512)
+        assert daemon.scan() == 1
+
+    def test_respects_exclusions(self, space):
+        daemon = Khugepaged(space)
+        space.split_huge(1)
+        assert daemon.scan(exclude={1}) == 0
+        assert daemon.scan() == 1
+
+    def test_skips_cross_node_regions(self, space):
+        daemon = Khugepaged(space)
+        space.split_huge(1)
+        space.migrate_page(512, huge=False, target_node=SLOW_NODE)
+        assert daemon.scan() == 0
+
+    def test_noop_without_split_pages(self, space):
+        assert Khugepaged(space).scan() == 0

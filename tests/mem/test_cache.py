@@ -1,0 +1,56 @@
+"""Tests for the LLC model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.cache import LINE_SIZE, LastLevelCache
+
+
+class TestGeometry:
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            LastLevelCache(capacity_bytes=0)
+
+    def test_non_divisible(self):
+        with pytest.raises(ConfigError):
+            LastLevelCache(capacity_bytes=LINE_SIZE * 10, associativity=3)
+
+
+class TestAccess:
+    def test_miss_then_hit(self):
+        cache = LastLevelCache(capacity_bytes=LINE_SIZE * 16, associativity=4)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(LINE_SIZE - 1)  # same line
+
+    def test_different_lines_miss(self):
+        cache = LastLevelCache(capacity_bytes=LINE_SIZE * 16, associativity=4)
+        cache.access(0)
+        assert not cache.access(LINE_SIZE)
+
+    def test_lru_within_set(self):
+        # 4 lines, 2 ways -> 2 sets; lines 0, 2, 4 share set 0.
+        cache = LastLevelCache(capacity_bytes=LINE_SIZE * 4, associativity=2)
+        cache.access(0 * LINE_SIZE)
+        cache.access(2 * LINE_SIZE)
+        cache.access(0 * LINE_SIZE)  # 0 MRU
+        cache.access(4 * LINE_SIZE)  # evicts 2
+        assert cache.access(0 * LINE_SIZE)
+        assert not cache.access(2 * LINE_SIZE)
+
+    def test_hit_and_miss_rates(self):
+        cache = LastLevelCache(capacity_bytes=LINE_SIZE * 16, associativity=4)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+        assert cache.miss_rate() == pytest.approx(0.5)
+
+    def test_flush(self):
+        cache = LastLevelCache(capacity_bytes=LINE_SIZE * 16, associativity=4)
+        cache.access(0)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert not cache.access(0)
+
+    def test_default_is_45mb(self):
+        assert LastLevelCache().capacity_bytes == 45 * 1024 * 1024

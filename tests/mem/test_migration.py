@@ -1,0 +1,82 @@
+"""Tests for the migration engine's movement and Table 3 accounting."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.mem.migration import MigrationEngine, MigrationReason
+from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
+from repro.sim.clock import VirtualClock
+from repro.units import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, MB
+
+
+@pytest.fixture
+def engine() -> MigrationEngine:
+    topo = NumaTopology.small()
+    clock = VirtualClock()
+    # Pretend the app footprint lives on the fast node.
+    topo.fast.tier.reserve_bytes(100 * HUGE_PAGE_SIZE)
+    return MigrationEngine(topo, clock)
+
+
+class TestMovement:
+    def test_demote_moves_capacity(self, engine):
+        before_fast = engine.topology.fast.tier.allocated_bytes
+        engine.demote(huge=True, count=2)
+        assert engine.topology.fast.tier.allocated_bytes == before_fast - 2 * HUGE_PAGE_SIZE
+        assert engine.topology.slow.tier.allocated_bytes == 2 * HUGE_PAGE_SIZE
+
+    def test_correct_moves_back(self, engine):
+        engine.demote(huge=True, count=2)
+        engine.correct(huge=True, count=1)
+        assert engine.topology.slow.tier.allocated_bytes == HUGE_PAGE_SIZE
+
+    def test_base_page_granularity(self, engine):
+        record = engine.demote(huge=False, count=512)
+        assert record.bytes_moved == 512 * BASE_PAGE_SIZE == HUGE_PAGE_SIZE
+
+    def test_same_node_rejected(self, engine):
+        with pytest.raises(MigrationError):
+            engine.migrate(FAST_NODE, FAST_NODE, True, MigrationReason.DEMOTION)
+
+    def test_zero_count_rejected(self, engine):
+        with pytest.raises(MigrationError):
+            engine.demote(huge=True, count=0)
+
+
+class TestAccounting:
+    def test_streams_separate(self, engine):
+        engine.demote(huge=True, count=3)
+        engine.correct(huge=True, count=1)
+        assert engine.bytes_moved(MigrationReason.DEMOTION) == 3 * HUGE_PAGE_SIZE
+        assert engine.bytes_moved(MigrationReason.CORRECTION) == HUGE_PAGE_SIZE
+
+    def test_average_rate(self, engine):
+        engine.demote(huge=True, count=30)
+        rate = engine.average_rate(MigrationReason.DEMOTION, duration=60.0)
+        assert rate == pytest.approx(30 * HUGE_PAGE_SIZE / 60.0)
+        assert rate == pytest.approx(1 * MB / 1.0)
+
+    def test_average_rate_bad_duration(self, engine):
+        with pytest.raises(MigrationError):
+            engine.average_rate(MigrationReason.DEMOTION, 0)
+
+    def test_peak_rate_uses_windows(self, engine):
+        engine.demote(huge=True, count=1)  # t = 0
+        engine.clock.advance(100.0)
+        engine.demote(huge=True, count=9)  # burst at t = 100
+        peak = engine.peak_rate(MigrationReason.DEMOTION, window=30.0)
+        assert peak == pytest.approx(9 * HUGE_PAGE_SIZE / 30.0)
+
+    def test_peak_rate_empty(self, engine):
+        assert engine.peak_rate(MigrationReason.CORRECTION, 30.0) == 0.0
+
+    def test_record_only_skips_capacity(self, engine):
+        slow_before = engine.topology.slow.tier.allocated_bytes
+        engine.record(FAST_NODE, SLOW_NODE, huge=True, reason=MigrationReason.DEMOTION)
+        assert engine.topology.slow.tier.allocated_bytes == slow_before
+        assert engine.bytes_moved(MigrationReason.DEMOTION) == HUGE_PAGE_SIZE
+
+    def test_counters_in_stats(self, engine):
+        engine.demote(huge=True, count=2)
+        assert engine.stats.counter("migrations").value == 1
+        assert engine.stats.counter("migration_bytes").value == 2 * HUGE_PAGE_SIZE

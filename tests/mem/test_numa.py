@@ -1,0 +1,42 @@
+"""Tests for the two-node NUMA topology."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
+from repro.mem.tiers import TierKind, TierSpec
+from repro.units import GB
+
+
+class TestTopology:
+    def test_default_nodes(self):
+        topo = NumaTopology()
+        assert topo.fast.node_id == FAST_NODE
+        assert topo.slow.node_id == SLOW_NODE
+        assert topo.fast.kind is TierKind.FAST
+        assert topo.slow.kind is TierKind.SLOW
+
+    def test_node_lookup(self):
+        topo = NumaTopology()
+        assert topo.node(0) is topo.fast
+        assert topo.node(1) is topo.slow
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology().node(2)
+
+    def test_latency(self):
+        topo = NumaTopology()
+        assert topo.latency(SLOW_NODE) > topo.latency(FAST_NODE)
+        assert topo.latency(SLOW_NODE) == pytest.approx(1e-6)
+
+    def test_wrong_tier_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            NumaTopology(fast=TierSpec.slow())
+        with pytest.raises(ConfigError):
+            NumaTopology(slow=TierSpec.dram())
+
+    def test_small_factory(self):
+        topo = NumaTopology.small(fast_gb=0.25, slow_gb=0.5)
+        assert topo.fast.tier.spec.capacity_bytes == int(0.25 * GB)
+        assert topo.slow.tier.spec.capacity_bytes == int(0.5 * GB)

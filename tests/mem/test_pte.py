@@ -1,0 +1,86 @@
+"""Tests for the PTE bit protocol."""
+
+from repro.mem.pte import PageTableEntry, PteFlag, make_base_pte, make_huge_pte
+
+
+class TestConstruction:
+    def test_base_pte_defaults(self):
+        pte = make_base_pte(0x42)
+        assert pte.frame == 0x42
+        assert pte.present
+        assert not pte.huge
+        assert not pte.accessed
+        assert not pte.poisoned
+
+    def test_huge_pte_sets_pse_bit(self):
+        assert make_huge_pte(1).huge
+
+    def test_poison_is_bit_51(self):
+        assert PteFlag.POISON == 1 << 51
+
+
+class TestAccessedProtocol:
+    def test_walk_sets_accessed(self):
+        pte = make_base_pte(0)
+        pte.mark_accessed()
+        assert pte.accessed
+        assert not pte.dirty
+
+    def test_write_sets_dirty(self):
+        pte = make_base_pte(0)
+        pte.mark_accessed(write=True)
+        assert pte.accessed
+        assert pte.dirty
+
+    def test_clear_accessed_reports_prior_state(self):
+        pte = make_base_pte(0)
+        assert pte.clear_accessed() is False
+        pte.mark_accessed()
+        assert pte.clear_accessed() is True
+        assert not pte.accessed
+
+    def test_clear_accessed_preserves_dirty(self):
+        pte = make_base_pte(0)
+        pte.mark_accessed(write=True)
+        pte.clear_accessed()
+        assert pte.dirty
+
+
+class TestPoisonProtocol:
+    def test_poison_round_trip(self):
+        pte = make_base_pte(0)
+        pte.poison()
+        assert pte.poisoned
+        pte.unpoison()
+        assert not pte.poisoned
+
+    def test_poison_preserves_other_flags(self):
+        pte = make_huge_pte(3)
+        pte.mark_accessed(write=True)
+        pte.poison()
+        assert pte.present and pte.huge and pte.accessed and pte.dirty
+        pte.unpoison()
+        assert pte.present and pte.huge and pte.accessed and pte.dirty
+
+    def test_double_poison_idempotent(self):
+        pte = make_base_pte(0)
+        pte.poison()
+        pte.poison()
+        assert pte.poisoned
+        pte.unpoison()
+        assert not pte.poisoned
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        pte = make_base_pte(9)
+        copy = pte.clone()
+        copy.poison()
+        assert not pte.poisoned
+        assert copy.frame == 9
+
+    def test_repr_shows_flags(self):
+        pte = make_base_pte(0)
+        pte.poison()
+        assert "X" in repr(pte)
+        assert "P" in repr(pte)

@@ -1,0 +1,102 @@
+"""Tests for memory tiers and their allocators."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.mem.tiers import MemoryTier, TierKind, TierSpec
+from repro.units import GB, MB
+
+
+class TestTierSpec:
+    def test_dram_defaults(self):
+        spec = TierSpec.dram()
+        assert spec.kind is TierKind.FAST
+        assert spec.relative_cost == 1.0
+
+    def test_slow_defaults(self):
+        spec = TierSpec.slow()
+        assert spec.kind is TierKind.SLOW
+        assert spec.access_latency == pytest.approx(1e-6)
+        assert spec.relative_cost == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TierSpec(TierKind.FAST, 0, 1e-9)
+        with pytest.raises(ConfigError):
+            TierSpec(TierKind.FAST, 1, 0)
+        with pytest.raises(ConfigError):
+            TierSpec(TierKind.FAST, 1, 1e-9, relative_cost=0)
+
+
+class TestAllocation:
+    def make_tier(self, mb: float = 16) -> MemoryTier:
+        return MemoryTier(TierSpec.dram(int(mb * MB)))
+
+    def test_base_allocation(self):
+        tier = self.make_tier()
+        a = tier.allocate_base()
+        b = tier.allocate_base()
+        assert a != b
+        assert tier.allocated_bytes == 8192
+
+    def test_huge_allocation_aligned(self):
+        tier = self.make_tier()
+        tier.allocate_base()  # misalign the bump pointer
+        frame = tier.allocate_huge()
+        assert frame % 512 == 0
+        assert tier.allocated_bytes == 4096 + 2 * MB
+
+    def test_free_base_reuses(self):
+        tier = self.make_tier()
+        frame = tier.allocate_base()
+        tier.free_base(frame)
+        assert tier.allocate_base() == frame
+
+    def test_free_huge_reuses(self):
+        tier = self.make_tier()
+        frame = tier.allocate_huge()
+        tier.free_huge(frame)
+        assert tier.allocate_huge() == frame
+
+    def test_free_unaligned_huge_rejected(self):
+        tier = self.make_tier()
+        tier.allocate_huge()
+        with pytest.raises(ConfigError):
+            tier.free_huge(3)
+
+    def test_exhaustion(self):
+        tier = MemoryTier(TierSpec.dram(2 * MB))
+        tier.allocate_huge()
+        with pytest.raises(CapacityError):
+            tier.allocate_huge()
+
+    def test_free_without_allocate_rejected(self):
+        tier = self.make_tier()
+        with pytest.raises(CapacityError):
+            tier.free_base(0)
+
+
+class TestCapacityReservations:
+    def test_reserve_and_release(self):
+        tier = MemoryTier(TierSpec.slow(1 * GB))
+        tier.reserve_bytes(512 * MB)
+        assert tier.free_bytes == 512 * MB
+        tier.release_bytes(256 * MB)
+        assert tier.allocated_bytes == 256 * MB
+
+    def test_over_reserve_rejected(self):
+        tier = MemoryTier(TierSpec.slow(1 * MB))
+        with pytest.raises(CapacityError):
+            tier.reserve_bytes(2 * MB)
+
+    def test_over_release_rejected(self):
+        tier = MemoryTier(TierSpec.slow(1 * MB))
+        with pytest.raises(CapacityError):
+            tier.release_bytes(1)
+
+    def test_negative_rejected(self):
+        tier = MemoryTier(TierSpec.slow(1 * MB))
+        with pytest.raises(ConfigError):
+            tier.reserve_bytes(-1)
+        with pytest.raises(ConfigError):
+            tier.release_bytes(-1)

@@ -1,0 +1,67 @@
+"""Tests for the page-walk cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.walker import (
+    NESTED_WALK_STEPS_2M,
+    NESTED_WALK_STEPS_4K,
+    WalkCostModel,
+    nested_walk_steps,
+)
+
+
+class TestWalkSteps:
+    def test_paper_nested_walk_lengths(self):
+        """Section 2.2: 24 references for 4KB/4KB, 15 for 2MB/2MB."""
+        assert NESTED_WALK_STEPS_4K == 24
+        assert NESTED_WALK_STEPS_2M == 15
+
+    def test_nested_formula(self):
+        assert nested_walk_steps(4, 4) == 24
+        assert nested_walk_steps(3, 3) == 15
+        assert nested_walk_steps(4, 3) == 19
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ConfigError):
+            nested_walk_steps(0, 4)
+
+    def test_native_steps(self):
+        model = WalkCostModel.native()
+        assert model.walk_steps(huge=False) == 4
+        assert model.walk_steps(huge=True) == 3
+
+    def test_nested_steps(self):
+        model = WalkCostModel.nested()
+        assert model.walk_steps(huge=False) == 24
+        assert model.walk_steps(huge=True) == 15
+
+
+class TestWalkLatency:
+    def test_huge_walks_cheaper(self):
+        for model in (WalkCostModel.native(), WalkCostModel.nested()):
+            assert model.walk_latency(huge=True) < model.walk_latency(huge=False)
+
+    def test_nested_more_expensive_than_native(self):
+        assert WalkCostModel.nested().walk_latency(False) > WalkCostModel.native().walk_latency(False)
+
+    def test_reference_latency_blends_cache_and_memory(self):
+        model = WalkCostModel(
+            cache_latency=10e-9,
+            memory_latency=100e-9,
+            cached_fraction_4k=0.5,
+            cached_fraction_2m=0.5,
+        )
+        assert model.reference_latency(huge=False) == pytest.approx(55e-9)
+
+    def test_huge_tables_cache_better(self):
+        model = WalkCostModel()
+        assert model.reference_latency(huge=True) < model.reference_latency(huge=False)
+
+    def test_bad_cached_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            WalkCostModel(cached_fraction_4k=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            WalkCostModel(cache_latency=-1.0)

@@ -1,0 +1,124 @@
+"""Tests for wear tracking and Start-Gap leveling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.wear import (
+    StartGapWearLeveler,
+    WearTracker,
+    simulate_wear,
+)
+
+
+class TestWearTracker:
+    def test_record_and_totals(self):
+        tracker = WearTracker(4)
+        tracker.record(0, 10)
+        tracker.record(1, 5)
+        tracker.record(0, 2)
+        assert tracker.total_writes == 17
+        assert tracker.max_writes == 12
+        assert tracker.mean_writes() == pytest.approx(17 / 4)
+
+    def test_endurance_ratio(self):
+        tracker = WearTracker(2)
+        tracker.record(0, 10)
+        tracker.record(1, 10)
+        assert tracker.endurance_ratio() == pytest.approx(1.0)
+        tracker.record(0, 10)
+        assert tracker.endurance_ratio() < 1.0
+
+    def test_lifetime(self):
+        tracker = WearTracker(2)
+        tracker.record(0, 100)  # all writes hit one line
+        # 1000 writes/sec, max_share=1 -> lifetime = endurance / 1000.
+        assert tracker.lifetime_seconds(1000.0, endurance=1e6) == pytest.approx(1e3)
+
+    def test_lifetime_no_writes_is_infinite(self):
+        assert WearTracker(2).lifetime_seconds(1.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WearTracker(0)
+        tracker = WearTracker(2)
+        with pytest.raises(ConfigError):
+            tracker.record(5)
+        with pytest.raises(ConfigError):
+            tracker.record(0, -1)
+        with pytest.raises(ConfigError):
+            tracker.lifetime_seconds(0.0)
+
+
+class TestStartGap:
+    def test_identity_before_any_rotation(self):
+        leveler = StartGapWearLeveler(8, gap_interval=100)
+        assert [leveler.physical_of(i) for i in range(8)] == list(range(8))
+
+    def test_mapping_is_injective_always(self):
+        leveler = StartGapWearLeveler(8, gap_interval=1)
+        for _ in range(100):
+            mapping = [leveler.physical_of(i) for i in range(8)]
+            assert len(set(mapping)) == 8
+            assert all(0 <= p <= 8 for p in mapping)
+            assert leveler.gap not in mapping
+            leveler.on_write(0)
+
+    def test_gap_moves_every_interval(self):
+        leveler = StartGapWearLeveler(4, gap_interval=2)
+        assert leveler.gap == 4
+        leveler.on_write(0)
+        assert leveler.gap == 4
+        leveler.on_write(0)
+        assert leveler.gap == 3
+
+    def test_start_advances_after_full_rotation(self):
+        leveler = StartGapWearLeveler(4, gap_interval=1)
+        for _ in range(5):  # gap: 4 -> 3 -> 2 -> 1 -> 0 -> wrap
+            leveler.on_write(0)
+        assert leveler.start == 1
+        assert leveler.gap == 4
+
+    def test_hot_line_writes_spread_over_slots(self):
+        leveler = StartGapWearLeveler(16, gap_interval=4)
+        touched = set()
+        # Each full gap rotation (17 moves x 4 writes) shifts start by one;
+        # run ~10 rotations so the hot line visits ~10 physical slots.
+        for _ in range(17 * 4 * 10):
+            touched.add(leveler.on_write(0))
+        assert len(touched) >= 9  # one logical line smeared over many slots
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StartGapWearLeveler(0)
+        with pytest.raises(ConfigError):
+            StartGapWearLeveler(4, gap_interval=0)
+        with pytest.raises(ConfigError):
+            StartGapWearLeveler(4).physical_of(4)
+
+
+class TestSimulateWear:
+    def test_unleveled_concentrates(self):
+        rng = np.random.default_rng(0)
+        rates = np.zeros(64)
+        rates[0] = 100.0
+        tracker = simulate_wear(rates, duration=50.0, rng=rng)
+        assert tracker.endurance_ratio() < 0.1
+
+    def test_start_gap_levels(self):
+        rates = np.zeros(64)
+        rates[0] = 100.0
+        unleveled = simulate_wear(rates, 100.0, np.random.default_rng(0))
+        leveled = simulate_wear(
+            rates, 100.0, np.random.default_rng(0),
+            leveler=StartGapWearLeveler(64, gap_interval=8),
+        )
+        assert leveled.max_writes < 0.5 * unleveled.max_writes
+        # Total writes conserved (modulo identical Poisson draws).
+        assert leveled.total_writes == unleveled.total_writes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_wear(np.zeros(0), 1.0, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            simulate_wear(np.ones(4), 0.0, np.random.default_rng(0))

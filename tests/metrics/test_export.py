@@ -1,0 +1,81 @@
+"""Tests for CSV export."""
+
+import csv
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.export import export_rows, export_simulation_series, export_timeseries
+from repro.sim.stats import TimeSeries
+
+
+def make_series(name, points):
+    ts = TimeSeries(name)
+    for t, v in points:
+        ts.record(t, v)
+    return ts
+
+
+class TestExportTimeseries:
+    def test_single_series(self, tmp_path):
+        path = export_timeseries(
+            tmp_path / "one.csv", {"a": make_series("a", [(0, 1.0), (1, 2.0)])}
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["time", "a"]
+        assert rows[1] == ["0.0", "1.0"]
+        assert len(rows) == 3
+
+    def test_outer_join_on_time(self, tmp_path):
+        path = export_timeseries(
+            tmp_path / "two.csv",
+            {
+                "a": make_series("a", [(0, 1.0)]),
+                "b": make_series("b", [(0, 5.0), (1, 6.0)]),
+            },
+        )
+        rows = list(csv.reader(path.open()))
+        assert rows[2] == ["1.0", "", "6.0"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_timeseries(
+            tmp_path / "deep" / "dir" / "x.csv",
+            {"a": make_series("a", [(0, 1.0)])},
+        )
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_timeseries(tmp_path / "x.csv", {})
+
+
+class TestExportRows:
+    def test_round_trip(self, tmp_path):
+        path = export_rows(tmp_path / "t.csv", ["x", "y"], [[1, 2], [3, 4]])
+        rows = list(csv.reader(path.open()))
+        assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+    def test_arity_checked(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_rows(tmp_path / "t.csv", ["x", "y"], [[1]])
+
+
+class TestExportSimulation:
+    def test_standard_series_dumped(self, tmp_path):
+        import numpy as np
+
+        from repro.baselines import StaticFractionPolicy
+        from repro.config import SimulationConfig
+        from repro.sim.engine import run_simulation
+        from repro.workloads.base import RateModelWorkload
+
+        result = run_simulation(
+            RateModelWorkload("w", np.full(2 * 512, 1.0)),
+            StaticFractionPolicy(0.5),
+            SimulationConfig(duration=90, epoch=30, seed=0),
+        )
+        path = export_simulation_series(tmp_path, "w", result)
+        rows = list(csv.reader(path.open()))
+        assert rows[0][0] == "time"
+        assert "cold_fraction" in rows[0]
+        assert len(rows) == 4  # header + 3 epochs

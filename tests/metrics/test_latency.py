@@ -1,0 +1,114 @@
+"""Tests for the tail-latency model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.latency import (
+    LatencyModel,
+    latency_report,
+    slow_access_probability,
+)
+
+
+def make_model(**kwargs) -> LatencyModel:
+    kwargs.setdefault("base_latency", 1e-3)
+    kwargs.setdefault("accesses_per_op", 20)
+    return LatencyModel(**kwargs)
+
+
+class TestMean:
+    def test_zero_q_is_baseline(self):
+        model = make_model()
+        assert model.mean(0.0) == pytest.approx(model.base_latency)
+        assert model.degradation(0.0) == pytest.approx(0.0)
+
+    def test_mean_linear_in_q(self):
+        model = make_model()
+        assert model.degradation(0.2) == pytest.approx(2 * model.degradation(0.1))
+
+    def test_mean_formula(self):
+        model = make_model(base_latency=1e-3, accesses_per_op=10,
+                           slow_latency=1e-6, fast_latency=0.0)
+        # 10 accesses, q=0.5 -> 5 slow accesses of 1us = 5us extra.
+        assert model.mean(0.5) == pytest.approx(1e-3 + 5e-6)
+
+
+class TestPercentiles:
+    def test_percentiles_monotone(self):
+        model = make_model()
+        q = 0.1
+        p50 = model.percentile(q, 50)
+        p95 = model.percentile(q, 95)
+        p99 = model.percentile(q, 99)
+        assert p50 <= p95 <= p99
+
+    def test_tail_grows_with_q(self):
+        model = make_model()
+        assert model.percentile(0.3, 99) > model.percentile(0.05, 99)
+
+    def test_tiny_q_leaves_p99_untouched(self):
+        """Web search's result: no observable p99 degradation."""
+        model = make_model(base_latency=85e-3, accesses_per_op=25)
+        assert model.degradation(0.001, 99) < 0.001
+
+    def test_report_keys(self):
+        report = latency_report(make_model(), 0.1)
+        assert set(report) == {"mean", "p50", "p95", "p99"}
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(ConfigError):
+            make_model(base_latency=0)
+        with pytest.raises(ConfigError):
+            make_model(accesses_per_op=0)
+        with pytest.raises(ConfigError):
+            make_model(slow_latency=1e-9, fast_latency=1e-6)
+
+    def test_bad_queries(self):
+        model = make_model()
+        with pytest.raises(ConfigError):
+            model.mean(1.5)
+        with pytest.raises(ConfigError):
+            model.percentile(0.1, 0.0)
+        with pytest.raises(ConfigError):
+            model.percentile(-0.1, 50)
+
+
+class TestSlowAccessProbability:
+    def test_ratio(self):
+        assert slow_access_probability(30_000, 3_000_000) == pytest.approx(0.01)
+
+    def test_caps_at_one(self):
+        assert slow_access_probability(10.0, 5.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            slow_access_probability(-1.0, 10.0)
+        with pytest.raises(ConfigError):
+            slow_access_probability(1.0, 0.0)
+
+
+class TestQueueingAmplification:
+    def test_zero_utilization_equals_mean(self):
+        model = make_model()
+        assert model.mean_response(0.2, 0.0) == pytest.approx(model.mean(0.2))
+
+    def test_amplifies_degradation(self):
+        model = make_model()
+        raw = model.degradation(0.3)
+        queued = model.degradation_with_queueing(0.3, 0.7)
+        assert queued > raw
+
+    def test_higher_utilization_amplifies_more(self):
+        model = make_model()
+        low = model.degradation_with_queueing(0.3, 0.3)
+        high = model.degradation_with_queueing(0.3, 0.8)
+        assert high > low
+
+    def test_validation(self):
+        model = make_model()
+        with pytest.raises(ConfigError):
+            model.mean_response(0.1, 1.0)
+        with pytest.raises(ConfigError):
+            model.mean_response(0.1, -0.1)

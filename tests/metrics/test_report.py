@@ -1,0 +1,63 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.metrics.report import Table, format_figure_series, format_table, sparkline
+from repro.sim.stats import TimeSeries
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("Title", ["a", "long-column"])
+        table.add_row("x", 1)
+        table.add_row("yy", 22)
+        text = table.render()
+        assert "Title" in text
+        assert "long-column" in text
+        lines = text.splitlines()
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_row_arity_checked(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        assert "t" in Table("t", ["a"]).render()
+
+    def test_format_table_helper(self):
+        text = format_table("t", ["x"], [[1], [2]])
+        assert "1" in text and "2" in text
+
+
+class TestFigureSeries:
+    def make_series(self, n=30):
+        ts = TimeSeries("s")
+        for i in range(n):
+            ts.record(float(i), float(i * 2))
+        return ts
+
+    def test_downsamples(self):
+        text = format_figure_series("fig", {"s": self.make_series(100)}, max_points=5)
+        line = [l for l in text.splitlines() if l.startswith("s:")][0]
+        assert line.count(":") <= 25 * 2  # bounded number of points
+
+    def test_empty_series(self):
+        text = format_figure_series("fig", {"s": TimeSeries("s")})
+        assert "(empty)" in text
+
+
+class TestSparkline:
+    def test_length_bounded(self):
+        assert len(sparkline(list(range(1000)), width=40)) <= 40
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert set(sparkline([5, 5, 5])) == {"▁"}
+
+    def test_empty(self):
+        assert sparkline([]) == ""

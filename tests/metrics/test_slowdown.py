@@ -1,0 +1,42 @@
+"""Tests for the shared slowdown model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.slowdown import SlowdownModel
+
+
+class TestConversions:
+    def test_paper_anchor(self):
+        model = SlowdownModel(slow_latency=1e-6)
+        assert model.rate_for_slowdown(0.03) == pytest.approx(30_000)
+        assert model.slowdown_for_rate(30_000) == pytest.approx(0.03)
+
+    def test_round_trip(self):
+        model = SlowdownModel()
+        for slowdown in (0.01, 0.03, 0.1):
+            assert model.slowdown_for_rate(
+                model.rate_for_slowdown(slowdown)
+            ) == pytest.approx(slowdown)
+
+    def test_stall_time(self):
+        model = SlowdownModel(slow_latency=2e-6)
+        assert model.stall_time(1000) == pytest.approx(2e-3)
+
+    def test_throughput_factor(self):
+        model = SlowdownModel()
+        assert model.throughput_factor(0.0) == 1.0
+        assert model.throughput_factor(0.03) == pytest.approx(1 / 1.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SlowdownModel(slow_latency=0)
+        model = SlowdownModel()
+        with pytest.raises(ConfigError):
+            model.rate_for_slowdown(-0.1)
+        with pytest.raises(ConfigError):
+            model.slowdown_for_rate(-1)
+        with pytest.raises(ConfigError):
+            model.stall_time(-1)
+        with pytest.raises(ConfigError):
+            model.throughput_factor(-1)

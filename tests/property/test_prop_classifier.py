@@ -1,0 +1,121 @@
+"""Property-based tests for the classifier and correction selectors."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.classifier import select_cold_pages
+from repro.core.correction import select_promotions
+
+rates_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 60),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+budgets = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+@st.composite
+def classification_inputs(draw):
+    rates = draw(rates_arrays)
+    ids = np.arange(rates.size, dtype=np.int64) * 3  # arbitrary distinct ids
+    budget = draw(budgets)
+    return ids, rates, budget
+
+
+class TestClassifierProperties:
+    @given(classification_inputs())
+    @settings(max_examples=200)
+    def test_partition(self, inputs):
+        """Cold and hot partition the sample exactly."""
+        ids, rates, budget = inputs
+        result = select_cold_pages(ids, rates, budget)
+        combined = np.sort(np.concatenate([result.cold_pages, result.hot_pages]))
+        assert np.array_equal(combined, np.sort(ids))
+
+    @given(classification_inputs())
+    @settings(max_examples=200)
+    def test_budget_respected(self, inputs):
+        ids, rates, budget = inputs
+        result = select_cold_pages(ids, rates, budget)
+        rate_of = dict(zip(ids.tolist(), rates.tolist()))
+        total = sum(rate_of[p] for p in result.cold_pages.tolist())
+        assert total <= budget * (1 + 1e-9) + 1e-9
+
+    @given(classification_inputs())
+    @settings(max_examples=200)
+    def test_cold_pages_colder_than_hot(self, inputs):
+        """No hot page has a strictly lower rate than some cold page
+        (greedy optimality of the coldest-first order)."""
+        ids, rates, budget = inputs
+        result = select_cold_pages(ids, rates, budget)
+        if not result.cold_pages.size or not result.hot_pages.size:
+            return
+        rate_of = dict(zip(ids.tolist(), rates.tolist()))
+        max_cold = max(rate_of[p] for p in result.cold_pages.tolist())
+        min_hot = min(rate_of[p] for p in result.hot_pages.tolist())
+        assert max_cold <= min_hot + 1e-9
+
+    @given(classification_inputs(), st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=100)
+    def test_monotone_in_budget(self, inputs, factor):
+        """A bigger budget never selects fewer cold pages (Figure 11)."""
+        ids, rates, budget = inputs
+        small = select_cold_pages(ids, rates, budget)
+        large = select_cold_pages(ids, rates, budget * factor)
+        assert large.cold_pages.size >= small.cold_pages.size
+
+
+counts_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(0, 60),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+class TestCorrectionProperties:
+    @given(counts_arrays, budgets)
+    @settings(max_examples=200)
+    def test_residual_within_budget_or_everything_promoted(self, counts, budget):
+        ids = np.arange(counts.size, dtype=np.int64)
+        result = select_promotions(ids, counts, budget, interval=1.0)
+        assert (
+            result.residual_rate <= budget + 1e-6
+            or result.promote.size == counts.size
+        )
+
+    @given(counts_arrays, budgets)
+    @settings(max_examples=200)
+    def test_promotes_hottest(self, counts, budget):
+        """Every promoted page is at least as hot as every kept page."""
+        ids = np.arange(counts.size, dtype=np.int64)
+        result = select_promotions(ids, counts, budget, interval=1.0)
+        promoted = set(result.promote.tolist())
+        if not promoted or len(promoted) == counts.size:
+            return
+        min_promoted = min(counts[p] for p in promoted)
+        max_kept = max(
+            counts[i] for i in range(counts.size) if i not in promoted
+        )
+        assert min_promoted >= max_kept - 1e-9
+
+    @given(counts_arrays, budgets)
+    @settings(max_examples=200)
+    def test_no_promotion_when_under_budget(self, counts, budget):
+        ids = np.arange(counts.size, dtype=np.int64)
+        if counts.sum() <= budget:
+            result = select_promotions(ids, counts, budget, interval=1.0)
+            assert result.promote.size == 0
+
+    @given(counts_arrays, budgets)
+    @settings(max_examples=100)
+    def test_minimality(self, counts, budget):
+        """Promoting one fewer page would leave the set over budget."""
+        ids = np.arange(counts.size, dtype=np.int64)
+        result = select_promotions(ids, counts, budget, interval=1.0)
+        if result.promote.size == 0:
+            return
+        kept_rate = result.residual_rate
+        cheapest_promoted = min(counts[p] for p in result.promote.tolist())
+        assert kept_rate + cheapest_promoted > budget - 1e-6

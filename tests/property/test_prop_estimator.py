@@ -1,0 +1,55 @@
+"""Property-based tests for the rate estimator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import HugePageSample, estimate_rate
+
+
+class TestEstimatorProperties:
+    @given(
+        st.integers(0, 512),
+        st.lists(st.floats(0, 1e5, allow_nan=False), max_size=50),
+        st.floats(0.1, 100.0),
+    )
+    @settings(max_examples=200)
+    def test_non_negative(self, accessed, counts, interval):
+        sample = HugePageSample(0, accessed, np.asarray(counts))
+        assert estimate_rate(sample, interval) >= 0.0
+
+    @given(
+        st.integers(1, 512),
+        st.lists(st.floats(0, 1e5, allow_nan=False), min_size=1, max_size=50),
+        st.floats(0.1, 100.0),
+        st.floats(1.1, 10.0),
+    )
+    @settings(max_examples=200)
+    def test_scales_inversely_with_interval(self, accessed, counts, interval, factor):
+        sample = HugePageSample(0, accessed, np.asarray(counts))
+        short = estimate_rate(sample, interval)
+        long = estimate_rate(sample, interval * factor)
+        assert np.isclose(long, short / factor) or (short == 0 and long == 0)
+
+    @given(
+        st.integers(1, 511),
+        st.lists(st.floats(0.1, 1e5, allow_nan=False), min_size=1, max_size=50),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_accessed_count(self, accessed, counts):
+        """More accessed subpages at the same sample counts means a hotter
+        page estimate."""
+        counts_arr = np.asarray(counts)
+        lower = estimate_rate(HugePageSample(0, accessed, counts_arr), 1.0)
+        higher = estimate_rate(HugePageSample(0, accessed + 1, counts_arr), 1.0)
+        assert higher >= lower
+
+    @given(st.integers(1, 512), st.floats(0.0, 1e5, allow_nan=False))
+    @settings(max_examples=100)
+    def test_exact_when_fully_sampled(self, accessed, per_page_count):
+        """Poisoning every accessed subpage recovers the exact rate."""
+        counts = np.full(accessed, per_page_count)
+        estimate = estimate_rate(HugePageSample(0, accessed, counts), 1.0)
+        assert estimate == (per_page_count * accessed) or np.isclose(
+            estimate, per_page_count * accessed
+        )

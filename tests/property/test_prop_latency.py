@@ -1,0 +1,41 @@
+"""Property-based tests for the latency model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyModel
+
+base_latencies = st.floats(1e-5, 1e-1, allow_nan=False)
+accesses = st.floats(1.0, 200.0, allow_nan=False)
+probabilities = st.floats(0.0, 1.0, allow_nan=False)
+
+
+class TestLatencyProperties:
+    @given(base_latencies, accesses, probabilities)
+    @settings(max_examples=150)
+    def test_mean_never_below_baseline(self, base, n, q):
+        model = LatencyModel(base_latency=base, accesses_per_op=n)
+        assert model.mean(q) >= base - 1e-15
+
+    @given(base_latencies, accesses, probabilities, probabilities)
+    @settings(max_examples=150)
+    def test_mean_monotone_in_q(self, base, n, q1, q2):
+        model = LatencyModel(base_latency=base, accesses_per_op=n)
+        lo, hi = sorted((q1, q2))
+        assert model.mean(lo) <= model.mean(hi) + 1e-15
+
+    @given(base_latencies, accesses, probabilities)
+    @settings(max_examples=150)
+    def test_percentiles_ordered(self, base, n, q):
+        model = LatencyModel(base_latency=base, accesses_per_op=n)
+        p50 = model.percentile(q, 50)
+        p95 = model.percentile(q, 95)
+        p99 = model.percentile(q, 99)
+        assert base <= p50 <= p95 <= p99
+
+    @given(base_latencies, accesses, probabilities)
+    @settings(max_examples=150)
+    def test_degradation_non_negative(self, base, n, q):
+        model = LatencyModel(base_latency=base, accesses_per_op=n)
+        assert model.degradation(q) >= -1e-12
+        assert model.degradation(q, 99) >= -1e-12

@@ -1,0 +1,111 @@
+"""Property-based tests for page-table invariants under random operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import MappingError
+from repro.mem.page_table import PageTable
+from repro.units import SUBPAGES_PER_HUGE_PAGE, huge_to_base
+
+NUM_REGIONS = 8
+
+
+class PageTableMachine(RuleBasedStateMachine):
+    """Random map/split/collapse/unmap sequences keep the table coherent."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = PageTable()
+        # Model state: region -> one of {"unmapped", "huge", "split"}.
+        self.model = {region: "unmapped" for region in range(NUM_REGIONS)}
+
+    regions = st.integers(0, NUM_REGIONS - 1)
+
+    @rule(region=regions)
+    def map_huge(self, region):
+        if self.model[region] == "unmapped":
+            self.table.map_huge(region, region * SUBPAGES_PER_HUGE_PAGE // 512)
+            self.model[region] = "huge"
+        else:
+            try:
+                self.table.map_huge(region, 0)
+                raise AssertionError("double map should have failed")
+            except MappingError:
+                pass
+
+    @rule(region=regions)
+    def split(self, region):
+        if self.model[region] == "huge":
+            self.table.split_huge(region)
+            self.model[region] = "split"
+        else:
+            try:
+                self.table.split_huge(region)
+                raise AssertionError("split of non-huge should have failed")
+            except MappingError:
+                pass
+
+    @rule(region=regions)
+    def collapse(self, region):
+        if self.model[region] == "split":
+            self.table.collapse_huge(region)
+            self.model[region] = "huge"
+        else:
+            try:
+                self.table.collapse_huge(region)
+                raise AssertionError("collapse of non-split should have failed")
+            except MappingError:
+                pass
+
+    @rule(region=regions)
+    def unmap(self, region):
+        if self.model[region] == "huge":
+            self.table.unmap_huge(region)
+            self.model[region] = "unmapped"
+
+    @rule(region=regions, write=st.booleans())
+    def translate(self, region, write):
+        address = region * SUBPAGES_PER_HUGE_PAGE * 4096 + 123
+        result = self.table.translate(address, write=write)
+        if self.model[region] == "unmapped":
+            assert result.entry is None
+        elif self.model[region] == "huge":
+            assert result.huge
+        else:
+            assert not result.huge
+
+    @invariant()
+    def mapped_bytes_match_model(self):
+        huge_count = sum(1 for s in self.model.values() if s == "huge")
+        split_count = sum(1 for s in self.model.values() if s == "split")
+        expected = huge_count * 2 * 1024 * 1024 + split_count * 512 * 4096
+        assert self.table.mapped_bytes() == expected
+
+    @invariant()
+    def split_state_matches_model(self):
+        for region, state in self.model.items():
+            assert self.table.is_split(region) == (state == "split")
+            if state == "split":
+                first = huge_to_base(region)
+                assert all(
+                    self.table.lookup_base(first + off) is not None
+                    for off in range(SUBPAGES_PER_HUGE_PAGE)
+                )
+
+
+TestPageTableStateMachine = PageTableMachine.TestCase
+
+
+class TestSplitCollapseIdentity:
+    @given(st.integers(0, 100), st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_repeated_split_collapse_is_identity(self, region, repeats):
+        table = PageTable()
+        table.map_huge(region, 4)
+        original_frame = table.lookup_huge(region).frame
+        for _ in range(repeats):
+            table.split_huge(region)
+            table.collapse_huge(region)
+        assert table.lookup_huge(region).frame == original_frame
+        assert table.mapped_bytes() == 2 * 1024 * 1024

@@ -1,0 +1,78 @@
+"""Property-based tests for tiered-state conservation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.numa import NumaTopology
+from repro.sim.clock import VirtualClock
+from repro.sim.state import TieredMemoryState
+from repro.units import HUGE_PAGE_SIZE
+
+NUM_PAGES = 24
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["demote", "promote", "split", "collapse", "grow"]),
+        st.lists(st.integers(0, NUM_PAGES - 1), max_size=8),
+    ),
+    max_size=30,
+)
+
+
+def apply(state: TieredMemoryState, op: str, ids_list: list[int]) -> None:
+    ids = np.asarray(ids_list, dtype=np.int64)
+    ids = ids[ids < state.num_huge_pages]
+    if op == "demote":
+        state.demote(ids)
+    elif op == "promote":
+        state.promote(ids)
+    elif op == "split":
+        state.set_split(ids, True)
+    elif op == "collapse":
+        state.set_split(ids, False)
+    elif op == "grow":
+        state.grow(state.num_huge_pages + len(ids_list) % 3)
+
+
+class TestConservation:
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_pages_conserved(self, ops):
+        """No operation creates or destroys pages; the footprint breakdown
+        always sums to the footprint."""
+        state = TieredMemoryState(NUM_PAGES, NumaTopology.small(), VirtualClock())
+        for op, ids in ops:
+            apply(state, op, ids)
+            breakdown = state.footprint_breakdown()
+            assert sum(breakdown.values()) == state.num_huge_pages * HUGE_PAGE_SIZE
+
+    @given(operations)
+    @settings(max_examples=150, deadline=None)
+    def test_tier_capacity_matches_masks(self, ops):
+        """Tier allocations always equal the pages placed there."""
+        state = TieredMemoryState(NUM_PAGES, NumaTopology.small(), VirtualClock())
+        for op, ids in ops:
+            apply(state, op, ids)
+            slow_pages = int(np.count_nonzero(state.slow_mask()))
+            fast_pages = state.num_huge_pages - slow_pages
+            assert (
+                state.topology.slow.tier.allocated_bytes
+                == slow_pages * HUGE_PAGE_SIZE
+            )
+            assert (
+                state.topology.fast.tier.allocated_bytes
+                == fast_pages * HUGE_PAGE_SIZE
+            )
+
+    @given(operations)
+    @settings(max_examples=100, deadline=None)
+    def test_demote_promote_round_trip(self, ops):
+        """After arbitrary operations, promoting everything empties the
+        slow tier."""
+        state = TieredMemoryState(NUM_PAGES, NumaTopology.small(), VirtualClock())
+        for op, ids in ops:
+            apply(state, op, ids)
+        state.promote(np.arange(state.num_huge_pages))
+        assert state.cold_fraction() == 0.0
+        assert state.topology.slow.tier.allocated_bytes == 0

@@ -1,0 +1,88 @@
+"""Property-based tests for TLB invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.tlb import Tlb, TlbGeometry, TlbHierarchy
+
+vpns = st.integers(0, 10_000)
+
+
+class TestTlbProperties:
+    @given(st.lists(vpns, max_size=200))
+    @settings(max_examples=100)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        tlb = Tlb(entries=16, associativity=4)
+        for vpn in stream:
+            if not tlb.lookup(vpn):
+                tlb.fill(vpn)
+            assert tlb.occupancy <= 16
+
+    @given(st.lists(vpns, max_size=200))
+    @settings(max_examples=100)
+    def test_fill_then_immediate_lookup_hits(self, stream):
+        tlb = Tlb(entries=16, associativity=4)
+        for vpn in stream:
+            tlb.fill(vpn)
+            assert tlb.lookup(vpn)
+
+    @given(st.lists(vpns, max_size=100), vpns)
+    @settings(max_examples=100)
+    def test_invalidate_guarantees_miss(self, stream, victim):
+        tlb = Tlb(entries=32, associativity=4)
+        for vpn in stream:
+            tlb.fill(vpn)
+        tlb.invalidate(victim)
+        hits_before = tlb.hits
+        assert not tlb.lookup(victim)
+        assert tlb.hits == hits_before
+
+    @given(st.lists(vpns, max_size=50))
+    @settings(max_examples=50)
+    def test_hit_plus_miss_equals_lookups(self, stream):
+        tlb = Tlb(entries=8, associativity=2)
+        for vpn in stream:
+            tlb.lookup(vpn)
+        assert tlb.hits + tlb.misses == len(stream)
+
+
+class TestHierarchyProperties:
+    @given(st.lists(st.tuples(vpns, st.booleans()), max_size=150))
+    @settings(max_examples=75)
+    def test_l1_hit_implies_earlier_fill(self, stream):
+        """Never hit on a translation that was not filled since its last
+        invalidation."""
+        hierarchy = TlbHierarchy(TlbGeometry(l1_4k_entries=8, l1_4k_associativity=2,
+                                             l1_2m_entries=8, l1_2m_associativity=2,
+                                             l2_entries=32, l2_associativity=4))
+        filled: set[tuple[int, bool]] = set()
+        for vpn, huge in stream:
+            result = hierarchy.access(vpn, huge)
+            if result.hit_level:
+                assert (vpn, huge) in filled
+            else:
+                hierarchy.fill(vpn, huge)
+                filled.add((vpn, huge))
+
+    @given(st.lists(vpns, max_size=100))
+    @settings(max_examples=50)
+    def test_reach_advantage_under_strided_access(self, stream):
+        """For the same access stream, the 2MB side misses no more often
+        than the 4KB side when addresses span many 4KB pages."""
+        geo = TlbGeometry(l1_4k_entries=8, l1_4k_associativity=2,
+                          l1_2m_entries=8, l1_2m_associativity=2,
+                          l2_entries=16, l2_associativity=4)
+        h4k = TlbHierarchy(geo)
+        h2m = TlbHierarchy(geo)
+        misses_4k = misses_2m = 0
+        for address in np.asarray(stream, dtype=np.int64) * 4096:
+            r = h4k.access(address >> 12, huge=False)
+            if r.needs_walk:
+                misses_4k += 1
+                h4k.fill(address >> 12, huge=False)
+            r = h2m.access(address >> 21, huge=True)
+            if r.needs_walk:
+                misses_2m += 1
+                h2m.fill(address >> 21, huge=True)
+        assert misses_2m <= misses_4k

@@ -1,0 +1,45 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.advance(0.5) == 3.0
+        assert clock.now == 3.0
+
+    def test_advance_zero_allowed(self):
+        clock = VirtualClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_rewind_rejected(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+    def test_repr_mentions_time(self):
+        assert "2.000" in repr(VirtualClock(2.0))

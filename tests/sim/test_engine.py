@@ -1,0 +1,152 @@
+"""Tests for the epoch simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AllDramPolicy, StaticFractionPolicy
+from repro.config import SimulationConfig
+from repro.sim.engine import EpochSimulation, run_simulation
+from repro.units import SLOW_MEMORY_LATENCY, SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+
+
+def make_workload(num_huge: int = 8, rate_per_page: float = 100.0) -> RateModelWorkload:
+    rates = np.full(num_huge * SUBPAGES_PER_HUGE_PAGE, rate_per_page / 512)
+    return RateModelWorkload("uniform", rates, baseline_ops_per_second=1000.0)
+
+
+class TestAllDramRun:
+    def test_no_slow_accesses(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=120, epoch=30, seed=0),
+        )
+        assert result.average_slowdown == 0.0
+        assert result.average_cold_fraction == 0.0
+        assert result.stats.counter("total_slow_accesses").value == 0
+
+    def test_epoch_count(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=100, epoch=30, seed=0),
+        )
+        assert result.stats.counter("epochs").value == 3
+        assert result.duration == pytest.approx(90.0)
+
+    def test_throughput_matches_baseline(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=60, epoch=30, seed=0),
+        )
+        assert result.achieved_ops_per_second == pytest.approx(1000.0)
+
+
+class TestStaticPlacementRun:
+    def test_slowdown_matches_model(self):
+        """Demoting half a uniform workload costs half the accesses * t_s."""
+        workload = make_workload(num_huge=10, rate_per_page=100.0)
+        result = run_simulation(
+            workload,
+            StaticFractionPolicy(0.5),
+            SimulationConfig(duration=600, epoch=30, seed=3, stochastic=False),
+        )
+        # Placement takes effect after epoch 1; expected slow rate is
+        # 500 acc/s -> slowdown 500 * 1us = 0.05%.
+        expected = 0.5 * 10 * 100.0 * SLOW_MEMORY_LATENCY
+        settled = result.series("slowdown").values[2:]
+        assert np.mean(settled) == pytest.approx(expected, rel=0.05)
+
+    def test_cold_fraction_series_recorded(self):
+        result = run_simulation(
+            make_workload(),
+            StaticFractionPolicy(0.25),
+            SimulationConfig(duration=120, epoch=30, seed=0),
+        )
+        assert result.final_cold_fraction == pytest.approx(0.25)
+        assert len(result.series("cold_fraction")) == 4
+
+    def test_footprint_breakdown_recorded(self):
+        result = run_simulation(
+            make_workload(num_huge=4),
+            StaticFractionPolicy(0.5),
+            SimulationConfig(duration=90, epoch=30, seed=0),
+        )
+        cold = result.series("cold_2mb_bytes").last().value
+        hot = result.series("hot_2mb_bytes").last().value
+        assert cold + hot == 4 * 2 * 1024 * 1024
+
+
+class TestResultMetrics:
+    def test_throughput_degradation_formula(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=60, epoch=30, seed=0),
+        )
+        assert result.throughput_degradation == pytest.approx(0.0)
+
+    def test_summary_keys(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=60, epoch=30, seed=0),
+        )
+        summary = result.summary()
+        for key in (
+            "average_slowdown",
+            "average_cold_fraction",
+            "final_cold_fraction",
+            "migration_rate_mbps",
+            "correction_rate_mbps",
+        ):
+            assert key in summary
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run_once():
+            return run_simulation(
+                make_workload(),
+                StaticFractionPolicy(0.5),
+                SimulationConfig(duration=300, epoch=30, seed=9),
+            )
+
+        a, b = run_once(), run_once()
+        assert np.array_equal(
+            a.series("slow_access_rate").values, b.series("slow_access_rate").values
+        )
+
+    def test_different_seed_differs(self):
+        def run_once(seed):
+            return run_simulation(
+                make_workload(),
+                StaticFractionPolicy(0.5),
+                SimulationConfig(duration=300, epoch=30, seed=seed),
+            )
+
+        a, b = run_once(1), run_once(2)
+        assert not np.array_equal(
+            a.series("slow_access_rate").values, b.series("slow_access_rate").values
+        )
+
+
+class TestGrowthHandling:
+    def test_growing_workload_grows_state(self):
+        from repro.workloads.cassandra import CassandraWorkload
+
+        base_rates = np.full(2 * SUBPAGES_PER_HUGE_PAGE, 0.1)
+        workload = CassandraWorkload(
+            "mini-cassandra",
+            base_rates,
+            growth_bytes=4 * 2 * 1024 * 1024,
+            growth_duration=120.0,
+            file_mapped_bytes=0,
+        )
+        sim = EpochSimulation(
+            workload, AllDramPolicy(), SimulationConfig(duration=240, epoch=30, seed=0)
+        )
+        result = sim.run()
+        assert result.state.num_huge_pages == 6

@@ -1,0 +1,61 @@
+"""Tests for epoch access profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim.profile import EpochProfile
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+
+
+def make_profile(num_huge: int = 2, duration: float = 30.0) -> EpochProfile:
+    counts = np.zeros(num_huge * SUBPAGES_PER_HUGE_PAGE, dtype=np.int64)
+    return EpochProfile(start_time=0.0, duration=duration, counts=counts)
+
+
+class TestValidation:
+    def test_partial_huge_page_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochProfile(0.0, 30.0, np.zeros(100, dtype=np.int64))
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochProfile(0.0, 0.0, np.zeros(512, dtype=np.int64))
+
+    def test_2d_counts_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochProfile(0.0, 1.0, np.zeros((2, 512), dtype=np.int64))
+
+    def test_bad_write_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            EpochProfile(0.0, 1.0, np.zeros(512, np.int64), write_fraction=1.5)
+
+
+class TestAggregation:
+    def test_shapes(self):
+        profile = make_profile(num_huge=3)
+        assert profile.num_base_pages == 3 * 512
+        assert profile.num_huge_pages == 3
+        assert profile.subpage_counts().shape == (3, 512)
+
+    def test_huge_counts_sum_subpages(self):
+        profile = make_profile(num_huge=2)
+        profile.counts[0] = 3
+        profile.counts[511] = 4
+        profile.counts[512] = 5
+        huge = profile.huge_counts()
+        assert huge[0] == 7
+        assert huge[1] == 5
+
+    def test_total_accesses(self):
+        profile = make_profile()
+        profile.counts[10] = 9
+        assert profile.total_accesses() == 9
+
+    def test_accessed_masks(self):
+        profile = make_profile(num_huge=2)
+        profile.counts[0] = 1
+        assert profile.accessed_mask()[0]
+        assert not profile.accessed_mask()[1]
+        assert profile.huge_accessed_mask()[0]
+        assert not profile.huge_accessed_mask()[1]

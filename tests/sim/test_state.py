@@ -1,0 +1,128 @@
+"""Tests for the tiered memory state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationError, SimulationError
+from repro.mem.migration import MigrationReason
+from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
+from repro.sim.clock import VirtualClock
+from repro.sim.state import TieredMemoryState
+from repro.units import HUGE_PAGE_SIZE
+
+
+@pytest.fixture
+def state() -> TieredMemoryState:
+    return TieredMemoryState(
+        num_huge_pages=10,
+        topology=NumaTopology.small(),
+        clock=VirtualClock(),
+    )
+
+
+class TestInitialState:
+    def test_everything_starts_fast(self, state):
+        assert state.num_huge_pages == 10
+        assert not state.slow_mask().any()
+        assert state.cold_fraction() == 0.0
+
+    def test_fast_tier_reserved(self, state):
+        assert state.topology.fast.tier.allocated_bytes == 10 * HUGE_PAGE_SIZE
+
+
+class TestDemotePromote:
+    def test_demote_updates_tier(self, state):
+        moved = state.demote(np.array([1, 3]))
+        assert moved == 2
+        assert set(state.slow_ids()) == {1, 3}
+        assert state.cold_fraction() == pytest.approx(0.2)
+
+    def test_demote_idempotent(self, state):
+        state.demote(np.array([1]))
+        assert state.demote(np.array([1])) == 0
+
+    def test_promote_reverses(self, state):
+        state.demote(np.array([1, 2]))
+        moved = state.promote(np.array([2]))
+        assert moved == 1
+        assert set(state.slow_ids()) == {1}
+
+    def test_out_of_range_rejected(self, state):
+        with pytest.raises(MigrationError):
+            state.demote(np.array([10]))
+        with pytest.raises(MigrationError):
+            state.demote(np.array([-1]))
+
+    def test_empty_call_is_noop(self, state):
+        assert state.demote(np.array([], dtype=np.int64)) == 0
+
+    def test_capacity_moves_with_pages(self, state):
+        state.demote(np.arange(4))
+        assert state.topology.slow.tier.allocated_bytes == 4 * HUGE_PAGE_SIZE
+        assert state.topology.fast.tier.allocated_bytes == 6 * HUGE_PAGE_SIZE
+
+
+class TestTrafficAccounting:
+    def test_whole_page_demotion_is_huge_traffic(self, state):
+        state.demote(np.array([0]))
+        records = state.migration.records
+        assert len(records) == 1
+        assert records[0].huge
+        assert records[0].reason is MigrationReason.DEMOTION
+
+    def test_split_page_demotion_is_4kb_traffic(self, state):
+        state.set_split(np.array([0]), True)
+        state.demote(np.array([0]))
+        record = state.migration.records[0]
+        assert not record.huge
+        assert record.bytes_moved == HUGE_PAGE_SIZE  # same bytes, 512 pieces
+
+    def test_promotion_is_correction_traffic(self, state):
+        state.demote(np.array([0]))
+        state.promote(np.array([0]))
+        assert (
+            state.migration.bytes_moved(MigrationReason.CORRECTION)
+            == HUGE_PAGE_SIZE
+        )
+
+
+class TestGrowth:
+    def test_grow_adds_fast_pages(self, state):
+        state.grow(15)
+        assert state.num_huge_pages == 15
+        assert state.tier[10:].tolist() == [FAST_NODE] * 5
+        assert not state.split[10:].any()
+
+    def test_grow_preserves_placement(self, state):
+        state.demote(np.array([2]))
+        state.grow(12)
+        assert state.tier[2] == SLOW_NODE
+
+    def test_shrink_rejected(self, state):
+        with pytest.raises(SimulationError):
+            state.grow(5)
+
+    def test_grow_noop(self, state):
+        state.grow(10)
+        assert state.num_huge_pages == 10
+
+
+class TestBreakdown:
+    def test_footprint_breakdown_sums_to_total(self, state):
+        state.demote(np.array([0, 1, 2]))
+        state.set_split(np.array([2, 5]), True)
+        breakdown = state.footprint_breakdown()
+        assert sum(breakdown.values()) == 10 * HUGE_PAGE_SIZE
+
+    def test_breakdown_categories(self, state):
+        state.demote(np.array([0, 1]))
+        state.set_split(np.array([1, 5]), True)
+        breakdown = state.footprint_breakdown()
+        assert breakdown["cold_2mb_bytes"] == 1 * HUGE_PAGE_SIZE  # page 0
+        assert breakdown["cold_4kb_bytes"] == 1 * HUGE_PAGE_SIZE  # page 1
+        assert breakdown["hot_4kb_bytes"] == 1 * HUGE_PAGE_SIZE  # page 5
+        assert breakdown["hot_2mb_bytes"] == 7 * HUGE_PAGE_SIZE
+
+    def test_empty_state(self):
+        state = TieredMemoryState(0, NumaTopology.small(), VirtualClock())
+        assert state.cold_fraction() == 0.0

@@ -1,0 +1,120 @@
+"""Tests for counters, time series, and histograms."""
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
+
+
+class TestCounter:
+    def test_starts_at_initial(self):
+        assert Counter("x").value == 0.0
+        assert Counter("x", 5).value == 5.0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+
+    def test_reset_returns_held_value(self):
+        counter = Counter("x", 7)
+        assert counter.reset() == 7
+        assert counter.value == 0.0
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        ts = TimeSeries("s")
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 3.0)
+        assert len(ts) == 2
+        assert list(ts.values) == [1.0, 3.0]
+        assert list(ts.times) == [0.0, 1.0]
+
+    def test_time_must_not_decrease(self):
+        ts = TimeSeries("s")
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries("s")
+        ts.record(1.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_last(self):
+        ts = TimeSeries("s")
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        sample = ts.last()
+        assert sample.time == 2.0
+        assert sample.value == 20.0
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").last()
+
+    def test_mean_and_max(self):
+        ts = TimeSeries("s")
+        for i, v in enumerate([1.0, 2.0, 6.0]):
+            ts.record(float(i), v)
+        assert ts.mean() == pytest.approx(3.0)
+        assert ts.max() == pytest.approx(6.0)
+
+    def test_mean_empty_is_nan(self):
+        assert np.isnan(TimeSeries("s").mean())
+
+    def test_windowed_mean(self):
+        ts = TimeSeries("s")
+        for i in range(6):
+            ts.record(float(i), float(i))
+        smoothed = ts.windowed_mean(2.0)
+        assert len(smoothed) == 3
+        assert smoothed.values[0] == pytest.approx(0.5)
+        assert smoothed.values[1] == pytest.approx(2.5)
+
+    def test_windowed_mean_bad_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").windowed_mean(0.0)
+
+    def test_windowed_mean_empty(self):
+        assert len(TimeSeries("s").windowed_mean(1.0)) == 0
+
+
+class TestHistogram:
+    def test_observe_and_percentile(self):
+        hist = Histogram("h")
+        hist.extend(range(101))
+        assert hist.count == 101
+        assert hist.percentile(50) == pytest.approx(50.0)
+        assert hist.percentile(99) == pytest.approx(99.0)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(50)
+
+    def test_mean(self):
+        hist = Histogram("h")
+        hist.observe(2.0)
+        hist.observe(4.0)
+        assert hist.mean() == pytest.approx(3.0)
+
+
+class TestStatsRegistry:
+    def test_counter_created_on_first_use(self):
+        registry = StatsRegistry()
+        registry.counter("a").add(1)
+        registry.counter("a").add(1)
+        assert registry.counter("a").value == 2
+
+    def test_timeseries_identity(self):
+        registry = StatsRegistry()
+        assert registry.timeseries("x") is registry.timeseries("x")
+
+    def test_snapshot(self):
+        registry = StatsRegistry()
+        registry.counter("a").add(2)
+        registry.counter("b").add(3)
+        assert registry.snapshot() == {"a": 2, "b": 3}

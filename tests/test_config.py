@@ -1,0 +1,83 @@
+"""Tests for configuration dataclasses."""
+
+import pytest
+
+from repro.config import SimulationConfig, ThermostatConfig
+from repro.errors import ConfigError
+
+
+class TestThermostatConfig:
+    def test_paper_defaults(self):
+        cfg = ThermostatConfig()
+        assert cfg.tolerable_slowdown == pytest.approx(0.03)
+        assert cfg.slow_memory_latency == pytest.approx(1e-6)
+        assert cfg.scan_interval == pytest.approx(30.0)
+        assert cfg.sample_fraction == pytest.approx(0.05)
+        assert cfg.max_poisoned_subpages == 50
+
+    def test_budget_is_30k(self):
+        """3% at 1us is the paper's 30,000 accesses/sec (Figure 3)."""
+        assert ThermostatConfig().slow_access_rate_budget == pytest.approx(30_000)
+
+    def test_budget_scales_with_slowdown(self):
+        cfg = ThermostatConfig(tolerable_slowdown=0.06)
+        assert cfg.slow_access_rate_budget == pytest.approx(60_000)
+
+    def test_budget_scales_with_latency(self):
+        cfg = ThermostatConfig(slow_memory_latency=2e-6)
+        assert cfg.slow_access_rate_budget == pytest.approx(15_000)
+
+    def test_with_slowdown_returns_new_config(self):
+        cfg = ThermostatConfig()
+        swept = cfg.with_slowdown(0.10)
+        assert swept.tolerable_slowdown == pytest.approx(0.10)
+        assert cfg.tolerable_slowdown == pytest.approx(0.03)
+
+    @pytest.mark.parametrize("slowdown", [0.0, 1.0, -0.1, 2.0])
+    def test_bad_slowdown_rejected(self, slowdown):
+        with pytest.raises(ConfigError):
+            ThermostatConfig(tolerable_slowdown=slowdown)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermostatConfig(slow_memory_latency=0)
+
+    def test_bad_sample_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermostatConfig(sample_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ThermostatConfig(sample_fraction=1.5)
+
+    def test_bad_poison_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermostatConfig(max_poisoned_subpages=0)
+
+    def test_bad_demotion_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            ThermostatConfig(max_demotion_fraction=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ThermostatConfig().tolerable_slowdown = 0.5  # type: ignore[misc]
+
+
+class TestSimulationConfig:
+    def test_num_epochs(self):
+        cfg = SimulationConfig(duration=300, epoch=30)
+        assert cfg.num_epochs == 10
+
+    def test_num_epochs_truncates(self):
+        cfg = SimulationConfig(duration=100, epoch=30)
+        assert cfg.num_epochs == 3
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(duration=0)
+
+    def test_epoch_longer_than_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(duration=10, epoch=30)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(footprint_scale=0)

@@ -1,0 +1,67 @@
+"""Tests for guest memory maps and the vmexit cost model."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.virt.guest import GuestMemoryMap, VmexitModel
+
+
+class TestVmexitModel:
+    def test_guest_side_cheaper(self):
+        """Section 4.2: BadgerTrap must live in the guest."""
+        model = VmexitModel()
+        assert model.guest_handled() < model.host_handled()
+        assert model.guest_side_speedup() > 1.0
+
+    def test_guest_cost_is_fault_latency(self):
+        model = VmexitModel(guest_fault_latency=2e-6)
+        assert model.guest_handled() == pytest.approx(2e-6)
+
+    def test_host_cost_adds_exit_and_retag(self):
+        model = VmexitModel(
+            guest_fault_latency=1e-6, vmexit_round_trip=2e-6, retag_penalty=5e-7
+        )
+        assert model.host_handled() == pytest.approx(3.5e-6)
+
+
+class TestGuestMemoryMap:
+    def test_map_and_translate(self):
+        gmap = GuestMemoryMap()
+        gmap.map_page(5, 100)
+        assert gmap.translate(5) == 100
+        assert 5 in gmap
+        assert len(gmap) == 1
+
+    def test_double_map_rejected(self):
+        gmap = GuestMemoryMap()
+        gmap.map_page(5, 100)
+        with pytest.raises(MappingError):
+            gmap.map_page(5, 200)
+
+    def test_translate_missing_rejected(self):
+        with pytest.raises(MappingError):
+            GuestMemoryMap().translate(9)
+
+    def test_map_huge_installs_512(self):
+        gmap = GuestMemoryMap()
+        gmap.map_huge(0, 512)
+        assert len(gmap) == 512
+        assert gmap.translate(0) == 512
+        assert gmap.translate(511) == 1023
+
+    def test_map_huge_requires_alignment(self):
+        gmap = GuestMemoryMap()
+        with pytest.raises(MappingError):
+            gmap.map_huge(1, 512)
+        with pytest.raises(MappingError):
+            gmap.map_huge(0, 5)
+
+    def test_remap_returns_old_frame(self):
+        gmap = GuestMemoryMap()
+        gmap.map_page(3, 7)
+        assert gmap.remap(3, 9) == 7
+        assert gmap.translate(3) == 9
+
+    def test_remap_missing_rejected(self):
+        with pytest.raises(MappingError):
+            GuestMemoryMap().remap(3, 9)

@@ -1,0 +1,130 @@
+"""Tests for the nested-paging and translation-overhead models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem.tlb import TlbGeometry
+from repro.units import GB, MB, NANOSECOND
+from repro.virt.nested import (
+    NestedPagingModel,
+    TranslationOverheadModel,
+    WorkloadTranslationProfile,
+    tlb_reach,
+    zipf_like_concentration,
+)
+
+
+def make_profile(
+    footprint: int = 16 * GB,
+    hot_fraction: float = 0.001,
+    hot_mass: float = 0.5,
+    accesses_per_op: float = 10.0,
+    cpu_time: float = 1e-6,
+) -> WorkloadTranslationProfile:
+    return WorkloadTranslationProfile(
+        name="test",
+        footprint_bytes=footprint,
+        accesses_per_op=accesses_per_op,
+        cpu_time_per_op=cpu_time,
+        data_latency=30 * NANOSECOND,
+        concentration=zipf_like_concentration(hot_fraction, hot_mass, footprint),
+    )
+
+
+class TestNestedPagingModel:
+    def test_virtualized_walks_longer(self):
+        virt = NestedPagingModel.virtualized()
+        native = NestedPagingModel.native()
+        assert virt.walk_steps(False) == 24
+        assert native.walk_steps(False) == 4
+        assert virt.walk_latency(False) > native.walk_latency(False)
+
+    def test_huge_cheaper_both_ways(self):
+        for model in (NestedPagingModel.virtualized(), NestedPagingModel.native()):
+            assert model.walk_latency(True) < model.walk_latency(False)
+
+
+class TestTlbReach:
+    def test_huge_reach_much_larger(self):
+        geo = TlbGeometry.xeon_e5_v3()
+        assert tlb_reach(geo, huge=True) > 100 * tlb_reach(geo, huge=False)
+
+    def test_4k_reach_value(self):
+        geo = TlbGeometry.xeon_e5_v3()
+        assert tlb_reach(geo, huge=False) == (64 + 1024) * 4096
+
+
+class TestConcentration:
+    def test_monotone_and_bounded(self):
+        conc = zipf_like_concentration(0.01, 0.9, 1000 * MB)
+        values = [conc(x * MB) for x in (0, 1, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_hot_region_carries_hot_mass(self):
+        footprint = 1000 * MB
+        conc = zipf_like_concentration(0.01, 0.9, footprint)
+        assert conc(0.01 * footprint) == pytest.approx(0.9)
+
+    def test_clamps_out_of_range(self):
+        conc = zipf_like_concentration(0.1, 0.5, 100)
+        assert conc(-5) == 0.0
+        assert conc(1e9) == pytest.approx(1.0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigError):
+            zipf_like_concentration(0.0, 0.9, 100)
+        with pytest.raises(ConfigError):
+            zipf_like_concentration(0.5, 1.5, 100)
+
+
+class TestTranslationOverheadModel:
+    def test_miss_fraction_higher_for_4k(self):
+        model = TranslationOverheadModel()
+        profile = make_profile()
+        assert model.tlb_miss_fraction(profile, False) > model.tlb_miss_fraction(
+            profile, True
+        )
+
+    def test_small_footprint_hits_floor(self):
+        model = TranslationOverheadModel()
+        profile = make_profile(footprint=1 * MB)
+        assert model.tlb_miss_fraction(profile, True) == pytest.approx(0.001)
+
+    def test_thp_gain_positive_for_memory_bound(self):
+        model = TranslationOverheadModel()
+        assert model.thp_gain(make_profile(cpu_time=0.0)) > 0.05
+
+    def test_thp_gain_vanishes_for_cpu_bound(self):
+        model = TranslationOverheadModel()
+        assert model.thp_gain(make_profile(cpu_time=1.0)) < 1e-3
+
+    def test_virtualization_magnifies_gain(self):
+        """The paper's Section 2.2 argument."""
+        profile = make_profile(cpu_time=0.0)
+        virt_gain = TranslationOverheadModel(
+            paging=NestedPagingModel.virtualized()
+        ).thp_gain(profile)
+        native_gain = TranslationOverheadModel(
+            paging=NestedPagingModel.native()
+        ).thp_gain(profile)
+        assert virt_gain > 1.5 * native_gain
+
+    def test_throughput_is_inverse_time(self):
+        model = TranslationOverheadModel()
+        profile = make_profile()
+        assert model.throughput(profile, True) == pytest.approx(
+            1.0 / model.time_per_op(profile, True)
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadTranslationProfile(
+                name="bad",
+                footprint_bytes=0,
+                accesses_per_op=1,
+                cpu_time_per_op=0,
+                data_latency=1e-9,
+                concentration=lambda x: x,
+            )

@@ -1,0 +1,98 @@
+"""Tests for the Cassandra model: growth, cooling, churn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.cassandra import CassandraWorkload
+
+
+def make_cassandra(**kwargs):
+    kwargs.setdefault("growth_bytes", 8 * 2 * 1024 * 1024)
+    kwargs.setdefault("growth_duration", 100.0)
+    kwargs.setdefault("file_mapped_bytes", 0)
+    base_rates = np.full(4 * SUBPAGES_PER_HUGE_PAGE, 0.5)
+    return CassandraWorkload("cass", base_rates, **kwargs)
+
+
+class TestGrowth:
+    def test_starts_at_base_footprint(self):
+        workload = make_cassandra()
+        assert workload.num_huge_pages_at(0.0) == 4
+
+    def test_grows_linearly(self):
+        workload = make_cassandra()
+        assert workload.num_huge_pages_at(50.0) == 8
+        assert workload.num_huge_pages_at(100.0) == 12
+
+    def test_growth_caps_at_final(self):
+        workload = make_cassandra()
+        assert workload.num_huge_pages_at(1e6) == 12
+        assert workload.total_huge_pages == 12
+
+    def test_rates_length_tracks_growth(self):
+        workload = make_cassandra()
+        assert workload.rates_at(0.0).size == 4 * 512
+        assert workload.rates_at(100.0).size == 12 * 512
+
+    def test_non_decreasing(self):
+        workload = make_cassandra()
+        sizes = [workload.num_huge_pages_at(t) for t in np.linspace(0, 200, 40)]
+        assert sizes == sorted(sizes)
+
+
+class TestCooling:
+    def test_fresh_pages_hot_then_cool(self):
+        workload = make_cassandra(
+            fresh_page_rate=100.0, decay_time=50.0, floor_page_rate=0.1,
+            churn_interval=None,
+        )
+        # At t=100 growth is complete; the earliest-grown page has aged
+        # ~100s, the newest ~0s.
+        rates = workload.rates_at(100.0)
+        grown = rates[4 * 512 :]
+        oldest, newest = grown[0], grown[-1]
+        assert newest > 50.0
+        assert oldest < newest
+
+    def test_cooled_pages_reach_floor(self):
+        workload = make_cassandra(
+            fresh_page_rate=100.0, decay_time=10.0, floor_page_rate=0.25,
+            churn_interval=None,
+        )
+        rates = workload.rates_at(1000.0)
+        oldest = rates[4 * 512]
+        assert oldest == pytest.approx(0.25, rel=0.01)
+
+
+class TestChurn:
+    def test_churn_boosts_rotating_window(self):
+        workload = make_cassandra(
+            churn_interval=60.0, churn_fraction=0.01, churn_page_rate=5.0
+        )
+        base = make_cassandra(churn_interval=None)
+        churned = workload.rates_at(0.0)
+        plain = base.rates_at(0.0)
+        boosted = np.flatnonzero(churned[: 4 * 512] > plain[: 4 * 512])
+        assert boosted.size >= 1
+
+    def test_churn_window_rotates(self):
+        workload = make_cassandra(
+            churn_interval=60.0, churn_fraction=0.01, churn_page_rate=5.0
+        )
+        first = workload.rates_at(0.0).copy()
+        second = workload.rates_at(70.0)
+        assert not np.array_equal(first[: 4 * 512], second[: 4 * 512])
+
+
+class TestValidation:
+    def test_bad_growth(self):
+        with pytest.raises(WorkloadError):
+            make_cassandra(growth_bytes=-1)
+        with pytest.raises(WorkloadError):
+            make_cassandra(growth_duration=0.0)
+
+    def test_file_exceeding_base_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_cassandra(file_mapped_bytes=1 << 40)

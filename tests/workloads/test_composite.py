@@ -1,0 +1,104 @@
+"""Tests for multi-tenant composite workloads."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.errors import WorkloadError
+from repro.sim.engine import run_simulation
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+from repro.workloads.composite import CompositeWorkload
+
+
+def make_member(name, num_huge, rate_per_page):
+    rates = np.full(num_huge * SUBPAGES_PER_HUGE_PAGE,
+                    rate_per_page / SUBPAGES_PER_HUGE_PAGE)
+    return RateModelWorkload(name, rates, baseline_ops_per_second=100.0)
+
+
+class TestConstruction:
+    def test_footprints_concatenate(self):
+        composite = CompositeWorkload(
+            "pair", [make_member("a", 4, 1.0), make_member("b", 6, 1.0)]
+        )
+        assert composite.total_huge_pages == 10
+        assert composite.member_range(0) == (0, 4)
+        assert composite.member_range(1) == (4, 10)
+
+    def test_rates_concatenate(self):
+        composite = CompositeWorkload(
+            "pair", [make_member("a", 2, 1.0), make_member("b", 2, 100.0)]
+        )
+        rates = composite.rates_at(0.0)
+        assert rates.size == 4 * SUBPAGES_PER_HUGE_PAGE
+        assert rates[: 2 * 512].sum() == pytest.approx(2.0)
+        assert rates[2 * 512 :].sum() == pytest.approx(200.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            CompositeWorkload("empty", [])
+
+    def test_growing_member_rejected(self):
+        from repro.workloads.cassandra import CassandraWorkload
+
+        growing = CassandraWorkload(
+            "grow",
+            np.full(512, 1.0),
+            growth_bytes=4 * 2 * 1024 * 1024,
+            growth_duration=100.0,
+            file_mapped_bytes=0,
+        )
+        with pytest.raises(WorkloadError):
+            CompositeWorkload("bad", [growing])
+
+    def test_bad_member_index(self):
+        composite = CompositeWorkload("one", [make_member("a", 2, 1.0)])
+        with pytest.raises(WorkloadError):
+            composite.member_range(1)
+
+
+class TestSharedBudget:
+    def test_budget_flows_to_coldest_tenant(self):
+        """A shared Thermostat gives the slow tier to whichever tenant has
+        the coldest pages — host-level efficiency the per-VM view misses."""
+        cold_tenant = make_member("batch", 16, 5.0)       # nearly idle
+        hot_tenant = make_member("frontend", 16, 50_000.0)
+        composite = CompositeWorkload("host", [cold_tenant, hot_tenant])
+        result = run_simulation(
+            composite,
+            ThermostatPolicy(),
+            SimulationConfig(duration=1200, epoch=30, seed=6),
+        )
+        fractions = composite.member_cold_fractions(result.state.slow_mask())
+        assert fractions["batch"] > 0.8
+        assert fractions["frontend"] < 0.1
+
+    def test_profiles_concatenate(self):
+        composite = CompositeWorkload(
+            "pair", [make_member("a", 2, 10.0), make_member("b", 2, 10.0)]
+        )
+        rng = np.random.default_rng(0)
+        profile = composite.epoch_profile(0.0, 30.0, rng, stochastic=False)
+        assert profile.num_huge_pages == 4
+
+    def test_duty_disabled_when_no_member_uses_it(self):
+        composite = CompositeWorkload(
+            "pair", [make_member("a", 2, 1.0), make_member("b", 2, 1.0)]
+        )
+        assert composite.huge_page_duty(composite.rates_at(0.0)) is None
+
+    def test_duty_stitched_per_member(self):
+        duty_member = RateModelWorkload(
+            "duty",
+            np.full(2 * 512, 1.0 / 512),
+            duty_threshold=100.0,
+            duty_floor=0.2,
+        )
+        plain = make_member("plain", 2, 1.0)
+        composite = CompositeWorkload("mix", [duty_member, plain])
+        duty = composite.huge_page_duty(composite.rates_at(0.0))
+        assert duty is not None
+        assert np.all(duty[:2] == pytest.approx(0.2))
+        assert np.all(duty[2:] == 1.0)

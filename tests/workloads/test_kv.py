@@ -1,0 +1,63 @@
+"""Tests for the key-value workload (drift behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.kv import KeyValueWorkload
+
+
+def make_kv(drift_interval=None, drift_fraction=0.0, num_pages=2048):
+    rates = np.concatenate(
+        [np.full(num_pages // 2, 0.01), np.full(num_pages // 2, 10.0)]
+    )
+    return KeyValueWorkload(
+        "kv",
+        rates,
+        drift_interval=drift_interval,
+        drift_fraction=drift_fraction,
+        drift_seed=1,
+    )
+
+
+class TestStatic:
+    def test_rates_stable_without_drift(self):
+        workload = make_kv()
+        before = workload.rates_at(0.0).copy()
+        after = workload.rates_at(10_000.0)
+        assert np.array_equal(before, after)
+
+
+class TestDrift:
+    def test_drift_swaps_temperatures(self):
+        workload = make_kv(drift_interval=100.0, drift_fraction=0.01)
+        before = workload.rates_at(0.0).copy()
+        after = workload.rates_at(150.0)
+        changed = np.flatnonzero(before != after)
+        assert changed.size > 0
+        # Total rate is preserved by swapping.
+        assert after.sum() == pytest.approx(before.sum())
+
+    def test_drift_events_fire_once(self):
+        workload = make_kv(drift_interval=100.0, drift_fraction=0.01)
+        workload.rates_at(150.0)
+        snapshot = workload.rates_at(150.0).copy()
+        again = workload.rates_at(199.0)
+        assert np.array_equal(snapshot, again)
+
+    def test_multiple_events_accumulate(self):
+        workload = make_kv(drift_interval=100.0, drift_fraction=0.01)
+        workload.rates_at(0.0)
+        one = workload.rates_at(150.0).copy()
+        many = workload.rates_at(1050.0)
+        assert not np.array_equal(one, many)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_kv(drift_interval=0.0, drift_fraction=0.01)
+        with pytest.raises(WorkloadError):
+            make_kv(drift_interval=10.0, drift_fraction=1.0)
+
+    def test_file_exceeding_footprint_rejected(self):
+        with pytest.raises(WorkloadError):
+            KeyValueWorkload("kv", np.ones(10), file_mapped_bytes=1 << 30)

@@ -1,0 +1,126 @@
+"""Tests for the paper-suite workload registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import GB
+from repro.workloads import WORKLOAD_NAMES, make_workload, workload_suite
+from repro.workloads.registry import (
+    BASELINE_OPS,
+    TABLE2_FOOTPRINTS,
+    TOTAL_ACCESS_RATES,
+)
+
+SCALE = 0.02  # tiny for test speed
+
+
+class TestSuiteConstruction:
+    def test_all_names_buildable(self):
+        suite = workload_suite(scale=SCALE)
+        assert set(suite) == set(WORKLOAD_NAMES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("memcached")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("redis", scale=0.0)
+        with pytest.raises(WorkloadError):
+            make_workload("redis", scale=2.0)
+
+    def test_variants(self):
+        write_heavy = make_workload("aerospike-write", scale=SCALE)
+        assert write_heavy.write_fraction == pytest.approx(0.95)
+        read_heavy = make_workload("cassandra-read", scale=SCALE)
+        assert read_heavy.write_fraction == pytest.approx(0.05)
+
+
+class TestCalibrationInvariants:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_footprint_scales(self, name):
+        workload = make_workload(name, scale=SCALE)
+        paper_total = sum(TABLE2_FOOTPRINTS[name])
+        # Growing workloads report the initial RSS; compare total model
+        # footprint (final) against paper total.
+        model_total = workload.total_base_pages * 4096
+        assert model_total == pytest.approx(paper_total * SCALE, rel=0.15)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_total_rate_is_scale_invariant(self, name):
+        """Aggregate access rates must not depend on scale, or budget
+        comparisons (cold fractions) would change with scale."""
+        small = make_workload(name, scale=SCALE).total_access_rate(0.0)
+        large = make_workload(name, scale=4 * SCALE).total_access_rate(0.0)
+        assert small == pytest.approx(large, rel=0.1)
+        assert small == pytest.approx(TOTAL_ACCESS_RATES[name], rel=0.35)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic_given_seed(self, name):
+        a = make_workload(name, scale=SCALE, seed=9).rates_at(0.0)
+        b = make_workload(name, scale=SCALE, seed=9).rates_at(0.0)
+        assert np.array_equal(a, b)
+
+    def test_baseline_ops_match_paper(self):
+        assert BASELINE_OPS["redis"] == pytest.approx(188_000)
+        assert BASELINE_OPS["aerospike"] == pytest.approx(176_000)
+        assert BASELINE_OPS["web-search"] == pytest.approx(50)
+
+    def test_table2_values(self):
+        assert TABLE2_FOOTPRINTS["redis"][0] == pytest.approx(17.2 * GB, rel=0.01)
+        assert TABLE2_FOOTPRINTS["cassandra"] == (8 * GB, 4 * GB)
+
+
+class TestShapeSignatures:
+    def test_redis_has_extreme_hotspot(self):
+        rates = make_workload("redis", scale=SCALE).rates_at(0.0)
+        top = np.sort(rates)[::-1]
+        hot_count = max(1, int(1e-4 / SCALE * rates.size))
+        assert top[:hot_count].sum() > 0.85 * rates.sum()
+
+    def test_tpcc_has_large_dead_region(self):
+        rates = make_workload("mysql-tpcc", scale=SCALE).rates_at(0.0)
+        huge = rates.reshape(-1, 512).sum(axis=1)
+        nearly_dead = (huge < 1.0 / SCALE * 0.05).mean()
+        assert nearly_dead > 0.3
+
+    def test_websearch_dead_band(self):
+        rates = make_workload("web-search", scale=SCALE).rates_at(0.0)
+        huge = rates.reshape(-1, 512).sum(axis=1)
+        assert (huge < 1.0).mean() > 0.3
+
+    def test_aerospike_gradient(self):
+        """Aerospike has a smooth gradient, not a two-band cliff."""
+        rates = make_workload("aerospike", scale=SCALE).rates_at(0.0)
+        huge = np.sort(rates.reshape(-1, 512).sum(axis=1))
+        quartiles = np.percentile(huge, [25, 50, 75])
+        assert quartiles[0] < quartiles[1] < quartiles[2]
+        assert quartiles[2] < 30 * max(quartiles[0], 1e-9)
+
+
+class TestYcsbBuiltVariant:
+    def test_ycsb_variant_buildable(self):
+        workload = make_workload("aerospike-ycsb", scale=SCALE)
+        assert workload.total_access_rate() == pytest.approx(1.408e6, rel=0.01)
+        assert workload.write_fraction == pytest.approx(0.05)
+
+    def test_ycsb_write_heavy_variant(self):
+        workload = make_workload("aerospike-ycsb-write", scale=SCALE)
+        assert workload.write_fraction == pytest.approx(0.95)
+
+    def test_ycsb_variant_agrees_with_curve_fit(self):
+        """Both Aerospike models must put the coldest-15% mass in the same
+        ballpark — the conclusions should not hinge on curve fitting."""
+        import numpy as np
+
+        def cold_tail_mass(workload, fraction=0.15):
+            huge = workload.rates_at(0.0).reshape(-1, 512).sum(axis=1)
+            huge = np.sort(huge)
+            take = max(1, int(fraction * huge.size))
+            return huge[:take].sum() / huge.sum()
+
+        fitted = cold_tail_mass(make_workload("aerospike", scale=SCALE))
+        ycsb = cold_tail_mass(make_workload("aerospike-ycsb", scale=SCALE))
+        assert ycsb < 0.12
+        assert fitted < 0.12

@@ -1,0 +1,87 @@
+"""Tests for YCSB specs and key-to-page aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import (
+    YcsbSpec,
+    page_rates_from_keys,
+    zipf_key_masses,
+)
+
+
+class TestYcsbSpec:
+    def test_read_heavy_defaults(self):
+        spec = YcsbSpec.read_heavy()
+        assert spec.read_fraction == pytest.approx(0.95)
+        assert spec.write_fraction == pytest.approx(0.05)
+        assert spec.ops_per_second == pytest.approx(176_000)
+
+    def test_write_heavy(self):
+        spec = YcsbSpec.write_heavy()
+        assert spec.read_fraction == pytest.approx(0.05)
+
+    def test_total_access_rate(self):
+        spec = YcsbSpec(1000, 1024, ops_per_second=100.0, accesses_per_op=4.0)
+        assert spec.total_access_rate == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec(0, 1024, 100.0)
+        with pytest.raises(WorkloadError):
+            YcsbSpec(10, 1024, 100.0, read_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            YcsbSpec(10, 1024, 100.0, zipf_exponent=0.0)
+
+
+class TestZipfKeyMasses:
+    def test_normalized(self):
+        masses = zipf_key_masses(10_000, 0.99)
+        assert masses.sum() == pytest.approx(1.0)
+
+    def test_rank_order(self):
+        masses = zipf_key_masses(100, 0.99)
+        assert np.all(np.diff(masses) < 0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            zipf_key_masses(0, 0.99)
+
+
+class TestPageRates:
+    def test_aggregation_flattens_skew(self):
+        """Packing keys into pages reduces page-level skew vs key-level."""
+        masses = zipf_key_masses(10_000, 0.99)
+        rates = page_rates_from_keys(masses, keys_per_page=10, total_rate=1.0,
+                                     num_pages=1000, shuffle=False)
+        key_top_share = masses[:10].sum()
+        page_top_share = rates[:1].sum()  # same number of keys (1 page)
+        assert page_top_share <= key_top_share + 1e-12
+
+    def test_total_rate_preserved(self):
+        masses = zipf_key_masses(1000, 0.99)
+        rates = page_rates_from_keys(masses, 10, 5000.0, 200, shuffle=False)
+        assert rates.sum() == pytest.approx(5000.0)
+
+    def test_slack_pages_get_zero(self):
+        masses = zipf_key_masses(100, 0.99)
+        rates = page_rates_from_keys(masses, 10, 1.0, 50, shuffle=False)
+        assert rates[10:].sum() == 0.0
+
+    def test_too_many_keys_rejected(self):
+        masses = zipf_key_masses(1000, 0.99)
+        with pytest.raises(WorkloadError):
+            page_rates_from_keys(masses, 1, 1.0, 10)
+
+    def test_shuffle_requires_rng(self):
+        masses = zipf_key_masses(10, 0.99)
+        with pytest.raises(WorkloadError):
+            page_rates_from_keys(masses, 2, 1.0, 10, rng=None, shuffle=True)
+
+    def test_validation(self):
+        masses = zipf_key_masses(10, 0.99)
+        with pytest.raises(WorkloadError):
+            page_rates_from_keys(masses, 0, 1.0, 10)
+        with pytest.raises(WorkloadError):
+            page_rates_from_keys(masses, 1, 1.0, 0)
