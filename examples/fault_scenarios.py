@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Fault scenarios: what happens when the happy path breaks.
+
+Runs the Redis workload under Thermostat five times — once clean, then
+under four injected adversity classes (flaky migrations, slow-tier
+capacity exhaustion, a worn-out slow device throwing uncorrectable
+errors, and a noisy monitoring pipeline losing samples amid BadgerTrap
+fault storms) — and prints how gracefully each degrades.  Every fault
+schedule is drawn from seeded RNG streams, so the numbers below are
+exactly reproducible.
+
+Run:
+    python examples/fault_scenarios.py
+"""
+
+from repro import (
+    FaultConfig,
+    SimulationConfig,
+    ThermostatConfig,
+    ThermostatPolicy,
+    make_workload,
+    run_simulation,
+)
+
+SCENARIOS: dict[str, FaultConfig] = {
+    "clean (no faults)": FaultConfig(),
+    "flaky migrations (50% attempt failure)": FaultConfig(
+        enabled=True,
+        migration_failure_rate=0.5,
+        max_migration_retries=3,
+        retry_backoff_seconds=1e-3,
+    ),
+    "capacity crunch (30% locked epochs)": FaultConfig(
+        enabled=True,
+        capacity_exhaustion_rate=0.3,
+        capacity_exhaustion_epochs=2,
+    ),
+    "worn slow device (UEs past 50K writes)": FaultConfig(
+        enabled=True,
+        ue_endurance_writes=50_000.0,
+        ue_probability=0.5,
+        ue_repair_seconds=2e-3,
+    ),
+    "noisy monitoring (storms + 30% lost samples)": FaultConfig(
+        enabled=True,
+        overhead_spike_rate=0.2,
+        overhead_spike_seconds=0.25,
+        sample_loss_rate=0.3,
+    ),
+}
+
+
+def main() -> None:
+    workload = make_workload("redis", scale=0.05)
+    print(f"workload: {workload.describe()}")
+    print("policy:   thermostat @ 3% tolerable slowdown, 30s scans")
+    print()
+
+    for label, faults in SCENARIOS.items():
+        result = run_simulation(
+            make_workload("redis", scale=0.05),
+            ThermostatPolicy(ThermostatConfig(tolerable_slowdown=0.03)),
+            SimulationConfig(duration=900.0, epoch=30.0, seed=1, faults=faults),
+        )
+        summary = result.fault_summary()
+        print(f"== {label}")
+        print(
+            f"   slowdown {100 * result.average_slowdown:.2f}%  "
+            f"cold {100 * result.final_cold_fraction:.1f}%  "
+            f"degraded epochs {summary['degraded_epochs']:.0f}/"
+            f"{result.stats.counter('epochs').value:.0f}"
+        )
+        interesting = {
+            key: value
+            for key, value in summary.items()
+            if value and key not in ("degraded_epochs", "degraded_fraction")
+        }
+        if interesting:
+            detail = "  ".join(
+                f"{key}={value:g}" for key, value in sorted(interesting.items())
+            )
+            print(f"   {detail}")
+        print()
+
+    print(
+        "The pipeline absorbs every scenario: failed work is retried or\n"
+        "deferred and re-planned, worn pages are rescued through the\n"
+        "correction path, and the cost shows up honestly in the slowdown\n"
+        "and the fault_* time series instead of as a crash."
+    )
+
+
+if __name__ == "__main__":
+    main()

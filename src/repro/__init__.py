@@ -18,13 +18,14 @@ Quick start::
 See README.md for the full tour and DESIGN.md for the system inventory.
 """
 
-from repro.config import SimulationConfig, ThermostatConfig
+from repro.config import FaultConfig, SimulationConfig, ThermostatConfig
 from repro.core.thermostat import ThermostatPolicy
 from repro.sim.engine import EpochSimulation, SimulationResult, run_simulation
 from repro.version import __version__
 from repro.workloads import WORKLOAD_NAMES, make_workload, workload_suite
 
 __all__ = [
+    "FaultConfig",
     "SimulationConfig",
     "ThermostatConfig",
     "ThermostatPolicy",

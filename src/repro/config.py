@@ -7,6 +7,10 @@ most 50 poisoned 4KB pages per sampled huge page.
 
 :class:`SimulationConfig` collects engine-level knobs (duration, seed,
 footprint scale) shared by experiments and benchmarks.
+
+:class:`FaultConfig` parameterizes the fault-injection layer
+(:mod:`repro.faults`).  The default injects nothing, so experiment outputs
+with and without the layer are bit-identical.
 """
 
 from __future__ import annotations
@@ -89,6 +93,103 @@ class ThermostatConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs (all off by default).
+
+    Every fault model draws from its own seeded child stream of the
+    simulation RNG, so enabling one model never perturbs another and runs
+    with the same seed produce identical fault schedules.
+    """
+
+    #: Master switch; when False no injector is built and no RNG streams
+    #: are consumed (seed runs stay bit-identical).
+    enabled: bool = False
+    #: Probability that one migration batch attempt transiently fails
+    #: (page pinned, target node busy).
+    migration_failure_rate: float = 0.0
+    #: Retry budget per migration batch before the batch is deferred.
+    max_migration_retries: int = 3
+    #: Backoff after the first failed attempt, seconds; doubles per retry.
+    #: Accounted as monitoring-grade overhead against the epoch.
+    retry_backoff_seconds: float = 1e-3
+    #: Per-epoch probability that the slow tier stops accepting demotions
+    #: (capacity exhaustion / allocation pressure).
+    capacity_exhaustion_rate: float = 0.0
+    #: How many consecutive epochs each capacity-exhaustion event lasts.
+    capacity_exhaustion_epochs: int = 1
+    #: Writes per slow huge-page region before its cells are worn enough
+    #: to risk uncorrectable errors; 0 disables the wear model.
+    ue_endurance_writes: float = 0.0
+    #: Per-epoch probability that a worn-out slow page suffers an
+    #: uncorrectable error.
+    ue_probability: float = 1.0
+    #: Machine-check handling + page rescue cost per uncorrectable error,
+    #: seconds.
+    ue_repair_seconds: float = 2e-3
+    #: Per-epoch probability of a monitoring-overhead spike (a BadgerTrap
+    #: poison-fault storm).
+    overhead_spike_rate: float = 0.0
+    #: Extra monitoring overhead per spike, seconds.
+    overhead_spike_seconds: float = 0.5
+    #: Probability that one huge page's access-bit sample is lost or
+    #: arrives too late for the classifier (the page looks idle).
+    sample_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "migration_failure_rate",
+            "capacity_exhaustion_rate",
+            "ue_probability",
+            "overhead_spike_rate",
+            "sample_loss_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]: {value}")
+        if self.migration_failure_rate >= 1.0 and self.enabled:
+            raise ConfigError(
+                "migration_failure_rate must be < 1 (a certain failure can "
+                f"never be retried out): {self.migration_failure_rate}"
+            )
+        if self.max_migration_retries < 0:
+            raise ConfigError(
+                f"max_migration_retries must be >= 0: {self.max_migration_retries}"
+            )
+        if self.retry_backoff_seconds < 0:
+            raise ConfigError(
+                f"retry_backoff_seconds must be >= 0: {self.retry_backoff_seconds}"
+            )
+        if self.capacity_exhaustion_epochs < 1:
+            raise ConfigError(
+                f"capacity_exhaustion_epochs must be >= 1: "
+                f"{self.capacity_exhaustion_epochs}"
+            )
+        if self.ue_endurance_writes < 0:
+            raise ConfigError(
+                f"ue_endurance_writes must be >= 0: {self.ue_endurance_writes}"
+            )
+        if self.ue_repair_seconds < 0:
+            raise ConfigError(
+                f"ue_repair_seconds must be >= 0: {self.ue_repair_seconds}"
+            )
+        if self.overhead_spike_seconds < 0:
+            raise ConfigError(
+                f"overhead_spike_seconds must be >= 0: {self.overhead_spike_seconds}"
+            )
+
+    @property
+    def any_faults_possible(self) -> bool:
+        """True when the configuration can inject at least one fault."""
+        return self.enabled and (
+            self.migration_failure_rate > 0
+            or self.capacity_exhaustion_rate > 0
+            or self.ue_endurance_writes > 0
+            or self.overhead_spike_rate > 0
+            or self.sample_loss_rate > 0
+        )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Engine-level knobs shared by experiments."""
 
@@ -104,6 +205,8 @@ class SimulationConfig:
     #: Draw per-epoch access counts from a Poisson around the rate model
     #: (True) or use deterministic expectations (False, for tests).
     stochastic: bool = True
+    #: Fault-injection knobs; the default injects nothing.
+    faults: FaultConfig = field(default_factory=FaultConfig)
     extra: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

@@ -78,6 +78,10 @@ class ThermostatPolicy(PlacementPolicy):
         #: budget, pause demotions for one interval and let the correction
         #: mechanism drain the excess first.
         self._over_budget = False
+        #: Cold-classified pages whose demotion was deferred (slow-tier
+        #: backpressure or exhausted migration retries); re-offered at the
+        #: head of the next interval's demotion list.
+        self._deferred_cold: np.ndarray = np.empty(0, dtype=np.int64)
         #: Without-replacement sampler (built lazily with the policy rng).
         self._sampler: CyclingSampler | None = None
 
@@ -102,6 +106,15 @@ class ThermostatPolicy(PlacementPolicy):
         overhead = 0.0
         demoted = promoted = 0
         diagnostics: dict = {}
+        demote_candidates = np.empty(0, dtype=np.int64)
+        rate_by_id: dict[int, float] = {}
+        # Rate-limit demotion (migration is throttled in practice); after an
+        # over-budget interval, pause entirely — demoting while the
+        # correction mechanism is still draining excess slow traffic only
+        # prolongs the overshoot.
+        demotion_cap = max(1, int(cfg.max_demotion_fraction * state.num_huge_pages))
+        if self._over_budget:
+            demotion_cap = 0
         if self._slow_rate_ewma.size < state.num_huge_pages:
             self._slow_rate_ewma = np.concatenate(
                 [
@@ -150,24 +163,14 @@ class ThermostatPolicy(PlacementPolicy):
             cold_now_fast = classification.cold_pages[
                 ~slow_before[classification.cold_pages]
             ]
-            # Rate-limit demotion (migration is throttled in practice); the
-            # coldest candidates go first.  After an over-budget interval,
-            # pause entirely — demoting while the correction mechanism is
-            # still draining excess slow traffic only prolongs the overshoot.
-            demotion_cap = max(1, int(cfg.max_demotion_fraction * state.num_huge_pages))
-            if self._over_budget:
-                demotion_cap = 0
-                cold_now_fast = cold_now_fast[:0]
-            if cold_now_fast.size > demotion_cap:
-                rate_of = dict(zip(sample.tolist(), estimated.tolist()))
-                order = np.argsort([rate_of.get(p, 0.0) for p in cold_now_fast.tolist()])
-                cold_now_fast = cold_now_fast[order[:demotion_cap]]
-            demoted = state.demote(cold_now_fast)
-            # Seed the correction EWMA with the estimated rates so a newly
-            # demoted page is not presumed free until proven otherwise.
+            # The coldest candidates go first under the demotion cap.
             rate_by_id = dict(zip(sample.tolist(), estimated.tolist()))
-            for page in cold_now_fast.tolist():
-                self._slow_rate_ewma[page] = rate_by_id.get(page, 0.0)
+            if cold_now_fast.size > demotion_cap:
+                order = np.argsort(
+                    [rate_by_id.get(p, 0.0) for p in cold_now_fast.tolist()]
+                )
+                cold_now_fast = cold_now_fast[order[:demotion_cap]]
+            demote_candidates = cold_now_fast
 
             # Accessed-bit scans on split pages: one shootdown per subpage
             # per scan (split scan + poison scan).
@@ -178,6 +181,36 @@ class ThermostatPolicy(PlacementPolicy):
             diagnostics["cold_selected"] = int(classification.cold_pages.size)
             diagnostics["cold_rate"] = classification.cold_rate
             diagnostics["sample_budget"] = classification.budget
+
+        # ------------------------------------------------------------------
+        # Demote — fresh classifications plus re-planned deferrals.  Pages
+        # whose demotion was deferred last interval (backpressure, failed
+        # migrations) go to the head of the list; the engine's graceful
+        # degradation means state.demote never raises under pressure.
+        # ------------------------------------------------------------------
+        carry = self._deferred_cold
+        if carry.size:
+            carry = carry[carry < state.num_huge_pages]
+            carry = carry[~slow_before[carry]]
+            if demotion_cap == 0:
+                carry = carry[:0]
+        if carry.size:
+            combined = np.concatenate([carry, demote_candidates])
+            _, first_seen = np.unique(combined, return_index=True)
+            combined = combined[np.sort(first_seen)][:demotion_cap]
+        else:
+            combined = demote_candidates
+        demoted = state.demote(combined)
+        self._deferred_cold = state.last_deferred_demotions.copy()
+        deferred = int(self._deferred_cold.size)
+        # Seed the correction EWMA with the estimated rates so a newly
+        # demoted page is not presumed free until proven otherwise.
+        for page in combined.tolist():
+            self._slow_rate_ewma[page] = rate_by_id.get(
+                page, float(self._slow_rate_ewma[page])
+            )
+        if deferred:
+            diagnostics["deferred_demotions"] = deferred
 
         # ------------------------------------------------------------------
         # Correction — monitor every page that spent the epoch in slow
@@ -227,5 +260,6 @@ class ThermostatPolicy(PlacementPolicy):
             overhead_seconds=overhead,
             demoted=demoted,
             promoted=promoted,
+            deferred=deferred,
             diagnostics=diagnostics,
         )

@@ -32,6 +32,20 @@ class MigrationError(ReproError):
     """A page migration could not be performed (e.g. tier out of capacity)."""
 
 
+class RetryExhaustedError(MigrationError):
+    """A retryable operation kept failing past its retry budget.
+
+    Subclasses :class:`MigrationError` because today the only retryable
+    operation is a page migration; callers that already handle migration
+    failures keep working, while the epoch path catches this specifically
+    to defer the pages instead of crashing.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection layer was configured or driven incorrectly."""
+
+
 class CapacityError(ReproError):
     """A memory tier or zone ran out of frames."""
 

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from repro.config import SimulationConfig, ThermostatConfig
 from repro.baselines import OraclePolicy
-from repro.core.thermostat import ThermostatPolicy
 from repro.experiments.common import (
     DEFAULT_SCALE,
     DEFAULT_SEED,

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, run_thermostat
 from repro.metrics.report import format_figure_series, format_table
 from repro.sim.engine import SimulationResult
-from repro.units import GB
 
 #: Figure number per workload, and the paper's caption numbers.
 FIGURES = {

@@ -19,6 +19,7 @@ from typing import Callable
 from repro.experiments import common
 from repro.experiments import (
     ext_counting,
+    ext_faults,
     ext_latency,
     ext_oracle,
     ext_thp_tradeoff,
@@ -69,6 +70,9 @@ EXPERIMENTS: dict[str, Callable[[float, int], str]] = {
     "table4": lambda scale, seed: table4_cost.render(table4_cost.run(scale, seed)),
     # Extensions beyond the paper's tables (Section 6 material).
     "ext-counting": lambda scale, seed: ext_counting.render(ext_counting.run(seed)),
+    "ext-faults": lambda scale, seed: ext_faults.render(
+        ext_faults.run(scale, seed)
+    ),
     "ext-wear": lambda scale, seed: ext_wear.render(
         ext_wear.run_lifetimes(scale, seed), ext_wear.run_start_gap_demo(seed=seed)
     ),

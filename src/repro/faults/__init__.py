@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the tiered-memory pipeline.
+
+See :mod:`repro.faults.injector` for the per-run facade and
+:mod:`repro.faults.models` for the individual adversity classes.  Enable
+via :class:`repro.config.FaultConfig`; the default injects nothing.
+"""
+
+from repro.faults.injector import EpochFaultEvents, FaultInjector
+from repro.faults.models import (
+    CapacityFaultModel,
+    FaultModel,
+    MigrationFaultModel,
+    OverheadSpikeModel,
+    SampleLossModel,
+    WearFaultModel,
+)
+
+__all__ = [
+    "EpochFaultEvents",
+    "FaultInjector",
+    "FaultModel",
+    "MigrationFaultModel",
+    "CapacityFaultModel",
+    "WearFaultModel",
+    "OverheadSpikeModel",
+    "SampleLossModel",
+]

@@ -1,0 +1,203 @@
+"""Pluggable fault models for the tiered-memory pipeline.
+
+Each model covers one adversity class the deployability argument of the
+paper's Section 3.5 / Table 3 has to survive:
+
+* :class:`MigrationFaultModel` — transient migration failures (page
+  pinned by DMA, target node allocation busy); the migration engine
+  retries with exponential backoff.
+* :class:`CapacityFaultModel` — the slow tier temporarily stops
+  accepting demotions (capacity exhaustion, allocation pressure).
+* :class:`WearFaultModel` — uncorrectable slow-memory errors keyed off
+  the per-region write counts of :mod:`repro.mem.wear`.
+* :class:`OverheadSpikeModel` — monitoring-overhead spikes (BadgerTrap
+  poison-fault storms).
+* :class:`SampleLossModel` — access-bit samples that are lost or arrive
+  too late for the classifier, making sampled pages look idle.
+
+Models are deliberately tiny state machines over a private RNG stream:
+the :class:`~repro.faults.injector.FaultInjector` binds each one to a
+named child generator, so enabling one model never perturbs the fault
+schedule of another.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+
+class FaultModel(abc.ABC):
+    """One adversity class with a private RNG stream.
+
+    Models start unbound; :meth:`bind` attaches the child generator the
+    injector derived for them.  Drawing before binding is a programming
+    error.
+    """
+
+    #: Stable stream label; also used in diagnostics.
+    name: str = "fault"
+
+    def __init__(self) -> None:
+        self._rng: np.random.Generator | None = None
+
+    def bind(self, rng: np.random.Generator) -> None:
+        """Attach this model's dedicated random stream."""
+        self._rng = rng
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            raise FaultInjectionError(f"fault model {self.name!r} is unbound")
+        return self._rng
+
+
+class MigrationFaultModel(FaultModel):
+    """Transient migration failure: each batch attempt fails i.i.d."""
+
+    name = "migration"
+
+    def __init__(self, failure_rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= failure_rate < 1.0:
+            raise FaultInjectionError(
+                f"migration failure_rate must be in [0, 1): {failure_rate}"
+            )
+        self.failure_rate = failure_rate
+
+    def should_fail(self) -> bool:
+        """Does this migration attempt fail?"""
+        if self.failure_rate == 0.0:
+            return False
+        return bool(self.rng.random() < self.failure_rate)
+
+
+class CapacityFaultModel(FaultModel):
+    """Slow-tier capacity exhaustion arriving as multi-epoch episodes."""
+
+    name = "capacity"
+
+    def __init__(self, epoch_rate: float, duration_epochs: int) -> None:
+        super().__init__()
+        if not 0.0 <= epoch_rate <= 1.0:
+            raise FaultInjectionError(
+                f"capacity epoch_rate must be in [0, 1]: {epoch_rate}"
+            )
+        if duration_epochs < 1:
+            raise FaultInjectionError(
+                f"capacity duration_epochs must be >= 1: {duration_epochs}"
+            )
+        self.epoch_rate = epoch_rate
+        self.duration_epochs = duration_epochs
+        self._locked_remaining = 0
+
+    def locked_this_epoch(self) -> bool:
+        """Advance one epoch; True while an exhaustion episode is active."""
+        if self._locked_remaining > 0:
+            self._locked_remaining -= 1
+            return True
+        if self.epoch_rate and self.rng.random() < self.epoch_rate:
+            self._locked_remaining = self.duration_epochs - 1
+            return True
+        return False
+
+
+class WearFaultModel(FaultModel):
+    """Uncorrectable errors on worn-out slow-memory regions.
+
+    A slow huge-page region whose cumulative writes (tracked by a
+    :class:`repro.mem.wear.WearTracker`) exceed ``endurance_writes`` is
+    considered worn; each epoch every worn region independently suffers an
+    uncorrectable error with probability ``ue_probability``.  Recovery
+    (machine-check handling plus copying the page off the failing region)
+    is modelled by the engine: the page is promoted through the correction
+    path and its wear counter resets, standing in for a spare line
+    remapped by Start-Gap-class leveling.
+    """
+
+    name = "wear"
+
+    def __init__(self, endurance_writes: float, ue_probability: float) -> None:
+        super().__init__()
+        if endurance_writes <= 0:
+            raise FaultInjectionError(
+                f"endurance_writes must be positive: {endurance_writes}"
+            )
+        if not 0.0 <= ue_probability <= 1.0:
+            raise FaultInjectionError(
+                f"ue_probability must be in [0, 1]: {ue_probability}"
+            )
+        self.endurance_writes = endurance_writes
+        self.ue_probability = ue_probability
+
+    def sample_ue_pages(
+        self, write_counts: np.ndarray, candidate_ids: np.ndarray
+    ) -> np.ndarray:
+        """Ids among ``candidate_ids`` suffering an uncorrectable error.
+
+        ``write_counts`` is the full per-region cumulative write array;
+        only regions listed in ``candidate_ids`` (the pages currently in
+        slow memory) are eligible.
+        """
+        candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+        if candidate_ids.size == 0:
+            return candidate_ids
+        worn = candidate_ids[write_counts[candidate_ids] >= self.endurance_writes]
+        if worn.size == 0 or self.ue_probability == 0.0:
+            return worn[:0]
+        struck = self.rng.random(worn.size) < self.ue_probability
+        return worn[struck]
+
+
+class OverheadSpikeModel(FaultModel):
+    """Monitoring-overhead spikes: a poison-fault storm hits one epoch."""
+
+    name = "overhead"
+
+    def __init__(self, epoch_rate: float, spike_seconds: float) -> None:
+        super().__init__()
+        if not 0.0 <= epoch_rate <= 1.0:
+            raise FaultInjectionError(
+                f"overhead epoch_rate must be in [0, 1]: {epoch_rate}"
+            )
+        if spike_seconds < 0:
+            raise FaultInjectionError(
+                f"spike_seconds must be >= 0: {spike_seconds}"
+            )
+        self.epoch_rate = epoch_rate
+        self.spike_seconds = spike_seconds
+
+    def spike_this_epoch(self) -> float:
+        """Extra monitoring overhead (seconds) injected this epoch."""
+        if self.epoch_rate and self.rng.random() < self.epoch_rate:
+            return self.spike_seconds
+        return 0.0
+
+
+class SampleLossModel(FaultModel):
+    """Lost or delayed access-bit samples feeding the classifier.
+
+    Each huge page's observation is independently dropped with the
+    configured probability; a dropped page reports zero accesses to the
+    policy even though the engine already charged its true traffic.
+    """
+
+    name = "samples"
+
+    def __init__(self, loss_rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= loss_rate <= 1.0:
+            raise FaultInjectionError(
+                f"sample loss_rate must be in [0, 1]: {loss_rate}"
+            )
+        self.loss_rate = loss_rate
+
+    def lost_pages(self, num_huge_pages: int) -> np.ndarray:
+        """Ids of huge pages whose samples are lost this epoch."""
+        if num_huge_pages <= 0 or self.loss_rate == 0.0:
+            return np.empty(0, dtype=np.int64)
+        lost = self.rng.random(num_huge_pages) < self.loss_rate
+        return np.flatnonzero(lost).astype(np.int64)

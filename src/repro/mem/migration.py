@@ -17,13 +17,18 @@ The engine here performs the frame bookkeeping against the
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.errors import MigrationError
+from repro.errors import MigrationError, RetryExhaustedError
 from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
 from repro.sim.clock import VirtualClock
 from repro.sim.stats import StatsRegistry
 from repro.units import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 
 class MigrationReason(enum.Enum):
@@ -66,10 +71,40 @@ class MigrationEngine:
         self.clock = clock
         self.stats = stats or StatsRegistry()
         self.records: list[MigrationRecord] = []
+        #: Optional fault injector (set by the engine when faults are
+        #: enabled).  When present, each batch attempt may transiently
+        #: fail and is retried with exponential backoff.
+        self.injector: FaultInjector | None = None
 
     # ------------------------------------------------------------------
 
-    def _account(self, record: MigrationRecord) -> None:
+    def _accounted_record(
+        self,
+        source_node: int,
+        target_node: int,
+        huge: bool,
+        reason: MigrationReason,
+        count: int,
+    ) -> MigrationRecord:
+        """Validate one batch, build its record, and account the traffic.
+
+        The single accounting body shared by :meth:`migrate` (which also
+        moves capacity) and :meth:`record` (capacity handled by the
+        caller), so Table 3's streams cannot drift between the two paths.
+        """
+        if source_node == target_node:
+            raise MigrationError(f"migration within node {source_node}")
+        if count <= 0:
+            raise MigrationError(f"migration count must be positive: {count}")
+        page_bytes = HUGE_PAGE_SIZE if huge else BASE_PAGE_SIZE
+        record = MigrationRecord(
+            time=self.clock.now,
+            bytes_moved=page_bytes * count,
+            source_node=source_node,
+            target_node=target_node,
+            reason=reason,
+            huge=huge,
+        )
         self.records.append(record)
         stream = (
             "migration_bytes"
@@ -78,6 +113,32 @@ class MigrationEngine:
         )
         self.stats.counter(stream).add(record.bytes_moved)
         self.stats.counter("migrations").add(1)
+        return record
+
+    def _attempt_with_faults(self) -> None:
+        """Run the injected transient-failure/retry loop for one batch.
+
+        Each failed attempt costs one backoff period (doubling per
+        retry), accounted in the ``fault_retry_overhead_seconds`` counter
+        the engine folds into the epoch's monitoring overhead.  Raises
+        :class:`RetryExhaustedError` when the retry budget runs out.
+        """
+        injector = self.injector
+        if injector is None:
+            return
+        failures = 0
+        while injector.should_fail_migration():
+            failures += 1
+            self.stats.counter("fault_migration_failures").add(1)
+            if failures > injector.config.max_migration_retries:
+                self.stats.counter("fault_retry_exhausted").add(1)
+                raise RetryExhaustedError(
+                    f"migration batch failed {failures} times "
+                    f"(retry budget {injector.config.max_migration_retries})"
+                )
+            backoff = injector.config.retry_backoff_seconds * 2.0 ** (failures - 1)
+            self.stats.counter("fault_migration_retries").add(1)
+            self.stats.counter("fault_retry_overhead_seconds").add(backoff)
 
     def migrate(
         self,
@@ -91,11 +152,16 @@ class MigrationEngine:
 
         Returns the accounting record.  Frame allocation is performed on the
         target and released on the source, so tier capacities are enforced.
+        With a fault injector attached, the batch may transiently fail and
+        is retried with exponential backoff; a batch that exhausts its
+        retry budget raises :class:`RetryExhaustedError` without moving
+        anything (the epoch path defers those pages to the next interval).
         """
         if source_node == target_node:
             raise MigrationError(f"migration within node {source_node}")
         if count <= 0:
             raise MigrationError(f"migration count must be positive: {count}")
+        self._attempt_with_faults()
         source = self.topology.node(source_node).tier
         target = self.topology.node(target_node).tier
         page_bytes = HUGE_PAGE_SIZE if huge else BASE_PAGE_SIZE
@@ -103,16 +169,7 @@ class MigrationEngine:
         # on the mechanism path, tier arrays on the epoch path).
         target.reserve_bytes(page_bytes * count)
         source.release_bytes(page_bytes * count)
-        record = MigrationRecord(
-            time=self.clock.now,
-            bytes_moved=page_bytes * count,
-            source_node=source_node,
-            target_node=target_node,
-            reason=reason,
-            huge=huge,
-        )
-        self._account(record)
-        return record
+        return self._accounted_record(source_node, target_node, huge, reason, count)
 
     def record(
         self,
@@ -128,21 +185,7 @@ class MigrationEngine:
         through the tiers; this method only records the traffic so Table 3
         stays accurate without double-charging tier capacity.
         """
-        if source_node == target_node:
-            raise MigrationError(f"migration within node {source_node}")
-        if count <= 0:
-            raise MigrationError(f"migration count must be positive: {count}")
-        page_bytes = HUGE_PAGE_SIZE if huge else BASE_PAGE_SIZE
-        record = MigrationRecord(
-            time=self.clock.now,
-            bytes_moved=page_bytes * count,
-            source_node=source_node,
-            target_node=target_node,
-            reason=reason,
-            huge=huge,
-        )
-        self._account(record)
-        return record
+        return self._accounted_record(source_node, target_node, huge, reason, count)
 
     def demote(self, huge: bool, count: int = 1) -> MigrationRecord:
         """Fast -> slow movement of cold pages."""
@@ -168,14 +211,30 @@ class MigrationEngine:
             raise MigrationError(f"duration must be positive: {duration}")
         return self.bytes_moved(reason) / duration
 
+    @staticmethod
+    def _window_index(time: float, window: float) -> int:
+        """Bin index for ``time`` under half-open windows [k*w, (k+1)*w).
+
+        Uses true division + floor rather than ``//``: float floor-division
+        can land an exactly-on-boundary timestamp in the *earlier* bin
+        (``1.0 // 0.1 == 9.0`` while ``1.0 / 0.1 == 10.0``), which made the
+        binning inconsistent with the start-inclusive window semantics used
+        everywhere else (e.g. ``TimeSeries.windowed_mean``).
+        """
+        return math.floor(time / window)
+
     def peak_rate(self, reason: MigrationReason, window: float) -> float:
-        """Peak traffic (bytes/sec) over any aligned ``window``-second bin."""
+        """Peak traffic (bytes/sec) over any aligned ``window``-second bin.
+
+        Windows are half-open ``[k*window, (k+1)*window)``: a record landing
+        exactly on a boundary counts toward the window it starts.
+        """
         if window <= 0:
             raise MigrationError(f"window must be positive: {window}")
         bins: dict[int, int] = {}
         for record in self.records:
             if record.reason is reason:
-                key = int(record.time // window)
+                key = self._window_index(record.time, window)
                 bins[key] = bins.get(key, 0) + record.bytes_moved
         if not bins:
             return 0.0

@@ -75,6 +75,11 @@ class MemoryTier:
     _free_base: list[PageNumber] = field(default_factory=list)
     _free_huge: list[PageNumber] = field(default_factory=list)
     allocated_bytes: int = 0
+    #: Optional temporary cap below the hardware capacity (fault injection,
+    #: administrative offlining).  ``None`` means the full capacity is
+    #: usable.  Only the byte-reservation path honors it; frame identity
+    #: allocation is never fault-injected.
+    soft_limit_bytes: int | None = None
 
     @property
     def kind(self) -> TierKind:
@@ -88,6 +93,35 @@ class MemoryTier:
     @property
     def free_bytes(self) -> int:
         return self.spec.capacity_bytes - self.allocated_bytes
+
+    @property
+    def usable_capacity_bytes(self) -> int:
+        """Capacity currently accepting reservations (soft limit applied)."""
+        if self.soft_limit_bytes is None:
+            return self.spec.capacity_bytes
+        return min(self.spec.capacity_bytes, self.soft_limit_bytes)
+
+    @property
+    def usable_free_bytes(self) -> int:
+        """Bytes a reservation can still take right now (never negative)."""
+        return max(0, self.usable_capacity_bytes - self.allocated_bytes)
+
+    def set_soft_limit(self, nbytes: int | None) -> None:
+        """Cap usable capacity below the hardware size (``None`` clears).
+
+        Already-allocated bytes above a new limit stay allocated — the
+        limit only throttles *new* reservations, matching how allocation
+        pressure behaves on a real node.
+        """
+        if nbytes is not None and nbytes < 0:
+            raise ConfigError(f"soft limit must be >= 0: {nbytes}")
+        self.soft_limit_bytes = nbytes
+
+    def can_reserve(self, nbytes: int) -> bool:
+        """Would :meth:`reserve_bytes` succeed for ``nbytes`` right now?"""
+        if nbytes < 0:
+            raise ConfigError(f"cannot reserve negative bytes: {nbytes}")
+        return nbytes <= self.usable_free_bytes
 
     def _bump(self, frames: int, align: int) -> PageNumber:
         start = self._next_frame
@@ -134,10 +168,11 @@ class MemoryTier:
         """
         if nbytes < 0:
             raise ConfigError(f"cannot reserve negative bytes: {nbytes}")
-        if self.allocated_bytes + nbytes > self.spec.capacity_bytes:
+        if self.allocated_bytes + nbytes > self.usable_capacity_bytes:
             raise CapacityError(
                 f"{self.kind.value} tier exhausted: need {nbytes} bytes, "
-                f"{self.free_bytes} free"
+                f"{self.usable_free_bytes} usable "
+                f"({self.free_bytes} free of hardware capacity)"
             )
         self.allocated_bytes += nbytes
 

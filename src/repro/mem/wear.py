@@ -35,6 +35,23 @@ class WearTracker:
         self.num_lines = num_lines
         self.writes = np.zeros(num_lines, dtype=np.int64)
 
+    def grow(self, new_num_lines: int) -> None:
+        """Extend the tracked region; new lines start with zero wear.
+
+        Used by the epoch engine's fault layer, which tracks one line per
+        huge-page region of a footprint that may grow mid-run.
+        """
+        if new_num_lines < self.num_lines:
+            raise ConfigError(
+                f"tracked region cannot shrink: {self.num_lines} -> "
+                f"{new_num_lines}"
+            )
+        if new_num_lines == self.num_lines:
+            return
+        added = new_num_lines - self.num_lines
+        self.writes = np.concatenate([self.writes, np.zeros(added, dtype=np.int64)])
+        self.num_lines = new_num_lines
+
     def record(self, physical_line: int, count: int = 1) -> None:
         """Account ``count`` writes to one physical line."""
         if not 0 <= physical_line < self.num_lines:

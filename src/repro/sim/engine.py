@@ -27,8 +27,10 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
 from repro.mem.migration import MigrationReason
 from repro.mem.numa import NumaTopology, SLOW_NODE
+from repro.mem.wear import WearTracker
 from repro.rng import child_rng, make_rng
 from repro.sim.clock import VirtualClock
 from repro.sim.policy import PlacementPolicy
@@ -55,13 +57,15 @@ class SimulationResult:
 
     @property
     def average_slowdown(self) -> float:
-        """Mean achieved slowdown across epochs (fraction)."""
-        return self.stats.timeseries("slowdown").mean()
+        """Mean achieved slowdown across epochs (0.0 for zero-epoch runs)."""
+        series = self.stats.timeseries("slowdown")
+        return series.mean() if len(series) else 0.0
 
     @property
     def average_cold_fraction(self) -> float:
-        """Mean fraction of footprint in slow memory across epochs."""
-        return self.stats.timeseries("cold_fraction").mean()
+        """Mean fraction of footprint in slow memory (0.0 for zero epochs)."""
+        series = self.stats.timeseries("cold_fraction")
+        return series.mean() if len(series) else 0.0
 
     @property
     def final_cold_fraction(self) -> float:
@@ -121,6 +125,39 @@ class SimulationResult:
             "correction_rate_mbps": self.correction_rate_mbps(),
         }
 
+    def fault_summary(self) -> dict[str, float]:
+        """Aggregate fault-injection outcomes for the run.
+
+        All values are 0.0 when fault injection is disabled.  With a fixed
+        seed and faults enabled, repeated runs return identical dicts (the
+        injector draws from dedicated child RNG streams).
+        """
+        epochs = self.stats.counter("epochs").value
+        degraded = self.stats.counter("fault_degraded_epochs").value
+        return {
+            "degraded_epochs": degraded,
+            "degraded_fraction": degraded / epochs if epochs else 0.0,
+            "capacity_lock_epochs": self.stats.counter(
+                "fault_capacity_lock_epochs"
+            ).value,
+            "migration_failures": self.stats.counter(
+                "fault_migration_failures"
+            ).value,
+            "migration_retries": self.stats.counter("fault_migration_retries").value,
+            "retry_exhausted_batches": self.stats.counter(
+                "fault_retry_exhausted"
+            ).value,
+            "retry_overhead_seconds": self.stats.counter(
+                "fault_retry_overhead_seconds"
+            ).value,
+            "deferred_demotions": self.stats.counter("fault_deferred_pages").value,
+            "uncorrectable_errors": self.stats.counter("fault_ue_total").value,
+            "lost_sample_pages": self.stats.counter("fault_lost_sample_pages").value,
+            "fault_overhead_seconds": self.stats.counter(
+                "fault_overhead_seconds_total"
+            ).value,
+        }
+
 
 class EpochSimulation:
     """Drives one workload under one placement policy."""
@@ -157,12 +194,33 @@ class EpochSimulation:
         policy_rng = child_rng(rng, f"policy:{self.policy.name}")
         epoch = self.config.epoch
         slow_latency = self.topology.latency(SLOW_NODE)
+        # Fault injection (off by default): the injector and its wear
+        # tracker draw from dedicated child streams, so enabling them does
+        # not perturb the workload or policy randomness.
+        injector: FaultInjector | None = None
+        wear: WearTracker | None = None
+        if self.config.faults.enabled:
+            injector = FaultInjector.from_config(
+                self.config.faults, child_rng(rng, "faults")
+            )
+            self.state.migration.injector = injector
+            if injector.wear is not None:
+                wear = WearTracker(max(self.state.num_huge_pages, 1))
 
         for _ in range(self.config.num_epochs):
             start = self.clock.now
             needed = self.workload.num_huge_pages_at(start)
+            if needed < self.state.num_huge_pages:
+                raise SimulationError(
+                    f"workload {self.workload.name!r} shrank its footprint "
+                    f"from {self.state.num_huge_pages} to {needed} huge pages "
+                    f"at t={start:g}s; the engine only supports growth — "
+                    "model released memory as idle pages instead"
+                )
             if needed > self.state.num_huge_pages:
                 self.state.grow(needed)
+                if wear is not None:
+                    wear.grow(needed)
             profile = self.workload.epoch_profile(
                 start, epoch, workload_rng, stochastic=self.config.stochastic
             )
@@ -173,15 +231,63 @@ class EpochSimulation:
                 )
 
             # 2. Charge this epoch's slow-memory stalls against the current
-            # placement.
+            # placement (ground truth — observation faults never change it).
             huge_counts = profile.huge_counts()
-            slow_accesses = float(huge_counts[self.state.slow_mask()].sum())
+            slow_mask = self.state.slow_mask()
+            slow_accesses = float(huge_counts[slow_mask].sum())
             slow_rate = slow_accesses / epoch
 
+            # 2b. Schedule this epoch's faults and apply their immediate
+            # consequences: capacity lock, overhead spike, wear-induced
+            # uncorrectable errors (pages rescued through the correction
+            # path), and degraded monitoring for the policy's view.
+            fault_overhead = 0.0
+            ue_pages = lost_pages = 0
+            observed_profile = profile
+            retry_overhead_before = retries_before = 0.0
+            events = None
+            if injector is not None:
+                events = injector.begin_epoch()
+                self.state.demotion_locked = events.capacity_locked
+                fault_overhead += events.overhead_spike_seconds
+                observed_profile, lost = injector.observe_profile(profile)
+                lost_pages = int(lost.size)
+                if wear is not None:
+                    slow_ids = np.flatnonzero(slow_mask)
+                    epoch_writes = huge_counts[slow_ids] * profile.write_fraction
+                    wear.writes[slow_ids] += np.rint(epoch_writes).astype(np.int64)
+                    struck = injector.sample_ue_pages(wear.writes, slow_ids)
+                    if struck.size:
+                        # Machine-check recovery: copy each page off the
+                        # failing region (correction traffic) and remap the
+                        # worn cells to spares (wear counter resets).
+                        self.state.promote(struck)
+                        wear.writes[struck] = 0
+                        fault_overhead += (
+                            struck.size * self.config.faults.ue_repair_seconds
+                        )
+                        ue_pages = int(struck.size)
+                retry_overhead_before = self.stats.counter(
+                    "fault_retry_overhead_seconds"
+                ).value
+                retries_before = self.stats.counter("fault_migration_retries").value
+
             # 3. Let the policy observe and reshuffle.
-            report = self.policy.on_epoch(self.state, profile, policy_rng)
+            report = self.policy.on_epoch(self.state, observed_profile, policy_rng)
 
             stall_time = slow_accesses * slow_latency + report.overhead_seconds
+            retry_overhead = retries_this_epoch = 0.0
+            if injector is not None:
+                retry_overhead = (
+                    self.stats.counter("fault_retry_overhead_seconds").value
+                    - retry_overhead_before
+                )
+                retries_this_epoch = (
+                    self.stats.counter("fault_migration_retries").value
+                    - retries_before
+                )
+                fault_overhead += retry_overhead
+                stall_time += fault_overhead
             slowdown = stall_time / epoch
 
             # 4. Record.
@@ -199,6 +305,16 @@ class EpochSimulation:
             )
             self.stats.counter("total_slow_accesses").add(slow_accesses)
             self.stats.counter("epochs").add(1)
+            if injector is not None:
+                self._record_fault_epoch(
+                    now,
+                    events,
+                    fault_overhead,
+                    retry_overhead,
+                    retries_this_epoch,
+                    ue_pages,
+                    lost_pages,
+                )
 
         return SimulationResult(
             workload_name=self.workload.name,
@@ -209,6 +325,49 @@ class EpochSimulation:
             duration=self.clock.now,
             baseline_ops_per_second=self.workload.baseline_ops_per_second,
         )
+
+    def _record_fault_epoch(
+        self,
+        now: float,
+        events,
+        fault_overhead: float,
+        retry_overhead: float,
+        retries: float,
+        ue_pages: int,
+        lost_pages: int,
+    ) -> None:
+        """Record the ``fault_*`` series and counters for one epoch.
+
+        Only called with fault injection enabled, so runs with the default
+        configuration carry no fault series and stay bit-identical to
+        builds that predate the fault layer.
+        """
+        deferred = int(self.state.last_deferred_demotions.size)
+        degraded = bool(
+            events.count
+            or ue_pages
+            or lost_pages
+            or deferred
+            or retries > 0
+        )
+        ts = self.stats.timeseries
+        ts("fault_degraded").record(now, float(degraded))
+        ts("fault_overhead_seconds").record(now, fault_overhead)
+        ts("fault_retry_overhead_seconds").record(now, retry_overhead)
+        ts("fault_migration_retries").record(now, retries)
+        ts("fault_deferred_demotions").record(now, float(deferred))
+        ts("fault_ue_count").record(now, float(ue_pages))
+        ts("fault_lost_sample_pages").record(now, float(lost_pages))
+        ts("fault_capacity_locked").record(now, float(events.capacity_locked))
+        if degraded:
+            self.stats.counter("fault_degraded_epochs").add(1)
+        if events.capacity_locked:
+            self.stats.counter("fault_capacity_lock_epochs").add(1)
+        if ue_pages:
+            self.stats.counter("fault_ue_total").add(ue_pages)
+        if lost_pages:
+            self.stats.counter("fault_lost_sample_pages").add(lost_pages)
+        self.stats.counter("fault_overhead_seconds_total").add(fault_overhead)
 
 
 def _fast_spec(capacity: int):

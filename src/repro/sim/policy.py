@@ -36,6 +36,10 @@ class PolicyReport:
     demoted: int = 0
     #: Pages promoted this invocation.
     promoted: int = 0
+    #: Demotions that could not be placed this invocation (capacity
+    #: backpressure or exhausted migration retries) and were deferred for
+    #: the policy to re-plan next epoch.
+    deferred: int = 0
     #: Free-form diagnostics for experiments.
     diagnostics: dict = field(default_factory=dict)
 

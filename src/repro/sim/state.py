@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import MigrationError, SimulationError
+from repro.errors import MigrationError, RetryExhaustedError, SimulationError
 from repro.mem.migration import MigrationEngine, MigrationReason
 from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
 from repro.sim.clock import VirtualClock
@@ -42,6 +42,13 @@ class TieredMemoryState:
         self.migration = MigrationEngine(topology, clock, self.stats)
         self.tier = np.full(num_huge_pages, FAST_NODE, dtype=np.int8)
         self.split = np.zeros(num_huge_pages, dtype=bool)
+        #: Backpressure flag: while True (an injected capacity-exhaustion
+        #: episode), demotions are deferred wholesale instead of moving.
+        self.demotion_locked = False
+        #: Pages the most recent :meth:`demote` call could not place —
+        #: capacity backpressure or a retry-exhausted migration batch.
+        #: Policies re-plan these next epoch instead of crashing.
+        self.last_deferred_demotions: np.ndarray = np.empty(0, dtype=np.int64)
         topology.fast.tier.reserve_bytes(num_huge_pages * HUGE_PAGE_SIZE)
 
     # ------------------------------------------------------------------
@@ -77,6 +84,8 @@ class TieredMemoryState:
         # double-count migration traffic.
         page_ids = np.unique(np.asarray(page_ids, dtype=np.int64))
         if page_ids.size == 0:
+            if reason is MigrationReason.DEMOTION:
+                self.last_deferred_demotions = np.empty(0, dtype=np.int64)
             return 0
         if page_ids.min() < 0 or page_ids.max() >= self.num_huge_pages:
             raise MigrationError(
@@ -84,31 +93,67 @@ class TieredMemoryState:
                 f"{page_ids.min()}..{page_ids.max()}"
             )
         movable = page_ids[self.tier[page_ids] != target]
-        if movable.size == 0:
-            return 0
-        source = SLOW_NODE if target == FAST_NODE else FAST_NODE
+        deferred = np.empty(0, dtype=np.int64)
+        if reason is MigrationReason.DEMOTION:
+            movable, deferred = self._apply_demotion_backpressure(movable)
+        moved = 0
         # Split pages move as 512 4KB migrations, whole pages as one 2MB
         # migration; the byte traffic is identical but Table 3 and the
         # footprint breakdowns distinguish them.
-        split_pages = movable[self.split[movable]]
-        whole_pages = movable[~self.split[movable]]
-        if whole_pages.size:
-            self.migration.migrate(
-                source, target, huge=True, reason=reason, count=int(whole_pages.size)
-            )
-        if split_pages.size:
-            self.migration.migrate(
-                source,
-                target,
-                huge=False,
-                reason=reason,
-                count=int(split_pages.size) * SUBPAGES_PER_HUGE_PAGE,
-            )
-        self.tier[movable] = target
-        return int(movable.size)
+        source = SLOW_NODE if target == FAST_NODE else FAST_NODE
+        for group, huge in (
+            (movable[~self.split[movable]], True),
+            (movable[self.split[movable]], False),
+        ):
+            if group.size == 0:
+                continue
+            count = int(group.size) * (1 if huge else SUBPAGES_PER_HUGE_PAGE)
+            try:
+                self.migration.migrate(
+                    source, target, huge=huge, reason=reason, count=count
+                )
+            except RetryExhaustedError:
+                # Transient-fault batch failure: leave the batch in place.
+                # Demotions are re-offered to the policy; a failed
+                # promotion batch is simply re-selected next epoch.
+                if reason is MigrationReason.DEMOTION:
+                    deferred = np.concatenate([deferred, group])
+                continue
+            self.tier[group] = target
+            moved += int(group.size)
+        if reason is MigrationReason.DEMOTION:
+            self.last_deferred_demotions = np.sort(deferred)
+            if deferred.size:
+                self.stats.counter("fault_deferred_pages").add(int(deferred.size))
+        return moved
+
+    def _apply_demotion_backpressure(
+        self, movable: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split demotion candidates into (fits now, deferred).
+
+        Instead of letting the slow tier raise :class:`CapacityError`,
+        demotions that do not fit — because the tier is genuinely full, a
+        soft limit throttles it, or an injected exhaustion episode locked
+        it — are deferred to a later epoch.
+        """
+        if movable.size == 0:
+            return movable, np.empty(0, dtype=np.int64)
+        if self.demotion_locked:
+            return movable[:0], movable
+        slow = self.topology.slow.tier
+        fits = int(slow.usable_free_bytes // HUGE_PAGE_SIZE)
+        if movable.size <= fits:
+            return movable, np.empty(0, dtype=np.int64)
+        return movable[:fits], movable[fits:]
 
     def demote(self, page_ids: np.ndarray) -> int:
-        """Move pages to slow memory (cold classification); returns count."""
+        """Move pages to slow memory (cold classification); returns count.
+
+        Never raises on pressure: candidates that cannot be placed (slow
+        tier full or locked, migration retries exhausted) land in
+        :attr:`last_deferred_demotions` for the policy to re-plan.
+        """
         return self._move(page_ids, SLOW_NODE, MigrationReason.DEMOTION)
 
     def promote(self, page_ids: np.ndarray) -> int:

@@ -16,6 +16,7 @@ EXAMPLES = [
     "quickstart",
     "capacity_planning",
     "custom_workload",
+    "fault_scenarios",
     "mechanism_walkthrough",
     "live_tuning",
     "multi_tenant",

@@ -1,7 +1,5 @@
 """Smoke tests for the extension experiments (Section 6 material)."""
 
-import pytest
-
 from repro.experiments import ext_counting, ext_latency, ext_oracle, ext_wear
 
 SCALE = 0.03

@@ -1,0 +1,132 @@
+"""Unit tests for the individual fault models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.models import (
+    CapacityFaultModel,
+    MigrationFaultModel,
+    OverheadSpikeModel,
+    SampleLossModel,
+    WearFaultModel,
+)
+from repro.rng import make_rng
+
+
+class TestBinding:
+    def test_unbound_model_refuses_to_draw(self):
+        model = MigrationFaultModel(0.5)
+        with pytest.raises(FaultInjectionError):
+            model.should_fail()
+
+    def test_zero_rate_needs_no_rng(self):
+        # The degenerate rate short-circuits before touching the stream.
+        assert MigrationFaultModel(0.0).should_fail() is False
+
+
+class TestMigrationFaultModel:
+    def test_rate_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            MigrationFaultModel(1.0)
+        with pytest.raises(FaultInjectionError):
+            MigrationFaultModel(-0.1)
+
+    def test_deterministic_given_stream(self):
+        def draws(seed):
+            model = MigrationFaultModel(0.5)
+            model.bind(make_rng(seed))
+            return [model.should_fail() for _ in range(50)]
+
+        assert draws(3) == draws(3)
+        assert draws(3) != draws(4)
+
+    def test_rate_roughly_respected(self):
+        model = MigrationFaultModel(0.25)
+        model.bind(make_rng(0))
+        hits = sum(model.should_fail() for _ in range(4000))
+        assert 800 < hits < 1200
+
+
+class TestCapacityFaultModel:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            CapacityFaultModel(1.5, 1)
+        with pytest.raises(FaultInjectionError):
+            CapacityFaultModel(0.5, 0)
+
+    def test_episode_spans_duration_epochs(self):
+        model = CapacityFaultModel(1.0, duration_epochs=3)
+        model.bind(make_rng(0))
+        # Every epoch starts or continues an episode at rate 1.0; the
+        # first draw locks epochs 0-2 without further draws.
+        assert [model.locked_this_epoch() for _ in range(3)] == [True] * 3
+
+    def test_zero_rate_never_locks(self):
+        model = CapacityFaultModel(0.0, duration_epochs=2)
+        model.bind(make_rng(0))
+        assert not any(model.locked_this_epoch() for _ in range(20))
+
+
+class TestWearFaultModel:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            WearFaultModel(0.0, 0.5)
+        with pytest.raises(FaultInjectionError):
+            WearFaultModel(100.0, 1.5)
+
+    def test_only_worn_candidates_struck(self):
+        model = WearFaultModel(endurance_writes=100.0, ue_probability=1.0)
+        model.bind(make_rng(0))
+        writes = np.array([10, 150, 99, 300, 500], dtype=np.int64)
+        struck = model.sample_ue_pages(writes, np.array([0, 1, 2, 3]))
+        # Page 4 is worn but not a candidate (not in slow memory).
+        assert struck.tolist() == [1, 3]
+
+    def test_zero_probability_never_strikes(self):
+        model = WearFaultModel(endurance_writes=1.0, ue_probability=0.0)
+        model.bind(make_rng(0))
+        writes = np.full(4, 1000, dtype=np.int64)
+        assert model.sample_ue_pages(writes, np.arange(4)).size == 0
+
+    def test_empty_candidates(self):
+        model = WearFaultModel(endurance_writes=1.0, ue_probability=1.0)
+        model.bind(make_rng(0))
+        assert model.sample_ue_pages(np.zeros(4, np.int64), np.empty(0)).size == 0
+
+
+class TestOverheadSpikeModel:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            OverheadSpikeModel(-0.1, 1.0)
+        with pytest.raises(FaultInjectionError):
+            OverheadSpikeModel(0.1, -1.0)
+
+    def test_certain_spike(self):
+        model = OverheadSpikeModel(1.0, 0.25)
+        model.bind(make_rng(0))
+        assert model.spike_this_epoch() == pytest.approx(0.25)
+
+    def test_zero_rate_no_spike(self):
+        model = OverheadSpikeModel(0.0, 0.25)
+        model.bind(make_rng(0))
+        assert model.spike_this_epoch() == 0.0
+
+
+class TestSampleLossModel:
+    def test_validation(self):
+        with pytest.raises(FaultInjectionError):
+            SampleLossModel(1.1)
+
+    def test_loss_fraction(self):
+        model = SampleLossModel(0.3)
+        model.bind(make_rng(0))
+        lost = model.lost_pages(10_000)
+        assert 2500 < lost.size < 3500
+        assert lost.dtype == np.int64
+
+    def test_no_loss_and_no_pages(self):
+        model = SampleLossModel(0.0)
+        model.bind(make_rng(0))
+        assert model.lost_pages(100).size == 0
+        assert SampleLossModel(0.5).lost_pages(0).size == 0

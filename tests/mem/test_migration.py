@@ -1,12 +1,27 @@
 """Tests for the migration engine's movement and Table 3 accounting."""
 
+from types import SimpleNamespace
+
 import pytest
 
-from repro.errors import MigrationError
+from repro.errors import MigrationError, RetryExhaustedError
 from repro.mem.migration import MigrationEngine, MigrationReason
 from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
 from repro.sim.clock import VirtualClock
 from repro.units import BASE_PAGE_SIZE, HUGE_PAGE_SIZE, MB
+
+
+class ScriptedInjector:
+    """Injector stand-in that fails migrations per a fixed script."""
+
+    def __init__(self, script, max_retries=3, backoff=1e-3):
+        self._script = iter(script)
+        self.config = SimpleNamespace(
+            max_migration_retries=max_retries, retry_backoff_seconds=backoff
+        )
+
+    def should_fail_migration(self):
+        return next(self._script, False)
 
 
 @pytest.fixture
@@ -80,3 +95,83 @@ class TestAccounting:
         engine.demote(huge=True, count=2)
         assert engine.stats.counter("migrations").value == 1
         assert engine.stats.counter("migration_bytes").value == 2 * HUGE_PAGE_SIZE
+
+    def test_record_validates_like_migrate(self, engine):
+        """record() runs through the same accounting helper as migrate(),
+        so it rejects the same malformed batches."""
+        with pytest.raises(MigrationError):
+            engine.record(FAST_NODE, FAST_NODE, True, MigrationReason.DEMOTION)
+        with pytest.raises(MigrationError):
+            engine.record(
+                FAST_NODE, SLOW_NODE, True, MigrationReason.DEMOTION, count=0
+            )
+        assert engine.records == []
+
+    def test_mixed_granularity_accounting(self, engine):
+        """Huge and base batches on the same stream sum byte-exactly."""
+        engine.demote(huge=True, count=2)
+        engine.demote(huge=False, count=100)
+        engine.record(FAST_NODE, SLOW_NODE, False, MigrationReason.DEMOTION, count=12)
+        expected = 2 * HUGE_PAGE_SIZE + 112 * BASE_PAGE_SIZE
+        assert engine.bytes_moved(MigrationReason.DEMOTION) == expected
+        assert engine.stats.counter("migration_bytes").value == expected
+
+    def test_peak_rate_boundary_record(self, engine):
+        """A record landing exactly on a window boundary belongs to the
+        bin it starts (half-open windows), not the preceding one.  Float
+        floor-division got this wrong: ``1.0 // 0.1 == 9.0``."""
+        engine.clock.advance(1.0)
+        engine.demote(huge=True, count=1)  # exactly at t = 1.0
+        assert MigrationEngine._window_index(1.0, 0.1) == 10
+        peak = engine.peak_rate(MigrationReason.DEMOTION, window=0.1)
+        assert peak == pytest.approx(HUGE_PAGE_SIZE / 0.1)
+
+    def test_peak_rate_zero_window_rejected(self, engine):
+        with pytest.raises(MigrationError):
+            engine.peak_rate(MigrationReason.DEMOTION, 0.0)
+        with pytest.raises(MigrationError):
+            engine.peak_rate(MigrationReason.DEMOTION, -1.0)
+
+
+class TestRetryBackoff:
+    """The injected transient-failure path (satellite of the fault work)."""
+
+    def test_no_injector_no_fault_counters(self, engine):
+        engine.demote(huge=True, count=1)
+        assert engine.stats.counter("fault_migration_failures").value == 0
+
+    def test_transient_failures_retry_with_backoff(self, engine):
+        engine.injector = ScriptedInjector([True, True, False], backoff=1e-3)
+        record = engine.demote(huge=True, count=1)
+        assert record.bytes_moved == HUGE_PAGE_SIZE
+        assert engine.stats.counter("fault_migration_failures").value == 2
+        assert engine.stats.counter("fault_migration_retries").value == 2
+        # Exponential backoff: 1ms + 2ms.
+        assert engine.stats.counter(
+            "fault_retry_overhead_seconds"
+        ).value == pytest.approx(3e-3)
+        # The batch ultimately moved capacity.
+        assert engine.topology.slow.tier.allocated_bytes == HUGE_PAGE_SIZE
+
+    def test_retry_budget_exhaustion(self, engine):
+        engine.injector = ScriptedInjector([True] * 5, max_retries=3, backoff=1e-3)
+        slow_before = engine.topology.slow.tier.allocated_bytes
+        with pytest.raises(RetryExhaustedError):
+            engine.demote(huge=True, count=1)
+        # 4 failures: 3 retried (1 + 2 + 4 ms backoff), the 4th exhausts.
+        assert engine.stats.counter("fault_migration_failures").value == 4
+        assert engine.stats.counter("fault_migration_retries").value == 3
+        assert engine.stats.counter("fault_retry_exhausted").value == 1
+        assert engine.stats.counter(
+            "fault_retry_overhead_seconds"
+        ).value == pytest.approx(7e-3)
+        # Nothing moved and nothing was accounted.
+        assert engine.topology.slow.tier.allocated_bytes == slow_before
+        assert engine.records == []
+
+    def test_retry_exhausted_is_a_migration_error(self, engine):
+        """Backward compatibility: existing except MigrationError blocks
+        still catch the new failure mode."""
+        engine.injector = ScriptedInjector([True] * 10, max_retries=1)
+        with pytest.raises(MigrationError):
+            engine.demote(huge=True, count=1)

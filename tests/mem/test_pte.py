@@ -1,6 +1,6 @@
 """Tests for the PTE bit protocol."""
 
-from repro.mem.pte import PageTableEntry, PteFlag, make_base_pte, make_huge_pte
+from repro.mem.pte import PteFlag, make_base_pte, make_huge_pte
 
 
 class TestConstruction:

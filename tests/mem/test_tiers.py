@@ -100,3 +100,40 @@ class TestCapacityReservations:
             tier.reserve_bytes(-1)
         with pytest.raises(ConfigError):
             tier.release_bytes(-1)
+
+
+class TestSoftLimit:
+    def test_no_limit_by_default(self):
+        tier = MemoryTier(TierSpec.slow(1 * GB))
+        assert tier.soft_limit_bytes is None
+        assert tier.usable_capacity_bytes == 1 * GB
+        assert tier.usable_free_bytes == 1 * GB
+
+    def test_limit_throttles_new_reservations(self):
+        tier = MemoryTier(TierSpec.slow(1 * GB))
+        tier.set_soft_limit(4 * MB)
+        assert tier.can_reserve(4 * MB)
+        assert not tier.can_reserve(4 * MB + 1)
+        with pytest.raises(CapacityError):
+            tier.reserve_bytes(8 * MB)
+        tier.reserve_bytes(4 * MB)
+        assert tier.usable_free_bytes == 0
+
+    def test_existing_allocation_above_limit_survives(self):
+        tier = MemoryTier(TierSpec.slow(1 * GB))
+        tier.reserve_bytes(8 * MB)
+        tier.set_soft_limit(2 * MB)
+        # Nothing is evicted, but no new reservation fits...
+        assert tier.allocated_bytes == 8 * MB
+        assert tier.usable_free_bytes == 0
+        assert not tier.can_reserve(1)
+        # ...and clearing the limit reopens the tier.
+        tier.set_soft_limit(None)
+        assert tier.can_reserve(1 * MB)
+
+    def test_validation(self):
+        tier = MemoryTier(TierSpec.slow(1 * MB))
+        with pytest.raises(ConfigError):
+            tier.set_soft_limit(-1)
+        with pytest.raises(ConfigError):
+            tier.can_reserve(-1)

@@ -133,6 +133,51 @@ class TestDeterminism:
         )
 
 
+class TestZeroEpochGuards:
+    def test_empty_result_metrics_are_zero_not_nan(self):
+        """A result with no recorded epochs must report 0.0, not NaN."""
+        from repro.config import SimulationConfig as Config
+        from repro.mem.numa import NumaTopology
+        from repro.sim.clock import VirtualClock
+        from repro.sim.engine import SimulationResult
+        from repro.sim.state import TieredMemoryState
+        from repro.sim.stats import StatsRegistry
+
+        result = SimulationResult(
+            workload_name="empty",
+            policy_name="none",
+            config=Config(duration=60, epoch=30, seed=0),
+            stats=StatsRegistry(),
+            state=TieredMemoryState(0, NumaTopology.small(), VirtualClock()),
+            duration=0.0,
+            baseline_ops_per_second=1000.0,
+        )
+        assert result.average_slowdown == 0.0
+        assert result.average_cold_fraction == 0.0
+        assert result.final_cold_fraction == 0.0
+        assert not np.isnan(result.throughput_degradation)
+
+
+class TestShrinkRejection:
+    def test_shrinking_workload_raises_clear_error(self):
+        from repro.errors import SimulationError
+
+        class ShrinkingWorkload(RateModelWorkload):
+            def num_huge_pages_at(self, time: float) -> int:
+                full = super().num_huge_pages_at(time)
+                return full if time < 30.0 else full - 2
+
+        rates = np.full(8 * SUBPAGES_PER_HUGE_PAGE, 0.1)
+        workload = ShrinkingWorkload(
+            "shrinker", rates, baseline_ops_per_second=1000.0
+        )
+        sim = EpochSimulation(
+            workload, AllDramPolicy(), SimulationConfig(duration=120, epoch=30, seed=0)
+        )
+        with pytest.raises(SimulationError, match="shrank its footprint"):
+            sim.run()
+
+
 class TestGrowthHandling:
     def test_growing_workload_grows_state(self):
         from repro.workloads.cassandra import CassandraWorkload

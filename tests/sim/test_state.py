@@ -107,6 +107,40 @@ class TestGrowth:
         assert state.num_huge_pages == 10
 
 
+class TestDeferredDemotions:
+    def test_lock_defers_everything(self, state):
+        state.demotion_locked = True
+        assert state.demote(np.array([1, 3, 5])) == 0
+        assert state.last_deferred_demotions.tolist() == [1, 3, 5]
+        assert state.slow_ids().size == 0
+        assert state.stats.counter("fault_deferred_pages").value == 3
+
+    def test_partial_fit_defers_overflow(self, state):
+        # Throttle the slow tier to 2 huge pages' worth of capacity.
+        state.topology.slow.tier.set_soft_limit(2 * HUGE_PAGE_SIZE)
+        moved = state.demote(np.array([4, 1, 7, 2]))
+        assert moved == 2
+        assert state.slow_ids().tolist() == [1, 2]
+        assert state.last_deferred_demotions.tolist() == [4, 7]
+        # Deferred pages stay resident in fast memory, fully accounted.
+        assert (
+            state.topology.fast.tier.allocated_bytes == 8 * HUGE_PAGE_SIZE
+        )
+
+    def test_deferred_resets_on_next_call(self, state):
+        state.demotion_locked = True
+        state.demote(np.array([1]))
+        assert state.last_deferred_demotions.size == 1
+        state.demotion_locked = False
+        assert state.demote(np.array([1])) == 1
+        assert state.last_deferred_demotions.size == 0
+
+    def test_promotion_ignores_lock(self, state):
+        state.demote(np.array([3]))
+        state.demotion_locked = True
+        assert state.promote(np.array([3])) == 1
+
+
 class TestBreakdown:
     def test_footprint_breakdown_sums_to_total(self, state):
         state.demote(np.array([0, 1, 2]))

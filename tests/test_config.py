@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import SimulationConfig, ThermostatConfig
+from repro.config import FaultConfig, SimulationConfig, ThermostatConfig
 from repro.errors import ConfigError
 
 
@@ -81,3 +81,71 @@ class TestSimulationConfig:
     def test_bad_scale_rejected(self):
         with pytest.raises(ConfigError):
             SimulationConfig(footprint_scale=0)
+
+    def test_faults_default_to_disabled(self):
+        cfg = SimulationConfig(duration=300, epoch=30)
+        assert cfg.faults.enabled is False
+        assert not cfg.faults.any_faults_possible
+
+
+class TestFaultConfig:
+    def test_defaults_inject_nothing(self):
+        cfg = FaultConfig()
+        assert cfg.enabled is False
+        assert cfg.migration_failure_rate == 0.0
+        assert cfg.capacity_exhaustion_rate == 0.0
+        assert cfg.ue_endurance_writes == 0.0
+        assert cfg.overhead_spike_rate == 0.0
+        assert cfg.sample_loss_rate == 0.0
+        assert not cfg.any_faults_possible
+
+    def test_enabled_without_rates_is_still_inert(self):
+        assert not FaultConfig(enabled=True).any_faults_possible
+
+    def test_any_faults_possible_per_model(self):
+        assert FaultConfig(enabled=True, migration_failure_rate=0.1).any_faults_possible
+        assert FaultConfig(enabled=True, capacity_exhaustion_rate=0.1).any_faults_possible
+        assert FaultConfig(enabled=True, ue_endurance_writes=10.0).any_faults_possible
+        assert FaultConfig(enabled=True, overhead_spike_rate=0.1).any_faults_possible
+        assert FaultConfig(enabled=True, sample_loss_rate=0.1).any_faults_possible
+        # Rates without the master switch stay inert.
+        assert not FaultConfig(migration_failure_rate=0.1).any_faults_possible
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("migration_failure_rate", -0.1),
+            ("migration_failure_rate", 1.1),
+            ("capacity_exhaustion_rate", 2.0),
+            ("ue_probability", -1.0),
+            ("overhead_spike_rate", 1.5),
+            ("sample_loss_rate", -0.5),
+        ],
+    )
+    def test_rates_outside_unit_interval_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: value})
+
+    def test_certain_migration_failure_rejected_when_enabled(self):
+        """rate == 1.0 can never be retried out of; reject it up front."""
+        with pytest.raises(ConfigError):
+            FaultConfig(enabled=True, migration_failure_rate=1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_migration_retries", -1),
+            ("retry_backoff_seconds", -1e-3),
+            ("capacity_exhaustion_epochs", 0),
+            ("ue_endurance_writes", -1.0),
+            ("ue_repair_seconds", -1.0),
+            ("overhead_spike_seconds", -0.5),
+        ],
+    )
+    def test_negative_scalars_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultConfig().enabled = True  # type: ignore[misc]

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
-from repro.units import SUBPAGES_PER_HUGE_PAGE
 from repro.workloads.base import RateModelWorkload, pad_to_huge
 
 
