@@ -47,6 +47,78 @@ def test_epoch_engine_paper_scale_redis(benchmark):
     assert result.state.num_huge_pages > 8000
 
 
+def test_parallel_suite_speedup(benchmark):
+    """Fan four independent runs over worker processes via run_many.
+
+    On multi-core hosts this demonstrates the wall-clock win of
+    ``--jobs``; everywhere it locks the contract that the fan-out path
+    produces exactly the serial results (asserted against a serial rerun
+    of the same specs through fresh stores).
+    """
+    import os
+    import time
+
+    from repro.experiments.parallel import ResultStore, RunSpec, run_many
+
+    specs = [
+        RunSpec(workload="redis", scale=0.05, duration=300.0, epoch=30.0, seed=s)
+        for s in (1, 2, 3, 4)
+    ]
+    jobs = min(4, os.cpu_count() or 1)
+
+    started = time.perf_counter()
+    serial = run_many(specs, jobs=1, store=ResultStore())
+    serial_elapsed = time.perf_counter() - started
+
+    timings: list[float] = []
+
+    def fan_out():
+        t0 = time.perf_counter()
+        results = run_many(specs, jobs=jobs, store=ResultStore())
+        timings.append(time.perf_counter() - t0)
+        return results
+
+    fanned = benchmark.pedantic(fan_out, rounds=3, iterations=1)
+    fanned_elapsed = min(timings)
+
+    for a, b in zip(serial, fanned):
+        assert a.summary() == b.summary()
+        assert a.fault_summary() == b.fault_summary()
+
+    if jobs >= 2:
+        # Process fan-out has fixed fork/pickle overhead; on a multi-core
+        # host four 300s-sim runs amortize it well past break-even.
+        assert fanned_elapsed < serial_elapsed * 0.9, (
+            f"parallel ({fanned_elapsed:.2f}s, jobs={jobs}) not faster than "
+            f"serial ({serial_elapsed:.2f}s)"
+        )
+
+
+def test_result_store_replay_speed(benchmark):
+    """Fetching a stored run must be far cheaper than simulating it."""
+    import time
+
+    from repro.experiments.parallel import ResultStore, RunSpec, run_many
+
+    spec = RunSpec(workload="redis", scale=0.05, duration=300.0, epoch=30.0, seed=1)
+    store = ResultStore()
+    started = time.perf_counter()
+    run_many([spec], store=store)
+    simulate_elapsed = time.perf_counter() - started
+
+    timings: list[float] = []
+
+    def replay():
+        t0 = time.perf_counter()
+        result = run_many([spec], store=store)[0]
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    result = benchmark.pedantic(replay, rounds=5, iterations=1)
+    assert result.stats.counter("epochs").value == 10
+    assert min(timings) < simulate_elapsed
+
+
 def test_mechanism_engine_access_rate(benchmark):
     """Raw per-access cost of the mechanism path (TLB + table + LLC)."""
     import numpy as np

@@ -15,9 +15,11 @@ with and without the layer are bit-identical.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field, replace
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ConfigWarning
 from repro.units import SLOW_MEMORY_LATENCY
 
 
@@ -221,8 +223,38 @@ class SimulationConfig:
             raise ConfigError(
                 f"footprint_scale must be positive: {self.footprint_scale}"
             )
+        tail = self.truncated_tail
+        if tail > 1e-6 * self.epoch:
+            warnings.warn(
+                f"duration={self.duration:g}s is not a whole number of "
+                f"{self.epoch:g}s epochs; the final {tail:g}s will not be "
+                f"simulated (the run covers {self.num_epochs} epochs = "
+                f"{self.num_epochs * self.epoch:g}s)",
+                ConfigWarning,
+                stacklevel=2,
+            )
 
     @property
     def num_epochs(self) -> int:
-        """Number of whole epochs in the configured duration."""
-        return int(self.duration // self.epoch)
+        """Number of whole epochs in the configured duration.
+
+        Robust to float rounding: ``0.3 // 0.1 == 2.0`` in IEEE arithmetic,
+        but a duration within one part in 10^9 of a whole number of epochs
+        counts as whole rather than silently dropping an epoch.
+        """
+        ratio = self.duration / self.epoch
+        whole = math.floor(ratio)
+        if ratio - whole > 1.0 - 1e-9:
+            whole += 1
+        return whole
+
+    @property
+    def truncated_tail(self) -> float:
+        """Seconds of the configured duration beyond the last whole epoch.
+
+        The engine simulates ``num_epochs * epoch`` seconds; anything past
+        that is never run.  Non-zero tails trigger a :class:`ConfigWarning`
+        at construction and are surfaced on the run's
+        :class:`~repro.sim.engine.SimulationResult`.
+        """
+        return max(0.0, self.duration - self.num_epochs * self.epoch)

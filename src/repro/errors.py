@@ -16,6 +16,15 @@ class ConfigError(ReproError):
     """A configuration object is inconsistent or out of range."""
 
 
+class ConfigWarning(UserWarning):
+    """A configuration is legal but probably not what the caller meant.
+
+    Emitted (never raised) for lossy-but-valid setups, e.g. a simulation
+    duration that is not a whole number of epochs — the tail past the last
+    whole epoch is silently not simulated.
+    """
+
+
 class AddressError(ReproError):
     """An address or page number is malformed or out of bounds."""
 

@@ -8,25 +8,50 @@ span the same x-axes.
 ``scale`` shrinks footprints for tractable runtimes.  The workload models
 keep aggregate access rates scale-invariant, so cold fractions and
 slowdowns are comparable across scales; per-page rates inflate by
-``1/scale``, which benchmark tolerances account for.  A small in-process
-cache keyed by run parameters lets several benchmarks share one
-simulation.
+``1/scale``, which benchmark tolerances account for.
+
+Runs are shared through a process-wide
+:class:`~repro.experiments.parallel.ResultStore`: several benchmarks
+asking for the same (workload, policy, config, seed) tuple reuse one
+simulation, but each caller gets an independent rehydrated copy —
+mutating a returned result can never corrupt another experiment's view
+of the same run (the old ``lru_cache`` handed every caller the same
+mutable object).  Point the store at a directory
+(:func:`configure_store`, or ``thermostat-repro --cache-dir``) and runs
+also persist across processes.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import os
 
-from repro.config import SimulationConfig, ThermostatConfig
-from repro.core.thermostat import ThermostatPolicy
-from repro.sim.engine import SimulationResult, run_simulation
-from repro.sim.policy import PlacementPolicy
-from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.experiments.parallel import ResultStore, RunSpec, run_many
+from repro.sim.engine import SimulationResult
+from repro.workloads import WORKLOAD_NAMES
 
 #: Footprint scale used by default in experiments and benchmarks.
 DEFAULT_SCALE = 0.1
 #: Default RNG seed for experiment runs.
 DEFAULT_SEED = 1
+
+#: The process-wide result store backing :func:`run_thermostat`.
+_STORE = ResultStore()
+
+
+def get_store() -> ResultStore:
+    """The store shared by every experiment in this process."""
+    return _STORE
+
+
+def configure_store(cache_dir: str | os.PathLike | None = None) -> ResultStore:
+    """Re-point the shared store (optionally at a persistent directory).
+
+    ``thermostat-repro --cache-dir DIR`` calls this so repeated
+    invocations skip re-simulating finished runs entirely.
+    """
+    global _STORE
+    _STORE = ResultStore(cache_dir)
+    return _STORE
 
 
 def suite_durations() -> dict[str, float]:
@@ -52,33 +77,48 @@ def suite_epochs() -> dict[str, float]:
     return {"in-memory-analytics": 10.0}
 
 
-@lru_cache(maxsize=64)
-def _cached_run(
+def suite_spec(
     name: str,
-    tolerable_slowdown: float,
-    scale: float,
-    duration: float,
-    seed: int,
-    policy_name: str,
-) -> SimulationResult:
-    workload = make_workload(name, scale=scale)
-    if policy_name == "thermostat":
-        policy: PlacementPolicy = ThermostatPolicy(
-            ThermostatConfig(tolerable_slowdown=tolerable_slowdown)
+    tolerable_slowdown: float = 0.03,
+    scale: float = DEFAULT_SCALE,
+    duration: float | None = None,
+    seed: int = DEFAULT_SEED,
+    policy: str = "thermostat",
+) -> RunSpec:
+    """The canonical :class:`RunSpec` for one suite workload."""
+    if duration is None:
+        duration = suite_durations().get(name, 1200.0)
+    return RunSpec(
+        workload=name,
+        policy=policy,
+        tolerable_slowdown=tolerable_slowdown,
+        scale=scale,
+        duration=duration,
+        epoch=suite_epochs().get(name, 30.0),
+        seed=seed,
+    )
+
+
+def suite_specs(
+    tolerable_slowdown: float = 0.03,
+    scale: float = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+    policy: str = "thermostat",
+    durations: dict[str, float] | None = None,
+) -> list[RunSpec]:
+    """Specs for all six paper workloads, in :data:`WORKLOAD_NAMES` order."""
+    durations = durations or {}
+    return [
+        suite_spec(
+            name,
+            tolerable_slowdown=tolerable_slowdown,
+            scale=scale,
+            duration=durations.get(name),
+            seed=seed,
+            policy=policy,
         )
-    elif policy_name == "all-dram":
-        from repro.baselines import AllDramPolicy
-
-        policy = AllDramPolicy()
-    elif policy_name == "kstaled":
-        from repro.baselines import KstaledPolicy
-
-        policy = KstaledPolicy()
-    else:
-        raise ValueError(f"unknown policy {policy_name!r}")
-    epoch = suite_epochs().get(name, 30.0)
-    config = SimulationConfig(duration=duration, epoch=epoch, seed=seed)
-    return run_simulation(workload, policy, config)
+        for name in WORKLOAD_NAMES
+    ]
 
 
 def run_thermostat(
@@ -90,9 +130,15 @@ def run_thermostat(
     policy: str = "thermostat",
 ) -> SimulationResult:
     """Run one suite workload under a policy (cached per parameter set)."""
-    if duration is None:
-        duration = suite_durations().get(name, 1200.0)
-    return _cached_run(name, tolerable_slowdown, scale, duration, seed, policy)
+    spec = suite_spec(
+        name,
+        tolerable_slowdown=tolerable_slowdown,
+        scale=scale,
+        duration=duration,
+        seed=seed,
+        policy=policy,
+    )
+    return run_many([spec], store=_STORE)[0]
 
 
 def run_suite(
@@ -100,17 +146,38 @@ def run_suite(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     policy: str = "thermostat",
+    jobs: int = 1,
+    durations: dict[str, float] | None = None,
+    store: ResultStore | None = None,
 ) -> dict[str, SimulationResult]:
-    """Run all six paper workloads; returns {name: result}."""
-    return {
-        name: run_thermostat(
-            name, tolerable_slowdown=tolerable_slowdown, scale=scale, seed=seed,
-            policy=policy,
-        )
-        for name in WORKLOAD_NAMES
-    }
+    """Run all six paper workloads; returns {name: result}.
+
+    ``jobs > 1`` fans the six runs out over worker processes; results are
+    bit-identical to serial execution.  ``durations`` overrides
+    per-workload run lengths (tests); ``store`` overrides the shared
+    process-wide store.
+    """
+    specs = suite_specs(
+        tolerable_slowdown=tolerable_slowdown,
+        scale=scale,
+        seed=seed,
+        policy=policy,
+        durations=durations,
+    )
+    results = run_many(specs, jobs=jobs, store=store if store is not None else _STORE)
+    return dict(zip(WORKLOAD_NAMES, results))
+
+
+def prefetch(specs: list[RunSpec], jobs: int = 1) -> None:
+    """Ensure every spec is in the shared store, fanning out if asked.
+
+    Sweep experiments call this first so their existing row-building
+    loops (which go through :func:`run_thermostat`) become pure cache
+    hits regardless of ``jobs``.
+    """
+    run_many(specs, jobs=jobs, store=_STORE)
 
 
 def clear_run_cache() -> None:
-    """Drop cached simulation results (used by tests that vary globals)."""
-    _cached_run.cache_clear()
+    """Drop in-process cached results (a disk cache dir, if set, survives)."""
+    _STORE.clear_memory()

@@ -21,12 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import FaultConfig, SimulationConfig, ThermostatConfig
-from repro.core.thermostat import ThermostatPolicy
-from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED
+from repro.config import FaultConfig
+from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, get_store
+from repro.experiments.parallel import RunSpec, run_many
 from repro.metrics.report import format_table
-from repro.sim.engine import run_simulation
-from repro.workloads import make_workload
 
 #: Transient migration-failure probabilities swept per batch attempt.
 FAILURE_RATES = (0.0, 0.1, 0.3, 0.5, 0.7)
@@ -54,24 +52,29 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     failure_rates: tuple[float, ...] = FAILURE_RATES,
+    jobs: int = 1,
 ) -> list[FaultSweepRow]:
     """Sweep migration failure rate; every run must complete."""
-    rows = []
-    for rate in failure_rates:
-        faults = FaultConfig(
-            enabled=True,
-            migration_failure_rate=rate,
-            max_migration_retries=3,
-            retry_backoff_seconds=1e-3,
-            capacity_exhaustion_rate=0.1,
-        )
-        result = run_simulation(
-            make_workload(WORKLOAD, scale=scale),
-            ThermostatPolicy(ThermostatConfig()),
-            SimulationConfig(
-                duration=DURATION, epoch=30.0, seed=seed, faults=faults
+    specs = [
+        RunSpec(
+            workload=WORKLOAD,
+            scale=scale,
+            duration=DURATION,
+            epoch=30.0,
+            seed=seed,
+            faults=FaultConfig(
+                enabled=True,
+                migration_failure_rate=rate,
+                max_migration_retries=3,
+                retry_backoff_seconds=1e-3,
+                capacity_exhaustion_rate=0.1,
             ),
         )
+        for rate in failure_rates
+    ]
+    results = run_many(specs, jobs=jobs, store=get_store())
+    rows = []
+    for rate, result in zip(failure_rates, results):
         summary = result.fault_summary()
         rows.append(
             FaultSweepRow(

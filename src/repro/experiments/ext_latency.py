@@ -44,10 +44,12 @@ class LatencyRow:
     p99: float
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[LatencyRow]:
+def run(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[LatencyRow]:
     """Derive latency percentiles from each suite run's slow fraction."""
     rows = []
-    for name, result in run_suite(scale=scale, seed=seed).items():
+    for name, result in run_suite(scale=scale, seed=seed, jobs=jobs).items():
         workload = make_workload(name, scale=scale)
         settled = result.series("slow_access_rate").values
         tail = settled[-max(1, len(settled) // 4):]

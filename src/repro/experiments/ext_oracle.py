@@ -12,18 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.config import SimulationConfig, ThermostatConfig
-from repro.baselines import OraclePolicy
 from repro.experiments.common import (
     DEFAULT_SCALE,
     DEFAULT_SEED,
+    prefetch,
     run_thermostat,
-    suite_durations,
-    suite_epochs,
+    suite_spec,
 )
 from repro.metrics.report import format_table
-from repro.sim.engine import run_simulation
-from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.workloads import WORKLOAD_NAMES
 
 
 @dataclass(frozen=True)
@@ -44,22 +41,22 @@ class OracleGapRow:
         return self.thermostat_cold / self.oracle_cold
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[OracleGapRow]:
+def run(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[OracleGapRow]:
     """Run Thermostat and the oracle on every suite workload."""
+    prefetch(
+        [
+            suite_spec(name, scale=scale, seed=seed, policy=policy)
+            for name in WORKLOAD_NAMES
+            for policy in ("thermostat", "oracle")
+        ],
+        jobs=jobs,
+    )
     rows = []
-    durations = suite_durations()
-    epochs = suite_epochs()
     for name in WORKLOAD_NAMES:
         thermostat = run_thermostat(name, scale=scale, seed=seed)
-        oracle = run_simulation(
-            make_workload(name, scale=scale),
-            OraclePolicy(ThermostatConfig()),
-            SimulationConfig(
-                duration=durations.get(name, 1200.0),
-                epoch=epochs.get(name, 30.0),
-                seed=seed,
-            ),
-        )
+        oracle = run_thermostat(name, scale=scale, seed=seed, policy="oracle")
         rows.append(
             OracleGapRow(
                 workload=name,

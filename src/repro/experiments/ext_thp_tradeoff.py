@@ -56,10 +56,12 @@ class TradeoffRow:
         return self.thermostat_net / self.tier_4kb_net - 1.0
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[TradeoffRow]:
+def run(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[TradeoffRow]:
     """Compose Table 1 gains with the measured Thermostat slowdowns."""
     rows = []
-    for name, result in run_suite(scale=scale, seed=seed).items():
+    for name, result in run_suite(scale=scale, seed=seed, jobs=jobs).items():
         rows.append(
             TradeoffRow(
                 workload=name,

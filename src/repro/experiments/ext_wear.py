@@ -44,7 +44,7 @@ class WearRow:
 
 
 def run_lifetimes(
-    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
 ) -> list[WearRow]:
     """Estimate slow-tier lifetimes for the suite.
 
@@ -54,7 +54,7 @@ def run_lifetimes(
     footprint.
     """
     rows = []
-    for name, result in run_suite(scale=scale, seed=seed).items():
+    for name, result in run_suite(scale=scale, seed=seed, jobs=jobs).items():
         workload = make_workload(name, scale=scale)
         slow_accesses = result.stats.counter("total_slow_accesses").value
         app_write_rate = (

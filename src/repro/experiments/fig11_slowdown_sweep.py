@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, run_thermostat
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    prefetch,
+    run_thermostat,
+    suite_spec,
+)
 from repro.metrics.report import format_table
 from repro.workloads import WORKLOAD_NAMES
 
@@ -41,8 +47,21 @@ def run(
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
     targets: tuple[float, ...] = SLOWDOWN_TARGETS,
+    jobs: int = 1,
 ) -> list[SweepCell]:
-    """Run the suite at each slowdown target."""
+    """Run the suite at each slowdown target.
+
+    The 6x3 grid of independent runs is the suite's widest fan-out;
+    ``jobs > 1`` simulates the grid in parallel with identical results.
+    """
+    prefetch(
+        [
+            suite_spec(name, tolerable_slowdown=target, scale=scale, seed=seed)
+            for name in WORKLOAD_NAMES
+            for target in targets
+        ],
+        jobs=jobs,
+    )
     cells = []
     for name in WORKLOAD_NAMES:
         for target in targets:

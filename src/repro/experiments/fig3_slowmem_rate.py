@@ -44,13 +44,14 @@ def run(
     tolerable_slowdown: float = 0.03,
     scale: float = DEFAULT_SCALE,
     seed: int = DEFAULT_SEED,
+    jobs: int = 1,
 ) -> list[SlowRateResult]:
     """Run the suite and extract the slow-access-rate series."""
     target = ThermostatConfig(
         tolerable_slowdown=tolerable_slowdown
     ).slow_access_rate_budget
     results = []
-    for name, sim in run_suite(tolerable_slowdown, scale, seed).items():
+    for name, sim in run_suite(tolerable_slowdown, scale, seed, jobs=jobs).items():
         results.append(
             SlowRateResult(
                 workload=name,

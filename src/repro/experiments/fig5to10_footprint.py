@@ -16,7 +16,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_SCALE, DEFAULT_SEED, run_thermostat
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    prefetch,
+    run_thermostat,
+    suite_spec,
+)
 from repro.metrics.report import format_figure_series, format_table
 from repro.sim.engine import SimulationResult
 
@@ -78,8 +84,13 @@ def run_one(
     )
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[FootprintFigure]:
-    """All six footprint figures."""
+def run(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[FootprintFigure]:
+    """All six footprint figures (``jobs > 1`` simulates them in parallel)."""
+    prefetch(
+        [suite_spec(name, scale=scale, seed=seed) for name in FIGURES], jobs=jobs
+    )
     return [run_one(name, scale, seed) for name in FIGURES]
 
 

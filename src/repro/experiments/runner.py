@@ -5,7 +5,14 @@ Installed as ``thermostat-repro``.  Examples::
     thermostat-repro                 # everything, default scale
     thermostat-repro fig3 table4     # a subset
     thermostat-repro --scale 0.05    # faster, smaller footprints
+    thermostat-repro --jobs 4        # fan simulations out over processes
+    thermostat-repro --cache-dir .thermostat-cache   # persist runs on disk
     thermostat-repro --list
+
+``--jobs`` only changes wall-clock time: reports are bit-identical to a
+serial run.  With ``--cache-dir`` a second invocation reuses every
+finished simulation from disk (the trailing ``[result store: ...]`` line
+shows hits vs misses).
 """
 
 from __future__ import annotations
@@ -37,51 +44,61 @@ from repro.experiments import (
 )
 
 
-def _fig5to10(scale: float, seed: int) -> str:
-    figures = fig5to10_footprint.run(scale, seed)
+def _fig5to10(scale: float, seed: int, jobs: int) -> str:
+    figures = fig5to10_footprint.run(scale, seed, jobs=jobs)
     parts = [fig5to10_footprint.render(f) for f in figures]
     parts.append(fig5to10_footprint.summary_table(figures))
     return "\n\n".join(parts)
 
 
-#: Experiment name -> callable(scale, seed) -> report text.
-EXPERIMENTS: dict[str, Callable[[float, int], str]] = {
-    "fig1": lambda scale, seed: fig1_idle_fraction.render(
+#: Experiment name -> callable(scale, seed, jobs) -> report text.  Single-run
+#: experiments (fig1/fig2/fig4, tables 1-2, ext-counting) ignore ``jobs``.
+EXPERIMENTS: dict[str, Callable[[float, int, int], str]] = {
+    "fig1": lambda scale, seed, jobs: fig1_idle_fraction.render(
         fig1_idle_fraction.run(scale, seed)
     ),
-    "fig2": lambda scale, seed: fig2_accessbit_scatter.render(
+    "fig2": lambda scale, seed, jobs: fig2_accessbit_scatter.render(
         fig2_accessbit_scatter.run(scale=scale, seed=seed)
     ),
-    "table1": lambda scale, seed: table1_thp_gain.render(table1_thp_gain.run(scale)),
-    "table2": lambda scale, seed: table2_footprints.render(
+    "table1": lambda scale, seed, jobs: table1_thp_gain.render(
+        table1_thp_gain.run(scale)
+    ),
+    "table2": lambda scale, seed, jobs: table2_footprints.render(
         table2_footprints.run(scale)
     ),
-    "fig3": lambda scale, seed: fig3_slowmem_rate.render(
-        fig3_slowmem_rate.run(scale=scale, seed=seed)
+    "fig3": lambda scale, seed, jobs: fig3_slowmem_rate.render(
+        fig3_slowmem_rate.run(scale=scale, seed=seed, jobs=jobs)
     ),
-    "fig4": lambda scale, seed: fig4_example.render(fig4_example.run(seed=seed)),
+    "fig4": lambda scale, seed, jobs: fig4_example.render(fig4_example.run(seed=seed)),
     "fig5to10": _fig5to10,
-    "fig11": lambda scale, seed: fig11_slowdown_sweep.render(
-        fig11_slowdown_sweep.run(scale, seed)
+    "fig11": lambda scale, seed, jobs: fig11_slowdown_sweep.render(
+        fig11_slowdown_sweep.run(scale, seed, jobs=jobs)
     ),
-    "table3": lambda scale, seed: table3_migration.render(
-        table3_migration.run(scale, seed)
+    "table3": lambda scale, seed, jobs: table3_migration.render(
+        table3_migration.run(scale, seed, jobs=jobs)
     ),
-    "table4": lambda scale, seed: table4_cost.render(table4_cost.run(scale, seed)),
+    "table4": lambda scale, seed, jobs: table4_cost.render(
+        table4_cost.run(scale, seed, jobs=jobs)
+    ),
     # Extensions beyond the paper's tables (Section 6 material).
-    "ext-counting": lambda scale, seed: ext_counting.render(ext_counting.run(seed)),
-    "ext-faults": lambda scale, seed: ext_faults.render(
-        ext_faults.run(scale, seed)
+    "ext-counting": lambda scale, seed, jobs: ext_counting.render(
+        ext_counting.run(seed)
     ),
-    "ext-wear": lambda scale, seed: ext_wear.render(
-        ext_wear.run_lifetimes(scale, seed), ext_wear.run_start_gap_demo(seed=seed)
+    "ext-faults": lambda scale, seed, jobs: ext_faults.render(
+        ext_faults.run(scale, seed, jobs=jobs)
     ),
-    "ext-latency": lambda scale, seed: ext_latency.render(
-        ext_latency.run(scale, seed)
+    "ext-wear": lambda scale, seed, jobs: ext_wear.render(
+        ext_wear.run_lifetimes(scale, seed, jobs=jobs),
+        ext_wear.run_start_gap_demo(seed=seed),
     ),
-    "ext-oracle": lambda scale, seed: ext_oracle.render(ext_oracle.run(scale, seed)),
-    "ext-thp": lambda scale, seed: ext_thp_tradeoff.render(
-        ext_thp_tradeoff.run(scale, seed)
+    "ext-latency": lambda scale, seed, jobs: ext_latency.render(
+        ext_latency.run(scale, seed, jobs=jobs)
+    ),
+    "ext-oracle": lambda scale, seed, jobs: ext_oracle.render(
+        ext_oracle.run(scale, seed, jobs=jobs)
+    ),
+    "ext-thp": lambda scale, seed, jobs: ext_thp_tradeoff.render(
+        ext_thp_tradeoff.run(scale, seed, jobs=jobs)
     ),
 }
 
@@ -107,6 +124,19 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=common.DEFAULT_SEED, help="RNG seed"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for suite simulations (default %(default)s); "
+        "results are bit-identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist simulation results under this directory so repeated "
+        "invocations skip finished runs",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     parser.add_argument(
@@ -122,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.cache_dir is not None:
+        common.configure_store(args.cache_dir)
+
     requested = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
@@ -133,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
     output_dir = Path(args.output_dir) if args.output_dir else None
     for name in requested:
         started = time.perf_counter()
-        report = EXPERIMENTS[name](args.scale, args.seed)
+        report = EXPERIMENTS[name](args.scale, args.seed, args.jobs)
         elapsed = time.perf_counter() - started
         print(report)
         print(f"[{name}: {elapsed:.1f}s]")
@@ -144,6 +179,8 @@ def main(argv: list[str] | None = None) -> int:
     if output_dir is not None:
         _export_series(output_dir, args.scale, args.seed)
         print(f"[reports and CSV series written to {output_dir}]")
+    store = common.get_store()
+    print(f"[result store: {store.hits} hits, {store.misses} misses]")
     return 0
 
 

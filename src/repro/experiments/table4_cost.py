@@ -34,7 +34,9 @@ class CostRow:
     paper: tuple[float, float, float]
 
 
-def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[CostRow]:
+def run(
+    scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED, jobs: int = 1
+) -> list[CostRow]:
     """Run the suite, then apply the cost model to the cold fractions.
 
     The paper quotes savings against the *steady* cold fraction; we use
@@ -42,7 +44,7 @@ def run(scale: float = DEFAULT_SCALE, seed: int = DEFAULT_SEED) -> list[CostRow]
     """
     cold_fractions = {
         name: result.final_cold_fraction
-        for name, result in run_suite(scale=scale, seed=seed).items()
+        for name, result in run_suite(scale=scale, seed=seed, jobs=jobs).items()
     }
     table = savings_table(cold_fractions)
     return [

@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import MigrationError, RetryExhaustedError
 from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
@@ -229,11 +229,28 @@ class MigrationEngine:
         Windows are half-open ``[k*window, (k+1)*window)``: a record landing
         exactly on a boundary counts toward the window it starts.
         """
+        return self.peak_total_rate((reason,), window)
+
+    def peak_total_rate(
+        self,
+        reasons: Iterable[MigrationReason] | None = None,
+        window: float = 30.0,
+    ) -> float:
+        """Peak *combined* traffic (bytes/sec) over any aligned window.
+
+        Sums every record whose reason is in ``reasons`` (default: all
+        reasons) into half-open ``[k*window, (k+1)*window)`` bins and
+        returns the busiest bin's rate.  This is the correct "peak total
+        traffic over any window": summing per-reason peaks instead (as
+        Table 3 once did) overestimates whenever the demotion and
+        correction peaks land in different windows.
+        """
         if window <= 0:
             raise MigrationError(f"window must be positive: {window}")
+        wanted = frozenset(MigrationReason) if reasons is None else frozenset(reasons)
         bins: dict[int, int] = {}
         for record in self.records:
-            if record.reason is reason:
+            if record.reason in wanted:
                 key = self._window_index(record.time, window)
                 bins[key] = bins.get(key, 0) + record.bytes_moved
         if not bins:

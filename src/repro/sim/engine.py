@@ -74,6 +74,18 @@ class SimulationResult:
         return series.last().value if len(series) else 0.0
 
     @property
+    def truncated_seconds(self) -> float:
+        """Configured duration that was never simulated.
+
+        Non-zero when ``config.duration`` is not a whole number of epochs:
+        the engine runs ``config.num_epochs`` whole epochs and the tail is
+        dropped (with a :class:`~repro.errors.ConfigWarning` at config
+        construction).  ``duration`` on this result is the *simulated*
+        time, so ``duration + truncated_seconds == config.duration``.
+        """
+        return self.config.truncated_tail
+
+    @property
     def throughput_degradation(self) -> float:
         """Fractional throughput loss vs the all-DRAM baseline."""
         slowdown = self.average_slowdown
@@ -103,10 +115,18 @@ class SimulationResult:
         )
 
     def peak_slow_traffic_mbps(self, window: float = 30.0) -> float:
-        """Peak total traffic to/from slow memory over any window, MB/s."""
-        demo = self.state.migration.peak_rate(MigrationReason.DEMOTION, window)
-        corr = self.state.migration.peak_rate(MigrationReason.CORRECTION, window)
-        return (demo + corr) / MB
+        """Peak total traffic to/from slow memory over any window, MB/s.
+
+        Uses the combined-stream peak: demotion and correction records are
+        binned together before taking the maximum, so the value is the
+        busiest single window.  (Summing the per-reason peaks — the old
+        behavior — overestimates whenever the two streams peak in
+        different windows.)
+        """
+        combined = self.state.migration.peak_total_rate(
+            (MigrationReason.DEMOTION, MigrationReason.CORRECTION), window
+        )
+        return combined / MB
 
     # -- Figure accessors -------------------------------------------------
 
@@ -316,6 +336,10 @@ class EpochSimulation:
                     lost_pages,
                 )
 
+        extras: dict = {}
+        tail = self.config.truncated_tail
+        if tail > 1e-6 * self.config.epoch:
+            extras["truncated_tail_seconds"] = tail
         return SimulationResult(
             workload_name=self.workload.name,
             policy_name=self.policy.name,
@@ -324,6 +348,7 @@ class EpochSimulation:
             state=self.state,
             duration=self.clock.now,
             baseline_ops_per_second=self.workload.baseline_ops_per_second,
+            extras=extras,
         )
 
     def _record_fault_epoch(

@@ -43,7 +43,14 @@ class Sample:
 
 
 class TimeSeries:
-    """An append-only sequence of timestamped observations."""
+    """An append-only sequence of timestamped observations.
+
+    Statistics of an empty series (:meth:`mean`, :meth:`max`,
+    :meth:`last`) raise :class:`ValueError` — the one contract shared
+    with :class:`Histogram` — so a zero-length series can never leak a
+    silent NaN into a rendered report.  Callers that tolerate emptiness
+    check ``len(series)`` first.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -82,13 +89,22 @@ class TimeSeries:
             raise ValueError(f"time series {self.name!r} is empty")
         return Sample(self._times[-1], self._values[-1])
 
+    def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
+        """Append many observations (used when rehydrating stored results)."""
+        for t, v in zip(times, values):
+            self.record(float(t), float(v))
+
     def mean(self) -> float:
-        """Arithmetic mean of the values (NaN if empty)."""
-        return float(np.mean(self._values)) if self._values else float("nan")
+        """Arithmetic mean of the values; raises :class:`ValueError` if empty."""
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.mean(self._values))
 
     def max(self) -> float:
-        """Maximum value (NaN if empty)."""
-        return float(np.max(self._values)) if self._values else float("nan")
+        """Maximum value; raises :class:`ValueError` if empty."""
+        if not self._values:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return float(np.max(self._values))
 
     def windowed_mean(self, window: float) -> "TimeSeries":
         """Return a new series averaging values over windows of ``window`` s.
@@ -146,10 +162,19 @@ class Histogram:
         return float(np.percentile(self._observations, q))
 
     def mean(self) -> float:
-        """Arithmetic mean of the observations (NaN if empty)."""
+        """Arithmetic mean of the observations; raises if empty.
+
+        Same contract as :meth:`percentile` and the ``TimeSeries``
+        statistics: querying an empty container is an error, never NaN.
+        """
         if not self._observations:
-            return float("nan")
+            raise ValueError(f"histogram {self.name!r} is empty")
         return float(np.mean(self._observations))
+
+    @property
+    def observations(self) -> np.ndarray:
+        """All recorded observations as a numpy array (copy)."""
+        return np.asarray(self._observations, dtype=float)
 
 
 @dataclass

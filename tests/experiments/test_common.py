@@ -25,21 +25,35 @@ class TestSuiteDurations:
 
 
 class TestRunCaching:
-    def test_cache_returns_same_object(self):
+    def test_cache_returns_equal_but_independent_objects(self):
+        """The store reuses the simulation but never the object graph."""
         a = common.run_thermostat("web-search", scale=0.02, seed=3)
         b = common.run_thermostat("web-search", scale=0.02, seed=3)
-        assert a is b
+        assert a is not b
+        assert a.summary() == b.summary()
+        assert a.fault_summary() == b.fault_summary()
+
+    def test_mutating_a_cached_result_does_not_leak(self):
+        """Regression: lru_cache handed every caller one mutable result."""
+        a = common.run_thermostat("web-search", scale=0.02, seed=3)
+        baseline = a.stats.counter("total_slow_accesses").value
+        a.stats.counter("total_slow_accesses").add(1e9)
+        a.extras["poisoned"] = True
+        b = common.run_thermostat("web-search", scale=0.02, seed=3)
+        assert b.stats.counter("total_slow_accesses").value == baseline
+        assert "poisoned" not in b.extras
 
     def test_different_params_different_runs(self):
         a = common.run_thermostat("web-search", scale=0.02, seed=3)
         b = common.run_thermostat("web-search", scale=0.02, seed=4)
-        assert a is not b
+        assert a.summary() != b.summary()
 
     def test_clear_cache(self):
         a = common.run_thermostat("web-search", scale=0.02, seed=3)
         common.clear_run_cache()
         b = common.run_thermostat("web-search", scale=0.02, seed=3)
         assert a is not b
+        assert a.summary() == b.summary()
 
 
 class TestPolicies:

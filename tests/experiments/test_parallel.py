@@ -1,0 +1,263 @@
+"""Tests for parallel execution and the persistent result store."""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import ReproError
+from repro.experiments import common, parallel
+from repro.experiments.parallel import (
+    ResultStore,
+    RunSpec,
+    execute_spec,
+    payload_to_result,
+    result_to_payload,
+    run_many,
+)
+
+#: Fast spec for unit tests: ~0.1s of simulation.
+SPEC = RunSpec(workload="web-search", scale=0.02, duration=90.0, seed=7)
+
+
+def assert_results_identical(a, b):
+    """Bit-level equivalence of two results (summaries, series, records)."""
+    assert a.summary() == b.summary()
+    assert a.fault_summary() == b.fault_summary()
+    assert set(a.stats.series) == set(b.stats.series)
+    for name in a.stats.series:
+        assert np.array_equal(a.series(name).times, b.series(name).times)
+        assert np.array_equal(a.series(name).values, b.series(name).values)
+    assert a.stats.snapshot() == b.stats.snapshot()
+    assert np.array_equal(a.state.tier, b.state.tier)
+    assert a.state.migration.records == b.state.migration.records
+    assert a.peak_slow_traffic_mbps() == b.peak_slow_traffic_mbps()
+    assert a.extras == b.extras
+    assert a.config == b.config
+
+
+class TestRunSpec:
+    def test_cache_key_stable(self):
+        assert SPEC.cache_key() == RunSpec(
+            workload="web-search", scale=0.02, duration=90.0, seed=7
+        ).cache_key()
+
+    def test_cache_key_sensitive_to_every_knob(self):
+        base = SPEC.cache_key()
+        assert RunSpec(
+            workload="redis", scale=0.02, duration=90.0, seed=7
+        ).cache_key() != base
+        assert (
+            RunSpec(
+                workload="web-search", scale=0.02, duration=90.0, seed=8
+            ).cache_key()
+            != base
+        )
+        assert (
+            RunSpec(
+                workload="web-search",
+                scale=0.02,
+                duration=90.0,
+                seed=7,
+                policy="oracle",
+            ).cache_key()
+            != base
+        )
+        assert (
+            RunSpec(
+                workload="web-search",
+                scale=0.02,
+                duration=90.0,
+                seed=7,
+                faults=FaultConfig(enabled=True, migration_failure_rate=0.5),
+            ).cache_key()
+            != base
+        )
+
+    def test_unknown_policy_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="magic"):
+            RunSpec(workload="redis", policy="magic")
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = RunSpec(
+            workload="redis", faults=FaultConfig(enabled=True)
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestPayloadRoundtrip:
+    def test_roundtrip_is_bit_identical(self):
+        live = execute_spec(SPEC)
+        rehydrated = payload_to_result(*result_to_payload(live))
+        assert_results_identical(live, rehydrated)
+
+    def test_roundtrip_survives_json(self):
+        """The manifest must survive an actual JSON encode/decode, not
+        just a dict copy (what the disk layer does)."""
+        import json
+
+        manifest, arrays = result_to_payload(execute_spec(SPEC))
+        rehydrated = payload_to_result(
+            json.loads(json.dumps(manifest, sort_keys=True)), arrays
+        )
+        assert_results_identical(execute_spec(SPEC), rehydrated)
+
+    def test_version_mismatch_rejected(self):
+        manifest, arrays = result_to_payload(execute_spec(SPEC))
+        manifest = dict(manifest, store_version=999)
+        with pytest.raises(ReproError):
+            payload_to_result(manifest, arrays)
+
+    def test_fault_run_roundtrips(self):
+        spec = RunSpec(
+            workload="redis",
+            scale=0.02,
+            duration=90.0,
+            seed=3,
+            faults=FaultConfig(
+                enabled=True,
+                migration_failure_rate=0.5,
+                max_migration_retries=3,
+                retry_backoff_seconds=1e-3,
+                capacity_exhaustion_rate=0.2,
+            ),
+        )
+        live = execute_spec(spec)
+        rehydrated = payload_to_result(*result_to_payload(live))
+        assert_results_identical(live, rehydrated)
+        assert rehydrated.fault_summary() == live.fault_summary()
+
+
+class TestResultStore:
+    def test_miss_then_hit(self):
+        store = ResultStore()
+        key = SPEC.cache_key()
+        assert store.fetch(key) is None
+        store.put(key, execute_spec(SPEC))
+        assert store.fetch(key) is not None
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_fetches_are_independent_copies(self):
+        store = ResultStore()
+        key = SPEC.cache_key()
+        store.put(key, execute_spec(SPEC))
+        a = store.fetch(key)
+        b = store.fetch(key)
+        assert a is not b
+        assert a.stats is not b.stats
+        assert a.state is not b.state
+        assert_results_identical(a, b)
+
+    def test_mutation_does_not_corrupt_store(self):
+        store = ResultStore()
+        key = SPEC.cache_key()
+        store.put(key, execute_spec(SPEC))
+        a = store.fetch(key)
+        clean_summary = a.summary()
+        a.stats.counter("total_slow_accesses").add(1e12)
+        a.extras["mutated"] = True
+        a.state.tier[:] = 0
+        a.state.migration.records.clear()
+        b = store.fetch(key)
+        assert b.summary() == clean_summary
+        assert "mutated" not in b.extras
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        key = SPEC.cache_key()
+        ResultStore(tmp_path).put(key, execute_spec(SPEC))
+        assert (tmp_path / f"{key}.json").exists()
+        assert (tmp_path / f"{key}.npz").exists()
+        fresh = ResultStore(tmp_path)
+        result = fresh.fetch(key)
+        assert result is not None
+        assert (fresh.hits, fresh.misses) == (1, 0)
+        assert_results_identical(result, execute_spec(SPEC))
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = SPEC.cache_key()
+        store.put(key, execute_spec(SPEC))
+        store.clear_memory()
+        assert key in store
+
+    def test_memory_only_store_forgets_on_clear(self):
+        store = ResultStore()
+        key = SPEC.cache_key()
+        store.put(key, execute_spec(SPEC))
+        store.clear_memory()
+        assert key not in store
+
+
+class TestRunMany:
+    def test_one_result_per_spec_in_order(self):
+        specs = [
+            RunSpec(workload="web-search", scale=0.02, duration=90.0, seed=s)
+            for s in (1, 2, 1)
+        ]
+        results = run_many(specs, store=ResultStore())
+        assert len(results) == 3
+        assert_results_identical(results[0], results[2])
+        assert results[0].summary() != results[1].summary()
+
+    def test_duplicates_simulated_once(self, monkeypatch):
+        calls = []
+        real = parallel._execute_spec_payload
+
+        def counting(spec):
+            calls.append(spec)
+            return real(spec)
+
+        monkeypatch.setattr(parallel, "_execute_spec_payload", counting)
+        run_many([SPEC, SPEC, SPEC], store=ResultStore())
+        assert len(calls) == 1
+
+    def test_warm_store_skips_simulation_entirely(self, tmp_path, monkeypatch):
+        """A replay against a populated cache dir never simulates."""
+        key = SPEC.cache_key()
+        ResultStore(tmp_path).put(key, execute_spec(SPEC))
+
+        def boom(spec):
+            raise AssertionError("simulated despite a warm store")
+
+        monkeypatch.setattr(parallel, "_execute_spec_payload", boom)
+        store = ResultStore(tmp_path)
+        results = run_many([SPEC], store=store)
+        assert store.hits == 1
+        assert_results_identical(results[0], execute_spec(SPEC))
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+class TestDeterminism:
+    """run_suite serial, parallel, and cache-replayed are identical."""
+
+    DURATIONS = {
+        "aerospike": 90.0,
+        "cassandra": 90.0,
+        "in-memory-analytics": 90.0,
+        "mysql-tpcc": 90.0,
+        "redis": 90.0,
+        "web-search": 90.0,
+    }
+
+    def _suite(self, jobs, store):
+        return common.run_suite(
+            scale=0.02, seed=11, jobs=jobs, durations=self.DURATIONS, store=store
+        )
+
+    def test_matches_serial_and_replay(self, jobs):
+        serial = self._suite(1, ResultStore())
+        store = ResultStore()
+        fanned = self._suite(jobs, store)
+        replayed = self._suite(jobs, store)  # pure cache hits
+        assert set(serial) == set(fanned) == set(replayed)
+        for name in serial:
+            assert_results_identical(serial[name], fanned[name])
+            assert_results_identical(serial[name], replayed[name])
+
+    def test_replay_hits_only(self, jobs):
+        store = ResultStore()
+        self._suite(jobs, store)
+        hits_before = store.hits
+        self._suite(jobs, store)
+        assert store.hits == hits_before + len(self.DURATIONS)

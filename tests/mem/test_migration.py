@@ -132,6 +132,52 @@ class TestAccounting:
         with pytest.raises(MigrationError):
             engine.peak_rate(MigrationReason.DEMOTION, -1.0)
 
+    def test_peak_total_rate_single_stream_matches_peak_rate(self, engine):
+        engine.demote(huge=True, count=4)
+        assert engine.peak_total_rate(
+            (MigrationReason.DEMOTION,), window=30.0
+        ) == engine.peak_rate(MigrationReason.DEMOTION, window=30.0)
+
+    def test_peak_total_rate_bins_one_combined_stream(self, engine):
+        """Regression for the Table 3 peak bug: the per-reason peaks land
+        in *different* windows (demotion at t=5, correction at t=35), so
+        summing them claims a burst that never happened.  The combined
+        stream's true peak is the larger single window."""
+        engine.clock.advance(5.0)
+        engine.demote(huge=True, count=6)  # window 0
+        engine.clock.advance(30.0)
+        engine.correct(huge=True, count=4)  # window 1
+        window = 30.0
+        demotion_peak = engine.peak_rate(MigrationReason.DEMOTION, window)
+        correction_peak = engine.peak_rate(MigrationReason.CORRECTION, window)
+        combined = engine.peak_total_rate(
+            (MigrationReason.DEMOTION, MigrationReason.CORRECTION), window
+        )
+        assert combined == pytest.approx(6 * HUGE_PAGE_SIZE / window)
+        assert combined == pytest.approx(max(demotion_peak, correction_peak))
+        assert combined < demotion_peak + correction_peak
+
+    def test_peak_total_rate_same_window_sums(self, engine):
+        """When both streams do burst together, the combined peak sees it."""
+        engine.demote(huge=True, count=3)
+        engine.correct(huge=True, count=2)
+        combined = engine.peak_total_rate(window=30.0)
+        assert combined == pytest.approx(5 * HUGE_PAGE_SIZE / 30.0)
+
+    def test_peak_total_rate_default_is_all_reasons(self, engine):
+        engine.demote(huge=True, count=1)
+        engine.correct(huge=True, count=1)
+        assert engine.peak_total_rate(window=30.0) == engine.peak_total_rate(
+            tuple(MigrationReason), window=30.0
+        )
+
+    def test_peak_total_rate_empty(self, engine):
+        assert engine.peak_total_rate(window=30.0) == 0.0
+
+    def test_peak_total_rate_bad_window(self, engine):
+        with pytest.raises(MigrationError):
+            engine.peak_total_rate(window=0.0)
+
 
 class TestRetryBackoff:
     """The injected transient-failure path (satellite of the fault work)."""

@@ -158,6 +158,89 @@ class TestZeroEpochGuards:
         assert not np.isnan(result.throughput_degradation)
 
 
+class TestPeakSlowTraffic:
+    def _empty_result(self):
+        from repro.config import SimulationConfig as Config
+        from repro.mem.numa import NumaTopology
+        from repro.sim.clock import VirtualClock
+        from repro.sim.engine import SimulationResult
+        from repro.sim.state import TieredMemoryState
+        from repro.sim.stats import StatsRegistry
+
+        clock = VirtualClock()
+        topo = NumaTopology.small()
+        topo.fast.tier.reserve_bytes(100 * 2 * 1024 * 1024)
+        state = TieredMemoryState(100, topo, clock)
+        return (
+            SimulationResult(
+                workload_name="scripted",
+                policy_name="none",
+                config=Config(duration=90, epoch=30, seed=0),
+                stats=StatsRegistry(),
+                state=state,
+                duration=90.0,
+                baseline_ops_per_second=1000.0,
+            ),
+            clock,
+        )
+
+    def test_peak_is_combined_stream_not_sum_of_peaks(self):
+        """Regression locking the corrected Table 3 semantics: when the
+        demotion and correction streams peak in *different* windows, the
+        reported peak is the busiest single window — strictly less than
+        the old sum-of-per-reason-peaks."""
+        from repro.mem.migration import MigrationReason
+        from repro.units import MB
+
+        result, clock = self._empty_result()
+        mig = result.state.migration
+        clock.advance(5.0)
+        mig.demote(huge=True, count=6)  # window 0
+        clock.advance(30.0)
+        mig.correct(huge=True, count=4)  # window 1
+        window = 30.0
+        per_reason_sum = (
+            mig.peak_rate(MigrationReason.DEMOTION, window)
+            + mig.peak_rate(MigrationReason.CORRECTION, window)
+        ) / MB
+        peak = result.peak_slow_traffic_mbps(window)
+        assert peak == pytest.approx(6 * 2 / 30.0)  # 6 huge pages = 12 MB
+        assert peak < per_reason_sum
+
+    def test_peak_equals_sum_when_streams_coincide(self):
+        result, _clock = self._empty_result()
+        mig = result.state.migration
+        mig.demote(huge=True, count=3)
+        mig.correct(huge=True, count=2)
+        assert result.peak_slow_traffic_mbps(30.0) == pytest.approx(5 * 2 / 30.0)
+
+
+class TestTruncatedTail:
+    def test_partial_epoch_surfaces_in_result(self):
+        """duration=100, epoch=30 simulates 90s; the 10s tail is reported,
+        not silently dropped."""
+        from repro.errors import ConfigWarning
+
+        with pytest.warns(ConfigWarning):
+            config = SimulationConfig(duration=100, epoch=30, seed=0)
+        result = run_simulation(make_workload(), AllDramPolicy(), config)
+        assert result.duration == pytest.approx(90.0)
+        assert result.truncated_seconds == pytest.approx(10.0)
+        assert result.extras["truncated_tail_seconds"] == pytest.approx(10.0)
+        assert result.duration + result.truncated_seconds == pytest.approx(
+            config.duration
+        )
+
+    def test_whole_epochs_have_no_tail(self):
+        result = run_simulation(
+            make_workload(),
+            AllDramPolicy(),
+            SimulationConfig(duration=120, epoch=30, seed=0),
+        )
+        assert result.truncated_seconds == 0.0
+        assert "truncated_tail_seconds" not in result.extras
+
+
 class TestShrinkRejection:
     def test_shrinking_workload_raises_clear_error(self):
         from repro.errors import SimulationError

@@ -1,6 +1,5 @@
 """Tests for counters, time series, and histograms."""
 
-import numpy as np
 import pytest
 
 from repro.sim.stats import Counter, Histogram, StatsRegistry, TimeSeries
@@ -63,8 +62,25 @@ class TestTimeSeries:
         assert ts.mean() == pytest.approx(3.0)
         assert ts.max() == pytest.approx(6.0)
 
-    def test_mean_empty_is_nan(self):
-        assert np.isnan(TimeSeries("s").mean())
+    def test_mean_empty_raises(self):
+        """Empty-series contract: every aggregate raises, like last()."""
+        with pytest.raises(ValueError):
+            TimeSeries("s").mean()
+
+    def test_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("s").max()
+
+    def test_extend(self):
+        ts = TimeSeries("s")
+        ts.extend([0.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        assert list(ts.times) == [0.0, 1.0, 2.0]
+        assert list(ts.values) == [5.0, 6.0, 7.0]
+
+    def test_extend_enforces_monotonic_time(self):
+        ts = TimeSeries("s")
+        with pytest.raises(ValueError):
+            ts.extend([1.0, 0.5], [1.0, 1.0])
 
     def test_windowed_mean(self):
         ts = TimeSeries("s")
@@ -100,6 +116,18 @@ class TestHistogram:
         hist.observe(2.0)
         hist.observe(4.0)
         assert hist.mean() == pytest.approx(3.0)
+
+    def test_empty_mean_raises(self):
+        """Same contract as percentile(): empty aggregates raise."""
+        with pytest.raises(ValueError):
+            Histogram("h").mean()
+
+    def test_observations_is_a_copy(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        obs = hist.observations
+        obs[0] = 99.0
+        assert hist.observations[0] == 1.0
 
 
 class TestStatsRegistry:

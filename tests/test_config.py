@@ -70,6 +70,35 @@ class TestSimulationConfig:
         cfg = SimulationConfig(duration=100, epoch=30)
         assert cfg.num_epochs == 3
 
+    def test_partial_final_epoch_warns_and_is_surfaced(self):
+        """The paper's analytics run (317s at a 30s epoch) used to lose its
+        last 17s silently; now the tail is warned about and queryable."""
+        from repro.errors import ConfigWarning
+
+        with pytest.warns(ConfigWarning, match="317"):
+            cfg = SimulationConfig(duration=317, epoch=30)
+        assert cfg.num_epochs == 10
+        assert cfg.truncated_tail == pytest.approx(17.0)
+
+    def test_whole_epoch_duration_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = SimulationConfig(duration=300, epoch=30)
+        assert cfg.truncated_tail == 0.0
+
+    def test_num_epochs_float_robust(self):
+        """0.3 / 0.1 is 2.9999... in IEEE floats; naive floor division
+        would simulate 2 epochs and warn about a phantom tail."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cfg = SimulationConfig(duration=0.3, epoch=0.1)
+        assert cfg.num_epochs == 3
+        assert cfg.truncated_tail == 0.0
+
     def test_bad_duration_rejected(self):
         with pytest.raises(ConfigError):
             SimulationConfig(duration=0)
