@@ -1,0 +1,40 @@
+"""Benchmark: supervision overhead over the plain fan-out path.
+
+The supervisor adds per-task submission, deadline tracking, and an
+idle-tick scheduler loop around the same worker entry point
+``run_many`` uses; this benchmark times a full six-workload suite batch
+under supervision and proves the results are the ones the plain path
+produces (same store keys, same summaries).
+"""
+
+from conftest import run_once
+
+from repro.config import SupervisorConfig
+from repro.experiments.common import suite_specs
+from repro.experiments.parallel import ResultStore, run_many
+from repro.experiments.supervisor import run_supervised
+
+#: Short durations: this benchmark times supervision, not simulation.
+DURATIONS = {name: 90.0 for name in (
+    "aerospike", "cassandra", "in-memory-analytics",
+    "mysql-tpcc", "redis", "web-search",
+)}
+
+
+def test_supervised_suite_overhead(benchmark, bench_scale, bench_seed):
+    specs = suite_specs(scale=bench_scale, seed=bench_seed, durations=DURATIONS)
+    store = ResultStore()
+    batch = run_once(
+        benchmark,
+        run_supervised,
+        specs,
+        jobs=2,
+        store=store,
+        config=SupervisorConfig(timeout=300.0),
+    )
+    assert batch.quarantined == []
+    assert (batch.resumed, batch.retried) == (0, 0)
+    # The plain path replays the supervised batch purely from the store:
+    # identical keys, identical results, zero extra simulations.
+    plain = run_many(specs, store=store)
+    assert [r.summary() for r in batch.results] == [r.summary() for r in plain]

@@ -65,3 +65,33 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime self-check on the engine's state failed.
+
+    Raised by :class:`~repro.sim.invariants.InvariantAuditor` when an
+    epoch boundary breaks conservation (tier bytes, page counts),
+    monotonicity (clock, counters), or accounting consistency (migration
+    records vs counters, fault bookkeeping).  A violation means the run's
+    output cannot be trusted, which is why supervised retries audit
+    always-on and quarantine violating runs instead of caching them.
+    """
+
+
+class TaskTimeoutError(ReproError):
+    """A supervised task exceeded its per-task wall-clock budget.
+
+    Raised inside the worker by the SIGALRM handler when the budget
+    elapses, or recorded by the parent when a worker hangs so hard the
+    alarm never fires and the process pool has to be rebuilt.
+    """
+
+
+class QuarantinedTaskError(ReproError):
+    """One or more supervised tasks failed every attempt.
+
+    Raised after the rest of the batch has completed and the quarantine
+    file has been written, so a caller that catches it still has every
+    healthy result checkpointed in the store.
+    """

@@ -24,7 +24,9 @@ also persist across processes.
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 
+from repro.config import SupervisorConfig
 from repro.experiments.parallel import ResultStore, RunSpec, run_many
 from repro.sim.engine import SimulationResult
 from repro.workloads import WORKLOAD_NAMES
@@ -36,6 +38,17 @@ DEFAULT_SEED = 1
 
 #: The process-wide result store backing :func:`run_thermostat`.
 _STORE = ResultStore()
+
+#: When set, every experiment batch runs under the supervisor
+#: (``thermostat-repro --timeout/--retries/--resume``).
+_SUPERVISOR: SupervisorConfig | None = None
+
+#: When True, every suite spec runs with invariant auditing
+#: (``thermostat-repro --audit``).
+_AUDIT = False
+
+#: Aggregate supervision outcomes across this process's batches.
+_SUPERVISOR_TOTALS = {"batches": 0, "resumed": 0, "retried": 0, "quarantined": 0}
 
 
 def get_store() -> ResultStore:
@@ -52,6 +65,57 @@ def configure_store(cache_dir: str | os.PathLike | None = None) -> ResultStore:
     global _STORE
     _STORE = ResultStore(cache_dir)
     return _STORE
+
+
+def configure_supervisor(config: SupervisorConfig | None) -> None:
+    """Route every subsequent experiment batch through the supervisor.
+
+    ``None`` restores plain :func:`run_many` execution.  Resets the
+    aggregate totals either way.
+    """
+    global _SUPERVISOR
+    _SUPERVISOR = config
+    for key in _SUPERVISOR_TOTALS:
+        _SUPERVISOR_TOTALS[key] = 0
+
+
+def configure_audit(enabled: bool) -> None:
+    """Force epoch-boundary invariant auditing on every suite spec."""
+    global _AUDIT
+    _AUDIT = bool(enabled)
+
+
+def supervisor_totals() -> dict[str, int]:
+    """Supervision outcomes accumulated since :func:`configure_supervisor`."""
+    return dict(_SUPERVISOR_TOTALS)
+
+
+def _run_batch(
+    specs: list[RunSpec],
+    jobs: int = 1,
+    store: ResultStore | None = None,
+) -> list[SimulationResult]:
+    """The one execution funnel for experiment batches.
+
+    Applies the process-wide audit flag, then runs either plain
+    (:func:`run_many`) or supervised, raising
+    :class:`~repro.errors.QuarantinedTaskError` after the healthy rest of
+    a supervised batch has completed and been checkpointed.
+    """
+    store = store if store is not None else _STORE
+    if _AUDIT:
+        specs = [replace(spec, audit=True) for spec in specs]
+    if _SUPERVISOR is None:
+        return run_many(specs, jobs=jobs, store=store)
+    from repro.experiments.supervisor import run_supervised
+
+    batch = run_supervised(specs, jobs=jobs, store=store, config=_SUPERVISOR)
+    _SUPERVISOR_TOTALS["batches"] += 1
+    _SUPERVISOR_TOTALS["resumed"] += batch.resumed
+    _SUPERVISOR_TOTALS["retried"] += batch.retried
+    _SUPERVISOR_TOTALS["quarantined"] += len(batch.quarantined)
+    batch.raise_on_quarantine()
+    return batch.results
 
 
 def suite_durations() -> dict[str, float]:
@@ -138,7 +202,7 @@ def run_thermostat(
         seed=seed,
         policy=policy,
     )
-    return run_many([spec], store=_STORE)[0]
+    return _run_batch([spec])[0]
 
 
 def run_suite(
@@ -164,7 +228,7 @@ def run_suite(
         policy=policy,
         durations=durations,
     )
-    results = run_many(specs, jobs=jobs, store=store if store is not None else _STORE)
+    results = _run_batch(specs, jobs=jobs, store=store)
     return dict(zip(WORKLOAD_NAMES, results))
 
 
@@ -175,7 +239,7 @@ def prefetch(specs: list[RunSpec], jobs: int = 1) -> None:
     loops (which go through :func:`run_thermostat`) become pure cache
     hits regardless of ``jobs``.
     """
-    run_many(specs, jobs=jobs, store=_STORE)
+    _run_batch(specs, jobs=jobs)
 
 
 def clear_run_cache() -> None:

@@ -34,8 +34,9 @@ import copy
 import hashlib
 import json
 import os
+import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -48,7 +49,7 @@ from repro.mem.migration import MigrationReason, MigrationRecord
 from repro.mem.numa import NumaTopology
 from repro.mem.tiers import TierKind, TierSpec
 from repro.sim.clock import VirtualClock
-from repro.sim.engine import SimulationResult, run_simulation
+from repro.sim.engine import SimulationResult
 from repro.sim.state import TieredMemoryState
 from repro.sim.stats import StatsRegistry
 
@@ -76,6 +77,12 @@ class RunSpec:
     seed: int | None = 1
     stochastic: bool = True
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Run with epoch-boundary invariant auditing.  Purely observational
+    #: (an audited run either produces the identical result or raises
+    #: :class:`~repro.errors.InvariantViolation`), so it is deliberately
+    #: *excluded* from :meth:`cache_key` — an audited and an unaudited run
+    #: share one store entry.
+    audit: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICY_NAMES:
@@ -99,7 +106,8 @@ class RunSpec:
         Canonical JSON (sorted keys, shortest-round-trip floats) over
         every outcome-affecting field plus the store version, SHA-256
         hashed.  Two specs collide exactly when their runs would be
-        identical.
+        identical — which is why :attr:`audit` is not part of the
+        material: auditing observes a run without changing it.
         """
         material = {
             "store_version": STORE_VERSION,
@@ -140,13 +148,91 @@ def build_policy(name: str, tolerable_slowdown: float = 0.03):
     raise ValueError(f"unknown policy {name!r} (choose from {POLICY_NAMES})")
 
 
+#: Test-only fault hook, read by :func:`execute_spec` in every process
+#: (the supervisor's workers included).  Value: semicolon-separated
+#: directives ``<workload>:<kind>[:<arg>][@<marker>]``.  Kinds: ``exit``
+#: (``os._exit``, a hard worker crash), ``raise`` (``RuntimeError``),
+#: ``interrupt`` (``KeyboardInterrupt``), ``hang:<seconds>``
+#: (``time.sleep``), ``assert-audit`` (raise unless the spec is audited),
+#: and ``corrupt`` (deliberately corrupt one engine step so only an
+#: invariant audit can catch it).  With an ``@<marker>`` path the
+#: directive fires once — it creates the marker file first, so a retry in
+#: a fresh process sees it and proceeds cleanly.
+TEST_FAULT_ENV = "REPRO_TEST_FAULT"
+
+
+def _apply_test_faults(spec: RunSpec) -> set[str]:
+    """Fire matching :data:`TEST_FAULT_ENV` directives; return passive ones.
+
+    Active kinds (exit/raise/interrupt/hang/assert-audit) take effect
+    here; the ``corrupt`` kind is returned for :func:`execute_spec` to
+    install as an engine hook.
+    """
+    raw = os.environ.get(TEST_FAULT_ENV)
+    residual: set[str] = set()
+    if not raw:
+        return residual
+    for directive in raw.split(";"):
+        directive = directive.strip()
+        if not directive:
+            continue
+        directive, _, marker = directive.partition("@")
+        target, _, rest = directive.partition(":")
+        if target != spec.workload:
+            continue
+        kind, _, arg = rest.partition(":")
+        if marker:
+            marker_path = Path(marker)
+            if marker_path.exists():
+                continue
+            marker_path.touch()
+        if kind == "exit":
+            os._exit(40)
+        elif kind == "raise":
+            raise RuntimeError(f"injected test fault for {spec.workload!r}")
+        elif kind == "interrupt":
+            raise KeyboardInterrupt
+        elif kind == "hang":
+            time.sleep(float(arg or 3600.0))
+        elif kind == "assert-audit":
+            if not spec.audit:
+                raise RuntimeError(
+                    f"injected test fault: {spec.workload!r} ran unaudited"
+                )
+        elif kind == "corrupt":
+            residual.add("corrupt")
+        else:
+            raise ReproError(f"unknown test-fault kind {kind!r} in {raw!r}")
+    return residual
+
+
+def _debug_corrupt_epoch(sim, epoch_index: int) -> None:
+    """Steal one huge page from the fast tier's ledger (test corruption).
+
+    An unaudited run completes "successfully" with its books quietly
+    wrong; an audited run raises ``InvariantViolation`` at the epoch the
+    corruption happens.
+    """
+    if epoch_index == 0:
+        from repro.units import HUGE_PAGE_SIZE
+
+        sim.state.topology.fast.tier.allocated_bytes -= HUGE_PAGE_SIZE
+
+
 def execute_spec(spec: RunSpec) -> SimulationResult:
     """Run one spec from scratch (no store involved)."""
+    from repro.sim.engine import EpochSimulation
     from repro.workloads import make_workload
 
+    directives = _apply_test_faults(spec)
     workload = make_workload(spec.workload, scale=spec.scale)
     policy = build_policy(spec.policy, spec.tolerable_slowdown)
-    return run_simulation(workload, policy, spec.simulation_config())
+    sim = EpochSimulation(
+        workload, policy, spec.simulation_config(), audit=spec.audit
+    )
+    if "corrupt" in directives:
+        sim.debug_epoch_hook = _debug_corrupt_epoch
+    return sim.run()
 
 
 def _execute_spec_payload(spec: RunSpec) -> tuple[dict, dict[str, np.ndarray]]:
@@ -336,6 +422,7 @@ class ResultStore:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_tmp()
         self._memory: dict[str, tuple[dict, dict[str, np.ndarray]]] = {}
         #: Fetches answered from the store (no simulation needed).
         self.hits = 0
@@ -381,9 +468,17 @@ class ResultStore:
         npz_path = self.cache_dir / f"{key}.npz"
         tmp_json = json_path.with_suffix(".json.tmp")
         tmp_npz = npz_path.with_suffix(".npz.tmp.npz")
-        tmp_json.write_text(json.dumps(manifest, sort_keys=True))
+        # fsync before the rename: os.replace is atomic for the *name*,
+        # but without a flush a crash right after it can still surface a
+        # torn manifest under the final name.
+        with tmp_json.open("w") as handle:
+            handle.write(json.dumps(manifest, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
         with tmp_npz.open("wb") as handle:
             np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
         # Arrays first: a manifest without arrays would be a poisoned
         # entry, arrays without a manifest are just unreachable bytes.
         os.replace(tmp_npz, npz_path)
@@ -394,6 +489,23 @@ class ResultStore:
         self._memory.clear()
 
     # -- internals -------------------------------------------------------
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files left behind by killed writers.
+
+        A worker SIGKILLed mid-:meth:`put_payload` leaves ``*.tmp`` /
+        ``*.tmp.npz`` droppings next to the store entries; they are never
+        read (only the ``os.replace`` publishes data) but accumulate
+        forever.  Swept on every store open; a concurrent writer's
+        vanished temp file is harmless (its ``os.replace`` simply fails
+        and the attempt is retried by the supervisor).
+        """
+        for pattern in ("*.tmp", "*.tmp.npz"):
+            for stale in self.cache_dir.glob(pattern):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
 
     def _load_payload(
         self, key: str
@@ -437,6 +549,11 @@ def run_many(
     Results are bit-identical across ``jobs`` settings and across
     cache replays: every path materializes through the same payload
     serialization, and seeds live in the specs, not in the scheduler.
+
+    Every completed run is flushed to ``store`` the moment it finishes
+    (not at the end of the batch), so an interrupted batch keeps its
+    finished work: on ``KeyboardInterrupt`` pending work is cancelled,
+    already-completed results are flushed, and the interrupt re-raises.
     """
     specs = list(specs)
     store = store if store is not None else ResultStore()
@@ -454,15 +571,39 @@ def run_many(
 
     if pending_specs:
         keys = list(pending_specs)
-        todo = [pending_specs[key] for key in keys]
         if jobs > 1 and len(keys) > 1:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(keys))) as pool:
-                payloads = list(pool.map(_execute_spec_payload, todo))
+            pool = ProcessPoolExecutor(max_workers=min(jobs, len(keys)))
+            futures: dict[Future, str] = {}
+            try:
+                futures = {
+                    pool.submit(_execute_spec_payload, pending_specs[key]): key
+                    for key in keys
+                }
+                for future in as_completed(futures):
+                    store.put_payload(futures[future], future.result())
+            except KeyboardInterrupt:
+                _flush_completed(store, futures)
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            else:
+                pool.shutdown()
         else:
-            payloads = [_execute_spec_payload(spec) for spec in todo]
-        for key, payload in zip(keys, payloads):
-            store.put_payload(key, payload)
+            for key in keys:
+                store.put_payload(key, _execute_spec_payload(pending_specs[key]))
+        for key in keys:
             for index in pending_indices[key]:
                 results[index] = store.load(key)
 
     return [results[index] for index in range(len(specs))]
+
+
+def _flush_completed(store: ResultStore, futures: dict[Future, str]) -> None:
+    """Salvage finished-but-unconsumed worker payloads into the store."""
+    for future, key in futures.items():
+        if not future.done() or future.cancelled():
+            continue
+        try:
+            if future.exception() is None:
+                store.put_payload(key, future.result())
+        except (KeyboardInterrupt, Exception):
+            continue

@@ -13,6 +13,13 @@ Installed as ``thermostat-repro``.  Examples::
 serial run.  With ``--cache-dir`` a second invocation reuses every
 finished simulation from disk (the trailing ``[result store: ...]`` line
 shows hits vs misses).
+
+``--timeout``, ``--retries``, and ``--resume`` engage the supervisor
+(:mod:`repro.experiments.supervisor`): crashed, hung, or flaky
+simulations are retried with backoff; tasks that fail every attempt are
+quarantined into ``quarantine.json`` while the rest of the suite
+completes.  ``--audit`` runs every simulation with epoch-boundary
+invariant auditing.  Reports stay bit-identical either way.
 """
 
 from __future__ import annotations
@@ -23,6 +30,8 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from repro.config import SupervisorConfig
+from repro.errors import QuarantinedTaskError
 from repro.experiments import common
 from repro.experiments import (
     ext_counting,
@@ -137,6 +146,33 @@ def main(argv: list[str] | None = None) -> int:
         "invocations skip finished runs",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-simulation wall-clock budget in seconds; engages the "
+        "supervisor (hung tasks are killed and retried)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per failed simulation before quarantine (default "
+        f"{SupervisorConfig().max_attempts - 1} when supervised); engages "
+        "the supervisor",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted invocation from --cache-dir, re-running "
+        "only unfinished simulations; engages the supervisor",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="run every simulation with epoch-boundary invariant auditing "
+        "(results are bit-identical; violations raise)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     parser.add_argument(
@@ -154,8 +190,32 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if args.retries is not None and args.retries < 0:
+        parser.error(f"--retries must be >= 0 (got {args.retries})")
+    if args.resume and args.cache_dir is None:
+        parser.error("--resume requires --cache-dir (that is what it resumes from)")
     if args.cache_dir is not None:
         common.configure_store(args.cache_dir)
+
+    supervised = args.timeout is not None or args.retries is not None or args.resume
+    if supervised:
+        quarantine_path = (
+            str(Path(args.cache_dir) / "quarantine.json")
+            if args.cache_dir is not None
+            else "quarantine.json"
+        )
+        kwargs = {} if args.retries is None else {"max_attempts": args.retries + 1}
+        common.configure_supervisor(
+            SupervisorConfig(
+                timeout=args.timeout,
+                seed=args.seed,
+                quarantine_path=quarantine_path,
+                **kwargs,
+            )
+        )
+    else:
+        common.configure_supervisor(None)
+    common.configure_audit(args.audit)
 
     requested = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
@@ -166,9 +226,20 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     output_dir = Path(args.output_dir) if args.output_dir else None
+    failed: list[str] = []
+    quarantined = False
     for name in requested:
         started = time.perf_counter()
-        report = EXPERIMENTS[name](args.scale, args.seed, args.jobs)
+        try:
+            report = EXPERIMENTS[name](args.scale, args.seed, args.jobs)
+        except Exception as exc:  # noqa: BLE001 - one bad figure must not sink the rest
+            elapsed = time.perf_counter() - started
+            message = str(exc).splitlines()[0] if str(exc) else ""
+            print(f"[FAILED {name}: {type(exc).__name__}: {message}] ({elapsed:.1f}s)")
+            print()
+            failed.append(name)
+            quarantined = quarantined or isinstance(exc, QuarantinedTaskError)
+            continue
         elapsed = time.perf_counter() - started
         print(report)
         print(f"[{name}: {elapsed:.1f}s]")
@@ -176,11 +247,20 @@ def main(argv: list[str] | None = None) -> int:
         if output_dir is not None:
             output_dir.mkdir(parents=True, exist_ok=True)
             (output_dir / f"{name}.txt").write_text(report + "\n")
-    if output_dir is not None:
+    if output_dir is not None and not failed:
         _export_series(output_dir, args.scale, args.seed)
         print(f"[reports and CSV series written to {output_dir}]")
     store = common.get_store()
     print(f"[result store: {store.hits} hits, {store.misses} misses]")
+    if supervised:
+        totals = common.supervisor_totals()
+        print(
+            f"[supervisor: {totals['retried']} retried, "
+            f"{totals['quarantined']} quarantined, {totals['resumed']} resumed]"
+        )
+    if failed:
+        print(f"[{len(failed)} experiment(s) failed: {', '.join(failed)}]")
+        return 2 if quarantined else 1
     return 0
 
 

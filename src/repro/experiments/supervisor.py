@@ -1,0 +1,406 @@
+"""Supervised execution: crash/hang-tolerant batches with checkpointed resume.
+
+:func:`run_supervised` is a supervision layer over the same (spec →
+payload → store) pipeline :func:`~repro.experiments.parallel.run_many`
+uses, built for campaigns that must survive the real world:
+
+* **Per-task wall-clock timeouts** — a SIGALRM armed inside the worker
+  (clean, per-task, raises :class:`~repro.errors.TaskTimeoutError`) plus
+  a parent-side deadline of ``timeout * 1.5 + grace`` as a backstop for
+  workers hung too hard to take the signal, in which case the pool is
+  killed and rebuilt.
+* **Retries with seeded exponential backoff** — a failed attempt waits
+  ``backoff * 2**(attempt-1) * (1 + U[0, jitter))`` with the jitter drawn
+  from a stream seeded per (task, attempt), so retry schedules are
+  reproducible.
+* **Pool rebuild on crash** — a worker dying (OOM kill, segfault,
+  ``os._exit``) breaks a ``ProcessPoolExecutor`` permanently; instead of
+  aborting the sweep, the supervisor charges a failed attempt to the
+  affected in-flight tasks, discards the broken pool, and builds a fresh
+  one.  (The pool cannot say *which* worker died, so concurrent innocents
+  may be charged a collateral attempt; they succeed on retry while a
+  deterministic crasher exhausts its budget.)
+* **Quarantine** — a task that fails ``max_attempts`` times is set aside
+  with its spec, attempt count, and tracebacks in a machine-readable
+  ``quarantine.json`` while the rest of the batch completes;
+  :meth:`SupervisedBatch.raise_on_quarantine` then raises
+  :class:`~repro.errors.QuarantinedTaskError` for callers that need every
+  result.
+* **Checkpointed resume** — every completed task is flushed through the
+  :class:`~repro.experiments.parallel.ResultStore` the moment it
+  finishes, so a SIGKILLed suite re-run against the same ``cache_dir``
+  resumes from its last completed key (``thermostat-repro --resume``).
+* **Audit-on-retry** — retried attempts run with epoch-boundary invariant
+  auditing (:mod:`repro.sim.invariants`) forced on, so a retry that only
+  "succeeds" by corrupting engine state is quarantined, not cached.
+
+Scheduling never affects results: specs carry their own seeds, workers
+ship serialized payloads, and the store rehydrates fresh objects — a
+supervised batch is bit-identical to ``run_many`` and to a cache replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+from repro.config import SupervisorConfig
+from repro.errors import QuarantinedTaskError, TaskTimeoutError
+from repro.experiments.parallel import (
+    ResultStore,
+    RunSpec,
+    _execute_spec_payload,
+    _flush_completed,
+)
+from repro.rng import child_rng, make_rng
+from repro.sim.engine import SimulationResult
+
+#: Version stamp of the quarantine.json layout.
+QUARANTINE_VERSION = 1
+
+#: Idle tick of the scheduler loop, seconds: how often the parent wakes
+#: to check deadlines and backoff eligibility when nothing has completed.
+_TICK_SECONDS = 0.25
+
+
+def _supervised_worker(
+    spec: RunSpec, timeout: float | None
+) -> tuple[dict, dict]:
+    """Worker entry point: run one spec under a SIGALRM wall-clock budget.
+
+    The alarm raises :class:`TaskTimeoutError` *inside* the worker, which
+    travels back through the future like any other failure — the clean
+    half of the timeout hybrid.  Platforms without SIGALRM (or ``timeout
+    is None``) simply run unalarmed and rely on the parent's deadline.
+    """
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+
+        def _on_alarm(signum, frame):
+            raise TaskTimeoutError(
+                f"task exceeded its {timeout:g}s wall-clock budget"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return _execute_spec_payload(spec)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass
+class QuarantineEntry:
+    """One task that failed every attempt, in quarantine.json layout."""
+
+    key: str
+    spec: dict
+    attempts: int
+    error_type: str
+    tracebacks: list[str]
+
+    @property
+    def workload(self) -> str:
+        return str(self.spec.get("workload", "?"))
+
+
+@dataclass
+class SupervisedBatch:
+    """Everything :func:`run_supervised` learned about one batch."""
+
+    #: One entry per input spec, in order; ``None`` for quarantined tasks.
+    results: list[SimulationResult | None]
+    #: Tasks that failed every attempt (empty on a clean batch).
+    quarantined: list[QuarantineEntry]
+    #: Unique tasks answered store-first (the resume path).
+    resumed: int
+    #: Unique tasks that failed at least once but eventually completed.
+    retried: int
+    #: Failed attempts per cache key (successful-first-try tasks absent).
+    attempts: dict[str, int]
+
+    def raise_on_quarantine(self) -> None:
+        """Raise :class:`QuarantinedTaskError` if any task was quarantined."""
+        if not self.quarantined:
+            return
+        summary = ", ".join(
+            f"{entry.workload} ({entry.error_type} x{entry.attempts})"
+            for entry in self.quarantined
+        )
+        raise QuarantinedTaskError(
+            f"{len(self.quarantined)} task(s) quarantined after exhausting "
+            f"their attempts: {summary}"
+        )
+
+
+@dataclass
+class _Task:
+    """Supervisor-side state machine for one unique spec.
+
+    States: pending -> running -> (done | retrying -> running ... |
+    quarantined).  ``attempts`` counts *failed* attempts; ``eligible`` is
+    the monotonic time before which a retry must not be resubmitted.
+    """
+
+    spec: RunSpec
+    key: str
+    indices: list[int] = field(default_factory=list)
+    attempts: int = 0
+    failures: list[tuple[str, str]] = field(default_factory=list)
+    eligible: float = 0.0
+    done: bool = False
+    quarantined: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.quarantined
+
+
+def _format_failure(exc: BaseException) -> tuple[str, str]:
+    """(exception type name, full traceback incl. the remote one)."""
+    trace = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return type(exc).__name__, trace
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool whose worker is hung (terminate, don't wait)."""
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def write_quarantine(
+    path: str | os.PathLike, entries: list[QuarantineEntry]
+) -> None:
+    """Write (or clear) the machine-readable quarantine report atomically."""
+    path = Path(path)
+    if not entries:
+        # A clean batch removes a stale report so resumed campaigns
+        # cannot be confused by last run's quarantine.
+        path.unlink(missing_ok=True)
+        return
+    payload = {
+        "version": QUARANTINE_VERSION,
+        "entries": [asdict(entry) for entry in entries],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def run_supervised(
+    specs,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    config: SupervisorConfig | None = None,
+) -> SupervisedBatch:
+    """Run a batch of specs under supervision; see the module docstring.
+
+    Tasks always execute in worker processes (even with ``jobs=1``) so a
+    crash can never take the supervisor down with it.  At most ``jobs``
+    tasks are in flight at a time, which keeps parent-side deadlines
+    honest (submit time == start time) and bounds a crash's blast radius.
+    """
+    config = config if config is not None else SupervisorConfig()
+    store = store if store is not None else ResultStore()
+    specs = list(specs)
+    jobs = max(1, jobs)
+
+    tasks: dict[str, _Task] = {}
+    for index, spec in enumerate(specs):
+        key = spec.cache_key()
+        task = tasks.setdefault(key, _Task(spec=spec, key=key))
+        task.indices.append(index)
+
+    resumed = 0
+    for task in tasks.values():
+        if store.fetch(task.key) is not None:
+            task.done = True
+            resumed += 1
+
+    jitter_root = make_rng(config.seed)
+
+    def _fail(task: _Task, exc: BaseException) -> None:
+        task.attempts += 1
+        task.failures.append(_format_failure(exc))
+        if task.attempts >= config.max_attempts:
+            task.quarantined = True
+            return
+        delay = config.backoff_seconds * 2.0 ** (task.attempts - 1)
+        jitter = child_rng(
+            jitter_root, f"backoff:{task.key}:{task.attempts}"
+        ).uniform(0.0, config.backoff_jitter)
+        task.eligible = time.monotonic() + delay * (1.0 + jitter)
+
+    pool: ProcessPoolExecutor | None = None
+    in_flight: dict[Future, str] = {}
+    deadlines: dict[Future, float | None] = {}
+    retried: set[str] = set()
+
+    def _submit(task: _Task) -> None:
+        spec = task.spec
+        if task.attempts > 0:
+            retried.add(task.key)
+            if config.audit_retries:
+                spec = replace(spec, audit=True)
+        timeout = config.timeout if config.worker_alarm else None
+        future = pool.submit(_supervised_worker, spec, timeout)
+        in_flight[future] = task.key
+        parent = config.parent_timeout
+        deadlines[future] = (
+            None if parent is None else time.monotonic() + parent
+        )
+
+    try:
+        while any(not task.finished for task in tasks.values()):
+            now = time.monotonic()
+            runnable = [
+                task
+                for task in tasks.values()
+                if not task.finished
+                and task.key not in in_flight.values()
+                and task.eligible <= now
+            ]
+            if runnable and pool is None:
+                pool = ProcessPoolExecutor(max_workers=jobs)
+            for task in runnable[: jobs - len(in_flight)]:
+                _submit(task)
+
+            if not in_flight:
+                # Everything unfinished is waiting out a backoff.
+                next_eligible = min(
+                    task.eligible
+                    for task in tasks.values()
+                    if not task.finished
+                )
+                time.sleep(max(0.0, next_eligible - time.monotonic()))
+                continue
+
+            done_set, _ = wait(
+                set(in_flight), timeout=_TICK_SECONDS,
+                return_when=FIRST_COMPLETED,
+            )
+            pool_broken = False
+            for future in done_set:
+                key = in_flight.pop(future)
+                deadlines.pop(future)
+                task = tasks[key]
+                try:
+                    payload = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    _fail(task, exc)
+                except BaseException as exc:  # worker exceptions of any kind
+                    _fail(task, exc)
+                else:
+                    store.put_payload(key, payload)
+                    task.done = True
+            if pool_broken:
+                # The remaining in-flight futures are doomed on this pool;
+                # charge them the same collateral attempt and rebuild.
+                for future, key in list(in_flight.items()):
+                    _fail(
+                        tasks[key],
+                        BrokenProcessPool(
+                            "process pool broke while task was in flight"
+                        ),
+                    )
+                in_flight.clear()
+                deadlines.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                continue
+
+            now = time.monotonic()
+            overdue = [
+                future
+                for future, deadline in deadlines.items()
+                if deadline is not None and now >= deadline
+                and not future.done()
+            ]
+            if overdue:
+                # A worker is hung past even the parent-side backstop: the
+                # only safe recovery is to kill the whole pool.  Overdue
+                # tasks are charged a timeout failure; innocent in-flight
+                # tasks are requeued without losing an attempt.
+                for future in list(in_flight):
+                    key = in_flight.pop(future)
+                    deadlines.pop(future)
+                    if future in overdue:
+                        _fail(
+                            tasks[key],
+                            TaskTimeoutError(
+                                f"worker hung past the parent-side deadline "
+                                f"({config.parent_timeout:g}s); process pool "
+                                f"killed"
+                            ),
+                        )
+                _kill_pool(pool)
+                pool = None
+    except KeyboardInterrupt:
+        if pool is not None:
+            _flush_completed(store, dict(in_flight))
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+        raise
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    quarantined = [
+        QuarantineEntry(
+            key=task.key,
+            spec=asdict(task.spec),
+            attempts=task.attempts,
+            error_type=task.failures[-1][0] if task.failures else "Unknown",
+            tracebacks=[trace for _, trace in task.failures],
+        )
+        for task in tasks.values()
+        if task.quarantined
+    ]
+    if config.quarantine_path is not None:
+        write_quarantine(config.quarantine_path, quarantined)
+
+    results: list[SimulationResult | None] = [None] * len(specs)
+    for task in tasks.values():
+        if not task.done:
+            continue
+        for index in task.indices:
+            results[index] = store.load(task.key)
+
+    return SupervisedBatch(
+        results=results,
+        quarantined=quarantined,
+        resumed=resumed,
+        retried=len(retried & {t.key for t in tasks.values() if t.done}),
+        attempts={
+            task.key: task.attempts
+            for task in tasks.values()
+            if task.attempts
+        },
+    )

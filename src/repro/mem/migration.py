@@ -71,6 +71,14 @@ class MigrationEngine:
         self.clock = clock
         self.stats = stats or StatsRegistry()
         self.records: list[MigrationRecord] = []
+        #: Bytes accounted per reason by *this live engine* — a second,
+        #: independently maintained accounting stream that the invariant
+        #: auditor cross-checks against the records list and the stats
+        #: counters.  Rehydrated results (which assign ``records``
+        #: directly) leave it at zero; they are never audited.
+        self.live_bytes_by_reason: dict[MigrationReason, int] = {
+            reason: 0 for reason in MigrationReason
+        }
         #: Optional fault injector (set by the engine when faults are
         #: enabled).  When present, each batch attempt may transiently
         #: fail and is retried with exponential backoff.
@@ -106,6 +114,7 @@ class MigrationEngine:
             huge=huge,
         )
         self.records.append(record)
+        self.live_bytes_by_reason[reason] += record.bytes_moved
         stream = (
             "migration_bytes"
             if record.reason is MigrationReason.DEMOTION

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import CapacityError, ConfigError
+from repro.errors import CapacityError, ConfigError, InvariantViolation
 from repro.mem.address import PageNumber
 from repro.units import DRAM_LATENCY, GB, SLOW_MEMORY_LATENCY
 
@@ -116,6 +116,28 @@ class MemoryTier:
         if nbytes is not None and nbytes < 0:
             raise ConfigError(f"soft limit must be >= 0: {nbytes}")
         self.soft_limit_bytes = nbytes
+
+    def audit(self) -> None:
+        """Raise :class:`InvariantViolation` if the allocator's books are bad.
+
+        Cheap enough to run every epoch: three comparisons, no iteration.
+        """
+        if not 0 <= self.allocated_bytes <= self.spec.capacity_bytes:
+            raise InvariantViolation(
+                f"[invariant:tier-bytes] {self.kind.value} tier allocated "
+                f"{self.allocated_bytes} bytes outside "
+                f"[0, {self.spec.capacity_bytes}]"
+            )
+        if self._next_frame > self.capacity_frames:
+            raise InvariantViolation(
+                f"[invariant:tier-frames] {self.kind.value} tier bump pointer "
+                f"{self._next_frame} past capacity {self.capacity_frames}"
+            )
+        if self.soft_limit_bytes is not None and self.soft_limit_bytes < 0:
+            raise InvariantViolation(
+                f"[invariant:tier-limit] {self.kind.value} tier soft limit "
+                f"is negative: {self.soft_limit_bytes}"
+            )
 
     def can_reserve(self, nbytes: int) -> bool:
         """Would :meth:`reserve_bytes` succeed for ``nbytes`` right now?"""

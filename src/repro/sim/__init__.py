@@ -13,4 +13,9 @@ Two execution models share this package:
 from repro.sim.clock import VirtualClock
 from repro.sim.stats import Counter, StatsRegistry, TimeSeries
 
+# NOTE: repro.sim.invariants is intentionally not imported here — it
+# depends on repro.mem.migration, which itself imports repro.sim.clock,
+# so an eager import would be circular.  Use
+# ``from repro.sim.invariants import InvariantAuditor`` directly.
+
 __all__ = ["VirtualClock", "Counter", "StatsRegistry", "TimeSeries"]

@@ -33,6 +33,7 @@ from repro.mem.numa import NumaTopology, SLOW_NODE
 from repro.mem.wear import WearTracker
 from repro.rng import child_rng, make_rng
 from repro.sim.clock import VirtualClock
+from repro.sim.invariants import InvariantAuditor
 from repro.sim.policy import PlacementPolicy
 from repro.sim.state import TieredMemoryState
 from repro.sim.stats import StatsRegistry
@@ -188,10 +189,12 @@ class EpochSimulation:
         policy: PlacementPolicy,
         config: SimulationConfig | None = None,
         topology: NumaTopology | None = None,
+        audit: bool = False,
     ) -> None:
         self.workload = workload
         self.policy = policy
         self.config = config or SimulationConfig()
+        self.audit = audit
         if topology is None:
             # Provision both tiers generously relative to the footprint so
             # capacity never interferes with placement decisions (as in the
@@ -206,6 +209,14 @@ class EpochSimulation:
         self.state = TieredMemoryState(
             workload.num_huge_pages_at(0.0), topology, self.clock, self.stats
         )
+        #: Epoch-boundary self-checks; built lazily in :meth:`run` so the
+        #: auditor's baselines see the state exactly as the run starts.
+        self.auditor: InvariantAuditor | None = None
+        #: Test hook: called as ``hook(self, epoch_index)`` after each
+        #: epoch is recorded, *before* the invariant audit — the way tests
+        #: deliberately corrupt an engine step to prove the auditor
+        #: catches it.  Never set outside tests.
+        self.debug_epoch_hook = None
 
     def run(self) -> SimulationResult:
         """Execute the configured number of epochs and return the result."""
@@ -226,8 +237,10 @@ class EpochSimulation:
             self.state.migration.injector = injector
             if injector.wear is not None:
                 wear = WearTracker(max(self.state.num_huge_pages, 1))
+        if self.audit:
+            self.auditor = InvariantAuditor(self.state, self.clock, self.stats)
 
-        for _ in range(self.config.num_epochs):
+        for epoch_index in range(self.config.num_epochs):
             start = self.clock.now
             needed = self.workload.num_huge_pages_at(start)
             if needed < self.state.num_huge_pages:
@@ -336,6 +349,14 @@ class EpochSimulation:
                     lost_pages,
                 )
 
+            # 5. Audit the epoch boundary (off by default; --audit and
+            # supervised retries turn it on).  Purely observational, so
+            # audited runs stay bit-identical to unaudited ones.
+            if self.debug_epoch_hook is not None:
+                self.debug_epoch_hook(self, epoch_index)
+            if self.auditor is not None:
+                self.auditor.check_epoch()
+
         extras: dict = {}
         tail = self.config.truncated_tail
         if tail > 1e-6 * self.config.epoch:
@@ -412,6 +433,7 @@ def run_simulation(
     policy: PlacementPolicy,
     config: SimulationConfig | None = None,
     topology: NumaTopology | None = None,
+    audit: bool = False,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`EpochSimulation`."""
-    return EpochSimulation(workload, policy, config, topology).run()
+    return EpochSimulation(workload, policy, config, topology, audit=audit).run()

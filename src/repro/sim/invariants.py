@@ -1,0 +1,247 @@
+"""Runtime invariant auditing for the epoch engine.
+
+An :class:`InvariantAuditor` is a set of cheap self-checks the engine can
+consult at every epoch boundary (``audit=True`` on
+:class:`~repro.sim.engine.EpochSimulation`, ``--audit`` on the runner,
+always-on for supervised retries).  Each check compares two independently
+maintained views of the same quantity, so a bug in either bookkeeping
+path — or bit-rot in a long campaign — surfaces as an
+:class:`~repro.errors.InvariantViolation` at the epoch it happens instead
+of as a silently wrong table three sweeps later:
+
+* **Tier byte conservation** — the placement array's per-node footprint
+  must equal each tier's ``allocated_bytes`` ledger (maintained by the
+  migration engine), and both must fit the hardware capacity.
+* **Page-count conservation** — the footprint never shrinks, the tier and
+  split arrays stay the same length, and every page is on a real node.
+* **Monotone clock and counters** — simulated time strictly advances each
+  epoch and no counter ever decreases.
+* **Migration accounting** — the records list, the engine's live byte
+  totals, and the stats counters are three separately written accounts of
+  the same traffic; all three must agree (checked incrementally, so the
+  per-epoch cost is proportional to *new* records only).
+* **Fault accounting** — every injected migration failure is either
+  retried or exhausted, and deferred-demotion ids are sorted, unique, and
+  in range.
+
+All checks are observational: auditing never changes a run's output, so
+audited and unaudited runs of the same spec are bit-identical and share a
+result-store cache key.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvariantViolation
+from repro.mem.migration import MigrationReason
+from repro.mem.numa import FAST_NODE, SLOW_NODE
+from repro.sim.clock import VirtualClock
+from repro.sim.state import TieredMemoryState
+from repro.sim.stats import StatsRegistry
+
+#: The stats-counter stream each migration reason feeds.
+_REASON_COUNTERS = {
+    MigrationReason.DEMOTION: "migration_bytes",
+    MigrationReason.CORRECTION: "correction_bytes",
+}
+
+
+def _violation(name: str, detail: str) -> InvariantViolation:
+    return InvariantViolation(f"[invariant:{name}] {detail}")
+
+
+class InvariantAuditor:
+    """Epoch-boundary self-checks over one simulation's state.
+
+    Baselines are captured at construction, so the auditor can attach to
+    a state that already carries allocations (a caller-provided topology)
+    and still audit *changes* exactly.
+    """
+
+    def __init__(
+        self,
+        state: TieredMemoryState,
+        clock: VirtualClock | None = None,
+        stats: StatsRegistry | None = None,
+    ) -> None:
+        self.state = state
+        self.clock = clock if clock is not None else state.clock
+        self.stats = stats if stats is not None else state.stats
+        #: Number of completed :meth:`check_epoch` passes.
+        self.checks_run = 0
+        self._last_now = self.clock.now
+        self._last_num_pages = state.num_huge_pages
+        self._last_counters = dict(self.stats.snapshot())
+        # Tier ledgers may predate this footprint (shared topologies);
+        # remember the offset between ledger and placement view per node.
+        occupancy = state.occupancy_bytes()
+        self._tier_offsets = {
+            node: state.topology.node(node).tier.allocated_bytes - occupancy[node]
+            for node in (FAST_NODE, SLOW_NODE)
+        }
+        self._record_cursor = len(state.migration.records)
+        self._bytes_seen = dict(state.migration.live_bytes_by_reason)
+        self._counter_base = {
+            name: self._counter_value(name) for name in _REASON_COUNTERS.values()
+        }
+
+    def _counter_value(self, name: str) -> float:
+        """A counter's value without creating it (auditing must never
+        perturb the stats registry, or audited runs stop being
+        bit-identical to unaudited ones)."""
+        counter = self.stats.counters.get(name)
+        return counter.value if counter is not None else 0.0
+
+    # ------------------------------------------------------------------
+
+    def check_epoch(self) -> None:
+        """Run every invariant check; raises on the first violation."""
+        self._check_clock()
+        self._check_page_conservation()
+        self._check_tier_conservation()
+        self._check_counters_monotone()
+        self._check_migration_accounting()
+        self._check_fault_accounting()
+        self.checks_run += 1
+
+    # ------------------------------------------------------------------
+
+    def _check_clock(self) -> None:
+        now = self.clock.now
+        if not math.isfinite(now):
+            raise _violation("clock", f"simulated time is not finite: {now}")
+        if now <= self._last_now:
+            raise _violation(
+                "clock",
+                f"simulated time did not advance across the epoch: "
+                f"{self._last_now:g}s -> {now:g}s",
+            )
+        self._last_now = now
+
+    def _check_page_conservation(self) -> None:
+        state = self.state
+        pages = state.num_huge_pages
+        if pages < self._last_num_pages:
+            raise _violation(
+                "pages",
+                f"footprint shrank from {self._last_num_pages} to {pages} "
+                "huge pages (the engine only supports growth)",
+            )
+        if len(state.split) != pages:
+            raise _violation(
+                "pages",
+                f"split array tracks {len(state.split)} pages but the tier "
+                f"array tracks {pages}",
+            )
+        on_known_node = (state.tier == FAST_NODE) | (state.tier == SLOW_NODE)
+        if not bool(np.all(on_known_node)):
+            stray = np.unique(state.tier[~on_known_node])
+            raise _violation(
+                "pages",
+                f"pages placed on unknown node(s) {stray.tolist()} "
+                f"(expected {FAST_NODE} or {SLOW_NODE})",
+            )
+        self._last_num_pages = pages
+
+    def _check_tier_conservation(self) -> None:
+        occupancy = self.state.occupancy_bytes()
+        for node in (FAST_NODE, SLOW_NODE):
+            tier = self.state.topology.node(node).tier
+            tier.audit()
+            expected = occupancy[node] + self._tier_offsets[node]
+            if tier.allocated_bytes != expected:
+                raise _violation(
+                    "tier-conservation",
+                    f"{tier.kind.value} tier ledger says "
+                    f"{tier.allocated_bytes} bytes allocated but the "
+                    f"placement array accounts for {expected} "
+                    f"(occupancy {occupancy[node]} + baseline "
+                    f"{self._tier_offsets[node]})",
+                )
+
+    def _check_counters_monotone(self) -> None:
+        snapshot = self.stats.snapshot()
+        for name, value in snapshot.items():
+            if not math.isfinite(value):
+                raise _violation("counters", f"counter {name!r} is {value}")
+            previous = self._last_counters.get(name, 0.0)
+            if value < previous:
+                raise _violation(
+                    "counters",
+                    f"counter {name!r} decreased: {previous:g} -> {value:g}",
+                )
+        self._last_counters = snapshot
+
+    def _check_migration_accounting(self) -> None:
+        engine = self.state.migration
+        records = engine.records
+        if len(records) < self._record_cursor:
+            raise _violation(
+                "migration",
+                f"migration records disappeared: {self._record_cursor} "
+                f"recorded previously, {len(records)} now",
+            )
+        now = self.clock.now
+        for record in records[self._record_cursor :]:
+            if not 0.0 <= record.time <= now:
+                raise _violation(
+                    "migration",
+                    f"migration stamped at t={record.time:g}s outside "
+                    f"[0, {now:g}]",
+                )
+            if record.bytes_moved <= 0:
+                raise _violation(
+                    "migration",
+                    f"migration record moved {record.bytes_moved} bytes",
+                )
+            self._bytes_seen[record.reason] = (
+                self._bytes_seen.get(record.reason, 0) + record.bytes_moved
+            )
+        self._record_cursor = len(records)
+        for reason, total in self._bytes_seen.items():
+            live = engine.live_bytes_by_reason.get(reason, 0)
+            if live != total:
+                raise _violation(
+                    "migration",
+                    f"{reason.value} bytes disagree between the records "
+                    f"list ({total}) and the engine's live total ({live})",
+                )
+            stream = _REASON_COUNTERS.get(reason)
+            if stream is None:
+                continue
+            counted = self._counter_value(stream) - self._counter_base[stream]
+            if counted != total:
+                raise _violation(
+                    "migration",
+                    f"{reason.value} bytes disagree between the records "
+                    f"list ({total}) and the {stream!r} counter ({counted:g})",
+                )
+
+    def _check_fault_accounting(self) -> None:
+        failures = self._counter_value("fault_migration_failures")
+        retries = self._counter_value("fault_migration_retries")
+        exhausted = self._counter_value("fault_retry_exhausted")
+        if failures != retries + exhausted:
+            raise _violation(
+                "faults",
+                f"every migration failure must be retried or exhausted: "
+                f"{failures:g} failures != {retries:g} retries + "
+                f"{exhausted:g} exhausted",
+            )
+        deferred = self.state.last_deferred_demotions
+        if deferred.size:
+            if np.any(deferred < 0) or np.any(
+                deferred >= self.state.num_huge_pages
+            ):
+                raise _violation(
+                    "faults",
+                    "deferred-demotion ids out of range "
+                    f"[0, {self.state.num_huge_pages})",
+                )
+            if np.any(np.diff(deferred) <= 0):
+                raise _violation(
+                    "faults", "deferred-demotion ids not sorted and unique"
+                )

@@ -182,6 +182,20 @@ class TieredMemoryState:
         """Ids of pages currently in fast memory."""
         return np.flatnonzero(self.tier == FAST_NODE)
 
+    def occupancy_bytes(self) -> dict[int, int]:
+        """Footprint bytes resident on each node, from the tier array.
+
+        The auditor compares this placement-side view against the tiers'
+        own ``allocated_bytes`` books: the two are maintained by different
+        code paths and must agree every epoch.
+        """
+        fast_pages = int(np.count_nonzero(self.tier == FAST_NODE))
+        slow_pages = int(np.count_nonzero(self.tier == SLOW_NODE))
+        return {
+            FAST_NODE: fast_pages * HUGE_PAGE_SIZE,
+            SLOW_NODE: slow_pages * HUGE_PAGE_SIZE,
+        }
+
     def footprint_breakdown(self) -> dict[str, int]:
         """Bytes by (temperature, granularity) — the Figure 5-10 stacks.
 

@@ -170,6 +170,21 @@ class TestRunnerCli:
         with pytest.raises(SystemExit):
             runner_main(["fig99"])
 
+    def test_failed_experiment_summarized_and_rest_continue(
+        self, capsys, monkeypatch
+    ):
+        from repro.experiments import runner
+
+        def boom(scale, seed, jobs):
+            raise RuntimeError("synthetic failure\nwith a second line")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig1", boom)
+        assert runner_main(["fig1", "table2", "--scale", str(SCALE)]) == 1
+        out = capsys.readouterr().out
+        assert "[FAILED fig1: RuntimeError: synthetic failure]" in out
+        assert "Table 2" in out  # the batch continued past the failure
+        assert "[1 experiment(s) failed: fig1]" in out
+
 
 class TestFig2Extended:
     def test_suite_wide_correlations(self):

@@ -188,6 +188,16 @@ class TestResultStore:
         store.clear_memory()
         assert key not in store
 
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        """Droppings of a SIGKILLed writer vanish on the next store open."""
+        (tmp_path / "deadbeef.json.tmp").write_text("{")
+        (tmp_path / "deadbeef.npz.tmp.npz").write_bytes(b"torn")
+        key = SPEC.cache_key()
+        ResultStore(tmp_path).put(key, execute_spec(SPEC))
+        store = ResultStore(tmp_path)
+        assert not list(tmp_path.glob("*.tmp")) + list(tmp_path.glob("*.tmp.npz"))
+        assert store.fetch(key) is not None  # real entries survive the sweep
+
 
 class TestRunMany:
     def test_one_result_per_spec_in_order(self):
@@ -225,6 +235,44 @@ class TestRunMany:
         results = run_many([SPEC], store=store)
         assert store.hits == 1
         assert_results_identical(results[0], execute_spec(SPEC))
+
+
+class TestInterruptFlush:
+    """A Ctrl-C mid-batch must keep every already-finished result."""
+
+    OTHER = RunSpec(workload="redis", scale=0.02, duration=90.0, seed=7)
+
+    def test_serial_interrupt_keeps_finished_results(self, monkeypatch):
+        real = parallel._execute_spec_payload
+        completed = []
+
+        def interrupt_after_first(spec):
+            if completed:
+                raise KeyboardInterrupt
+            completed.append(spec)
+            return real(spec)
+
+        monkeypatch.setattr(
+            parallel, "_execute_spec_payload", interrupt_after_first
+        )
+        store = ResultStore()
+        with pytest.raises(KeyboardInterrupt):
+            run_many([SPEC, self.OTHER], store=store)
+        assert SPEC.cache_key() in store
+        assert self.OTHER.cache_key() not in store
+
+    def test_parallel_interrupt_flushes_completed(self, monkeypatch):
+        """The fast task finishes while the slow one hangs then raises
+        KeyboardInterrupt; the finished result must hit the store before
+        the interrupt propagates."""
+        monkeypatch.setenv(
+            parallel.TEST_FAULT_ENV, "redis:hang:2;redis:interrupt"
+        )
+        store = ResultStore()
+        with pytest.raises(KeyboardInterrupt):
+            run_many([SPEC, self.OTHER], jobs=2, store=store)
+        assert SPEC.cache_key() in store
+        assert self.OTHER.cache_key() not in store
 
 
 @pytest.mark.parametrize("jobs", [1, 4])

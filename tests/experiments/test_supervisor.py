@@ -1,0 +1,275 @@
+"""Tests for supervised execution: crashes, hangs, retries, quarantine, resume.
+
+Worker misbehaviour is injected through the ``REPRO_TEST_FAULT``
+environment variable (see :mod:`repro.experiments.parallel`), which is
+the only faulting mechanism that crosses the process boundary into pool
+workers.  A ``@marker`` suffix makes a directive fire once, so "crash
+then succeed on retry" is expressible.
+"""
+
+import json
+
+import pytest
+from test_parallel import SPEC, assert_results_identical
+
+from repro.config import SupervisorConfig
+from repro.errors import ConfigError, QuarantinedTaskError
+from repro.experiments import common
+from repro.experiments.parallel import (
+    TEST_FAULT_ENV,
+    ResultStore,
+    RunSpec,
+    _execute_spec_payload,
+    run_many,
+)
+from repro.experiments.runner import main as runner_main
+from repro.experiments.supervisor import run_supervised
+
+#: A second fast spec so batches have an innocent bystander.
+OTHER = RunSpec(workload="redis", scale=0.02, duration=90.0, seed=7)
+
+#: Fast-retry posture for tests: backoff measured in milliseconds.
+FAST = dict(backoff_seconds=0.01, backoff_jitter=0.1, seed=0)
+
+
+def clean_results(*specs):
+    """Unsupervised reference results (run before any fault env is set)."""
+    return run_many(list(specs), store=ResultStore())
+
+
+@pytest.fixture(autouse=True)
+def _reset_common_state():
+    """Runner invocations mutate process-wide experiment plumbing."""
+    yield
+    common.configure_supervisor(None)
+    common.configure_audit(False)
+    common.configure_store()
+
+
+class TestConfig:
+    def test_parent_timeout_scales_worker_budget(self):
+        assert SupervisorConfig(timeout=5.0, grace=10.0).parent_timeout == 17.5
+        assert SupervisorConfig().parent_timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SupervisorConfig(timeout=0.0)
+        with pytest.raises(ConfigError):
+            SupervisorConfig(max_attempts=0)
+        with pytest.raises(ConfigError):
+            SupervisorConfig(backoff_seconds=-1.0)
+
+
+class TestCleanBatch:
+    def test_matches_run_many(self):
+        reference = clean_results(SPEC, OTHER)
+        batch = run_supervised(
+            [SPEC, OTHER], jobs=2, store=ResultStore(), config=SupervisorConfig(**FAST)
+        )
+        assert batch.quarantined == []
+        assert (batch.resumed, batch.retried, batch.attempts) == (0, 0, {})
+        for got, want in zip(batch.results, reference):
+            assert_results_identical(got, want)
+        batch.raise_on_quarantine()  # no-op on a clean batch
+
+    def test_duplicates_collapse_to_one_task(self):
+        batch = run_supervised(
+            [SPEC, SPEC], jobs=2, store=ResultStore(), config=SupervisorConfig(**FAST)
+        )
+        assert_results_identical(batch.results[0], batch.results[1])
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_crash_is_retried(self, jobs, tmp_path, monkeypatch):
+        reference = clean_results(SPEC, OTHER)
+        marker = tmp_path / "crash-once"
+        monkeypatch.setenv(TEST_FAULT_ENV, f"web-search:exit@{marker}")
+        batch = run_supervised(
+            [SPEC, OTHER],
+            jobs=jobs,
+            store=ResultStore(),
+            config=SupervisorConfig(**FAST),
+        )
+        assert marker.exists()
+        assert batch.quarantined == []
+        assert batch.retried >= 1
+        assert batch.attempts[SPEC.cache_key()] >= 1
+        for got, want in zip(batch.results, reference):
+            assert_results_identical(got, want)
+
+    def test_hang_cut_short_by_worker_alarm(self, tmp_path, monkeypatch):
+        marker = tmp_path / "hang-once"
+        monkeypatch.setenv(TEST_FAULT_ENV, f"web-search:hang:30@{marker}")
+        batch = run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(timeout=0.5, **FAST),
+        )
+        assert marker.exists()
+        assert batch.quarantined == []
+        assert batch.attempts[SPEC.cache_key()] == 1
+        assert batch.results[0] is not None
+
+    def test_hard_hang_killed_by_parent_backstop(self, tmp_path, monkeypatch):
+        """With the in-worker alarm disabled, only the parent-side
+        deadline can recover — by killing and rebuilding the pool."""
+        marker = tmp_path / "hang-once"
+        monkeypatch.setenv(TEST_FAULT_ENV, f"web-search:hang:30@{marker}")
+        batch = run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(
+                timeout=0.4, grace=0.2, worker_alarm=False, **FAST
+            ),
+        )
+        assert batch.quarantined == []
+        assert batch.results[0] is not None
+        assert batch.attempts[SPEC.cache_key()] == 1
+
+
+class TestQuarantine:
+    def test_always_failing_task_quarantined(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:raise")
+        quarantine = tmp_path / "quarantine.json"
+        batch = run_supervised(
+            [SPEC, OTHER],
+            jobs=2,
+            store=ResultStore(),
+            config=SupervisorConfig(
+                max_attempts=2, quarantine_path=str(quarantine), **FAST
+            ),
+        )
+        # The healthy bystander still completed.
+        assert batch.results[1] is not None
+        assert batch.results[0] is None
+        (entry,) = batch.quarantined
+        assert entry.workload == "web-search"
+        assert entry.attempts == 2
+        assert entry.error_type == "RuntimeError"
+        assert len(entry.tracebacks) == 2
+        assert all("injected test fault" in t for t in entry.tracebacks)
+
+        report = json.loads(quarantine.read_text())
+        assert report["version"] == 1
+        (raw,) = report["entries"]
+        assert raw["spec"]["workload"] == "web-search"
+        assert raw["attempts"] == 2
+
+        with pytest.raises(QuarantinedTaskError, match="web-search"):
+            batch.raise_on_quarantine()
+
+    def test_clean_batch_clears_stale_quarantine(self, tmp_path):
+        quarantine = tmp_path / "quarantine.json"
+        quarantine.write_text("{}")
+        run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(quarantine_path=str(quarantine), **FAST),
+        )
+        assert not quarantine.exists()
+
+
+class TestResume:
+    def test_resumes_from_partial_store(self, tmp_path, monkeypatch):
+        reference = clean_results(SPEC, OTHER)
+        # Simulate a killed run: one result checkpointed, one stale tmp.
+        ResultStore(tmp_path).put_payload(
+            OTHER.cache_key(), _execute_spec_payload(OTHER)
+        )
+        (tmp_path / "half-written.json.tmp").write_text("{")
+
+        # Were the finished run re-executed, it would crash: proof the
+        # resume really is store-first.
+        monkeypatch.setenv(TEST_FAULT_ENV, "redis:raise")
+        store = ResultStore(tmp_path)
+        batch = run_supervised(
+            [SPEC, OTHER], jobs=2, store=store, config=SupervisorConfig(**FAST)
+        )
+        assert not (tmp_path / "half-written.json.tmp").exists()
+        assert batch.resumed == 1
+        assert batch.quarantined == []
+        for got, want in zip(batch.results, reference):
+            assert_results_identical(got, want)
+
+
+class TestAuditOnRetry:
+    def test_retry_runs_audited(self, monkeypatch):
+        """assert-audit fails any unaudited attempt, so success proves
+        the retry carried audit=True."""
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:assert-audit")
+        batch = run_supervised(
+            [SPEC], store=ResultStore(), config=SupervisorConfig(**FAST)
+        )
+        assert batch.quarantined == []
+        assert batch.attempts[SPEC.cache_key()] == 1
+        assert batch.results[0] is not None
+
+    def test_invariant_violating_retry_quarantined(self, tmp_path, monkeypatch):
+        """A retry that only 'succeeds' by corrupting engine state must be
+        quarantined, not cached."""
+        marker = tmp_path / "crash-once"
+        monkeypatch.setenv(
+            TEST_FAULT_ENV, f"web-search:exit@{marker};web-search:corrupt"
+        )
+        store = ResultStore()
+        batch = run_supervised(
+            [SPEC],
+            store=store,
+            config=SupervisorConfig(max_attempts=2, **FAST),
+        )
+        (entry,) = batch.quarantined
+        assert entry.error_type == "InvariantViolation"
+        assert SPEC.cache_key() not in store
+
+    def test_audit_can_be_disabled(self, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:assert-audit")
+        batch = run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(max_attempts=2, audit_retries=False, **FAST),
+        )
+        (entry,) = batch.quarantined
+        assert entry.error_type == "RuntimeError"
+
+
+class TestRunnerIntegration:
+    SCALE = "0.02"
+
+    def test_resume_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            runner_main(["fig3", "--resume"])
+
+    def test_quarantine_exits_2_with_summary(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:raise")
+        code = runner_main(
+            [
+                "fig3",
+                "--scale", self.SCALE,
+                "--jobs", "2",
+                "--retries", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "[FAILED fig3: QuarantinedTaskError" in out
+        assert "[supervisor:" in out and "1 quarantined" in out
+        assert (tmp_path / "cache" / "quarantine.json").exists()
+
+    def test_supervised_run_is_identical_and_exits_0(self, tmp_path, capsys):
+        args = ["fig3", "--scale", self.SCALE, "--jobs", "2"]
+        assert runner_main(args) == 0
+        plain = capsys.readouterr().out
+        supervised_args = args + [
+            "--retries", "1",
+            "--audit",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert runner_main(supervised_args) == 0
+        supervised = capsys.readouterr().out
+
+        def body(text):
+            return [ln for ln in text.splitlines() if not ln.startswith("[")]
+
+        assert body(plain) == body(supervised)

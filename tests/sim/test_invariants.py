@@ -1,0 +1,171 @@
+"""Tests for epoch-boundary invariant auditing (repro.sim.invariants)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import InvariantViolation
+from repro.experiments.parallel import RunSpec, build_policy, execute_spec
+from repro.sim.engine import EpochSimulation
+from repro.units import HUGE_PAGE_SIZE
+from repro.workloads import make_workload
+
+#: Fast spec: 3 epochs, ~0.1s of wall clock.
+SPEC = RunSpec(workload="web-search", scale=0.02, duration=90.0, seed=7)
+
+FAULT_SPEC = RunSpec(
+    workload="redis",
+    scale=0.02,
+    duration=90.0,
+    seed=3,
+    faults=FaultConfig(
+        enabled=True,
+        migration_failure_rate=0.5,
+        max_migration_retries=3,
+        retry_backoff_seconds=1e-3,
+        capacity_exhaustion_rate=0.2,
+    ),
+)
+
+
+def make_sim(spec: RunSpec = SPEC, audit: bool = True) -> EpochSimulation:
+    return EpochSimulation(
+        make_workload(spec.workload, scale=spec.scale),
+        build_policy(spec.policy, spec.tolerable_slowdown),
+        spec.simulation_config(),
+        audit=audit,
+    )
+
+
+def corrupt_at_epoch(index, corruption):
+    """A debug_epoch_hook firing ``corruption(sim)`` at one epoch."""
+
+    def hook(sim, epoch_index):
+        if epoch_index == index:
+            corruption(sim)
+
+    return hook
+
+
+class TestCleanRuns:
+    def test_audit_passes_and_runs_every_epoch(self):
+        sim = make_sim()
+        result = sim.run()
+        assert sim.auditor is not None
+        assert sim.auditor.checks_run == result.stats.counter("epochs").value == 3
+
+    def test_audited_run_is_bit_identical_to_unaudited(self):
+        audited = execute_spec(replace(SPEC, audit=True))
+        plain = execute_spec(SPEC)
+        assert audited.summary() == plain.summary()
+        assert audited.stats.snapshot() == plain.stats.snapshot()
+        assert np.array_equal(audited.state.tier, plain.state.tier)
+        assert audited.state.migration.records == plain.state.migration.records
+
+    def test_fault_injected_run_passes_audit(self):
+        sim = make_sim(FAULT_SPEC)
+        result = sim.run()
+        assert sim.auditor.checks_run == 3
+        assert result.fault_summary()["migration_failures"] > 0
+
+    def test_every_suite_workload_passes_audit(self):
+        from repro.workloads import WORKLOAD_NAMES
+
+        for name in WORKLOAD_NAMES:
+            sim = make_sim(
+                RunSpec(workload=name, scale=0.02, duration=60.0, seed=1)
+            )
+            sim.run()
+            assert sim.auditor.checks_run == 2, name
+
+    def test_unaudited_sim_builds_no_auditor(self):
+        sim = make_sim(audit=False)
+        sim.run()
+        assert sim.auditor is None
+
+
+class TestCorruptionCaught:
+    """Deliberate single-epoch corruptions must raise at that epoch."""
+
+    def _run_corrupted(self, corruption, audit=True, spec=SPEC):
+        sim = make_sim(spec, audit=audit)
+        sim.debug_epoch_hook = corrupt_at_epoch(1, corruption)
+        return sim
+
+    def test_tier_ledger_theft(self):
+        def steal(sim):
+            sim.state.topology.fast.tier.allocated_bytes -= HUGE_PAGE_SIZE
+
+        sim = self._run_corrupted(steal)
+        with pytest.raises(InvariantViolation, match=r"\[invariant:tier-conservation\]"):
+            sim.run()
+
+    def test_negative_tier_ledger(self):
+        def wreck(sim):
+            sim.state.topology.slow.tier.allocated_bytes = -1
+
+        sim = self._run_corrupted(wreck)
+        with pytest.raises(InvariantViolation, match=r"\[invariant:tier-bytes\]"):
+            sim.run()
+
+    def test_page_on_unknown_node(self):
+        def misplace(sim):
+            sim.state.tier[0] = 99
+
+        sim = self._run_corrupted(misplace)
+        with pytest.raises(InvariantViolation, match=r"\[invariant:pages\].*unknown node"):
+            sim.run()
+
+    def test_footprint_shrink(self):
+        def shrink(sim):
+            sim.state.tier = sim.state.tier[:-1]
+
+        sim = self._run_corrupted(shrink)
+        with pytest.raises(InvariantViolation, match=r"\[invariant:pages\]"):
+            sim.run()
+
+    def test_counter_decrease(self):
+        def rewind(sim):
+            # -2, not -1: the epoch's own +1 would mask a single decrement.
+            sim.stats.counter("epochs").add(-2)
+
+        sim = self._run_corrupted(rewind)
+        with pytest.raises(InvariantViolation, match=r"\[invariant:counters\].*decreased"):
+            sim.run()
+
+    def test_migration_record_loss(self):
+        dropped = []
+
+        def drop(sim, epoch_index):
+            # Fire at whichever epoch first has a record to lose.
+            if not dropped and sim.state.migration.records:
+                dropped.append(sim.state.migration.records.pop())
+
+        sim = make_sim(FAULT_SPEC)
+        sim.debug_epoch_hook = drop
+        with pytest.raises(InvariantViolation, match=r"\[invariant:migration\]"):
+            sim.run()
+        assert dropped
+
+    def test_fault_accounting_mismatch(self):
+        def phantom_failure(sim):
+            sim.stats.counter("fault_migration_failures").add(1)
+
+        sim = self._run_corrupted(phantom_failure)
+        with pytest.raises(
+            InvariantViolation, match=r"\[invariant:faults\].*retried or exhausted"
+        ):
+            sim.run()
+
+    def test_unaudited_run_is_silently_wrong(self):
+        """The same corruption without --audit completes: that silence is
+        exactly what the auditor exists to remove."""
+
+        def steal(sim):
+            sim.state.topology.fast.tier.allocated_bytes -= HUGE_PAGE_SIZE
+
+        sim = self._run_corrupted(steal, audit=False)
+        result = sim.run()
+        assert result.stats.counter("epochs").value == 3
