@@ -1,0 +1,81 @@
+"""Benchmark: observability overhead over an uninstrumented run.
+
+The observability contract (DESIGN.md "Observability") has two cost
+clauses: with every pillar *off* the only added work is one
+``observer.active`` attribute read per instrumentation site (~zero
+overhead), and with tracing + metrics *on* a run stays within a few
+percent of plain.  This benchmark measures both against the same
+simulation, using median-of-repeats so one scheduler hiccup cannot fail
+the build, and re-proves the bit-identical clause on the way.
+"""
+
+import pickle
+import time
+
+from repro.config import SimulationConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.obs import NULL_OBSERVER, Observer
+from repro.sim.engine import run_simulation
+from repro.experiments.parallel import result_to_payload
+from repro.workloads import make_workload
+
+#: Timing repeats per variant; the median is compared.
+REPEATS = 5
+#: Enabled tracing+metrics may cost at most this fraction of plain time,
+#: plus an absolute slack so millisecond-scale runs don't flake on noise.
+MAX_ENABLED_OVERHEAD = 0.05
+ABSOLUTE_SLACK_SECONDS = 0.050
+
+
+def _timed_run(bench_scale, bench_seed, observer=None):
+    start = time.perf_counter()
+    result = run_simulation(
+        make_workload("redis", scale=bench_scale),
+        ThermostatPolicy(),
+        SimulationConfig(duration=600, epoch=30, seed=bench_seed),
+        observer=observer,
+    )
+    return time.perf_counter() - start, result
+
+
+def test_observability_overhead(benchmark, bench_scale, bench_seed):
+    def run():
+        # Interleave the variants each repeat so machine drift (cache
+        # warm-up, turbo states, neighbouring load) hits all three alike;
+        # compare best-of-repeats, the standard noise-resistant statistic.
+        times = {"plain": [], "null": [], "traced": []}
+        results = {}
+        for _ in range(REPEATS):
+            for key, make_observer in (
+                ("plain", lambda: None),
+                ("null", lambda: NULL_OBSERVER),
+                ("traced", lambda: Observer(trace=True, metrics=True)),
+            ):
+                elapsed, results[key] = _timed_run(
+                    bench_scale, bench_seed, make_observer()
+                )
+                times[key].append(elapsed)
+        return {key: min(values) for key, values in times.items()}, results
+
+    best, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    plain_s, null_s, traced_s = best["plain"], best["null"], best["traced"]
+    plain, traced = results["plain"], results["traced"]
+    print(
+        f"\nplain {plain_s * 1e3:.1f}ms  default-off {null_s * 1e3:.1f}ms  "
+        f"trace+metrics {traced_s * 1e3:.1f}ms  "
+        f"overhead {(traced_s / plain_s - 1) * 100:+.1f}%"
+    )
+    # Bit-identical either way (the contract that makes overhead the
+    # *only* difference worth measuring).
+    assert pickle.dumps(result_to_payload(traced)) == pickle.dumps(
+        result_to_payload(plain)
+    )
+    budget = plain_s * (1.0 + MAX_ENABLED_OVERHEAD) + ABSOLUTE_SLACK_SECONDS
+    assert traced_s <= budget, (
+        f"tracing+metrics cost {traced_s:.3f}s vs plain {plain_s:.3f}s "
+        f"(budget {budget:.3f}s)"
+    )
+    # Default-off is two plain runs: the medians must agree to noise.
+    assert abs(null_s - plain_s) <= plain_s * MAX_ENABLED_OVERHEAD + (
+        ABSOLUTE_SLACK_SECONDS
+    )

@@ -56,12 +56,16 @@ def select_cold_pages(
     page_ids: np.ndarray,
     estimated_rates: np.ndarray,
     budget: float,
+    obs=None,
 ) -> ClassificationResult:
     """Choose the cold subset of the sampled pages.
 
     ``page_ids`` and ``estimated_rates`` are parallel arrays for this
     interval's sample; ``budget`` is the sample's rate allotment
     (``f * x / t_s``).  Ties are broken by page id for determinism.
+    ``obs`` is an optional observability sink (:mod:`repro.obs`) that
+    meters verdict counts and the estimated-rate distribution; it never
+    affects the selection.
 
     The selection is greedy coldest-first with a *strict* aggregate bound:
     a page is taken only if the running total stays within the budget.
@@ -91,6 +95,13 @@ def select_cold_pages(
     cold = np.sort(page_ids[cold_positions])
     hot = np.sort(page_ids[hot_positions])
     cold_rate = float(cumulative[num_cold - 1]) if num_cold else 0.0
+    if obs is not None and obs.active:
+        from repro.obs.metrics import RATE_BUCKETS
+
+        obs.inc("repro_classifier_invocations_total")
+        obs.inc("repro_classifier_cold_pages_total", num_cold)
+        obs.inc("repro_classifier_hot_pages_total", int(hot.size))
+        obs.observe("repro_classifier_estimated_rate", estimated_rates, RATE_BUCKETS)
     return ClassificationResult(
         cold_pages=cold,
         hot_pages=hot,

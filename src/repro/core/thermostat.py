@@ -31,6 +31,8 @@ from repro.core.correction import select_promotions
 from repro.core.estimator import estimate_rates_vectorized
 from repro.core.sampling import CyclingSampler, choose_poison_subpages
 from repro.kernel.cgroup import MemoryCgroup
+from repro.obs import truncate_pages
+from repro.obs.metrics import RATE_BUCKETS
 from repro.sim.policy import PlacementPolicy, PolicyReport
 from repro.sim.profile import EpochProfile
 from repro.sim.state import TieredMemoryState
@@ -99,6 +101,8 @@ class ThermostatPolicy(PlacementPolicy):
         rng: np.random.Generator,
     ) -> PolicyReport:
         cfg = self.config
+        obs = self.observer
+        now = state.clock.now
         epoch = profile.duration
         budget = cfg.slow_access_rate_budget
         subpage_counts = profile.subpage_counts()
@@ -129,48 +133,52 @@ class ThermostatPolicy(PlacementPolicy):
         sample = self._pending_sample
         sample = sample[sample < state.num_huge_pages]
         if sample.size:
-            counts = subpage_counts[sample]
-            accessed = counts > 0
-            num_accessed = accessed.sum(axis=1)
+            with obs.phase("sample"):
+                counts = subpage_counts[sample]
+                accessed = counts > 0
+                num_accessed = accessed.sum(axis=1)
 
-            poisoned_sums = np.zeros(sample.size)
-            poisoned_pages = np.zeros(sample.size)
-            fault_cap = self.poison_fault_rate_cap * epoch
-            sampling_faults = 0.0
-            for i in range(sample.size):
-                chosen = choose_poison_subpages(
-                    accessed[i],
-                    cfg.max_poisoned_subpages,
-                    rng,
-                    use_prefilter=cfg.enable_accessed_prefilter,
-                )
-                if chosen.size == 0:
-                    continue
-                observed = np.minimum(counts[i, chosen], fault_cap)
-                poisoned_sums[i] = float(observed.sum())
-                poisoned_pages[i] = chosen.size
-                if not slow_before[sample[i]]:
-                    # Faults on slow-tier pages are already slow accesses
-                    # charged by the engine; only fast-tier monitoring adds
-                    # overhead.
-                    sampling_faults += float(observed.sum())
+                poisoned_sums = np.zeros(sample.size)
+                poisoned_pages = np.zeros(sample.size)
+                fault_cap = self.poison_fault_rate_cap * epoch
+                sampling_faults = 0.0
+                for i in range(sample.size):
+                    chosen = choose_poison_subpages(
+                        accessed[i],
+                        cfg.max_poisoned_subpages,
+                        rng,
+                        use_prefilter=cfg.enable_accessed_prefilter,
+                    )
+                    if chosen.size == 0:
+                        continue
+                    observed = np.minimum(counts[i, chosen], fault_cap)
+                    poisoned_sums[i] = float(observed.sum())
+                    poisoned_pages[i] = chosen.size
+                    if not slow_before[sample[i]]:
+                        # Faults on slow-tier pages are already slow accesses
+                        # charged by the engine; only fast-tier monitoring
+                        # adds overhead.
+                        sampling_faults += float(observed.sum())
 
-            estimated = estimate_rates_vectorized(
-                num_accessed, poisoned_sums, poisoned_pages, epoch
-            )
-            sample_share = sample.size / max(state.num_huge_pages, 1)
-            classification = select_cold_pages(sample, estimated, sample_share * budget)
-            cold_now_fast = classification.cold_pages[
-                ~slow_before[classification.cold_pages]
-            ]
-            # The coldest candidates go first under the demotion cap.
-            rate_by_id = dict(zip(sample.tolist(), estimated.tolist()))
-            if cold_now_fast.size > demotion_cap:
-                order = np.argsort(
-                    [rate_by_id.get(p, 0.0) for p in cold_now_fast.tolist()]
+            with obs.phase("classify"):
+                estimated = estimate_rates_vectorized(
+                    num_accessed, poisoned_sums, poisoned_pages, epoch
                 )
-                cold_now_fast = cold_now_fast[order[:demotion_cap]]
-            demote_candidates = cold_now_fast
+                sample_share = sample.size / max(state.num_huge_pages, 1)
+                classification = select_cold_pages(
+                    sample, estimated, sample_share * budget, obs=obs
+                )
+                cold_now_fast = classification.cold_pages[
+                    ~slow_before[classification.cold_pages]
+                ]
+                # The coldest candidates go first under the demotion cap.
+                rate_by_id = dict(zip(sample.tolist(), estimated.tolist()))
+                if cold_now_fast.size > demotion_cap:
+                    order = np.argsort(
+                        [rate_by_id.get(p, 0.0) for p in cold_now_fast.tolist()]
+                    )
+                    cold_now_fast = cold_now_fast[order[:demotion_cap]]
+                demote_candidates = cold_now_fast
 
             # Accessed-bit scans on split pages: one shootdown per subpage
             # per scan (split scan + poison scan).
@@ -182,79 +190,152 @@ class ThermostatPolicy(PlacementPolicy):
             diagnostics["cold_rate"] = classification.cold_rate
             diagnostics["sample_budget"] = classification.budget
 
+            if obs.active:
+                obs.emit(
+                    "poison",
+                    "poison_counts",
+                    now,
+                    sampled_pages=int(sample.size),
+                    poisoned_subpages=int(poisoned_pages.sum()),
+                    capped_fault_rate=self.poison_fault_rate_cap,
+                    sampling_fault_count=sampling_faults,
+                )
+                obs.emit(
+                    "classify",
+                    "verdict",
+                    now,
+                    sampled=int(sample.size),
+                    cold=int(classification.cold_pages.size),
+                    hot=int(classification.hot_pages.size),
+                    cold_rate=classification.cold_rate,
+                    budget=classification.budget,
+                    cold_pages=truncate_pages(classification.cold_pages),
+                    cold_rates=[
+                        rate_by_id.get(p, 0.0)
+                        for p in truncate_pages(classification.cold_pages)
+                    ],
+                )
+                obs.inc(
+                    "repro_thermostat_poisoned_subpages_total",
+                    float(poisoned_pages.sum()),
+                )
+                obs.observe("repro_thermostat_estimated_rate", estimated, RATE_BUCKETS)
+
         # ------------------------------------------------------------------
         # Demote — fresh classifications plus re-planned deferrals.  Pages
         # whose demotion was deferred last interval (backpressure, failed
         # migrations) go to the head of the list; the engine's graceful
         # degradation means state.demote never raises under pressure.
         # ------------------------------------------------------------------
-        carry = self._deferred_cold
-        if carry.size:
-            carry = carry[carry < state.num_huge_pages]
-            carry = carry[~slow_before[carry]]
-            if demotion_cap == 0:
-                carry = carry[:0]
-        if carry.size:
-            combined = np.concatenate([carry, demote_candidates])
-            _, first_seen = np.unique(combined, return_index=True)
-            combined = combined[np.sort(first_seen)][:demotion_cap]
-        else:
-            combined = demote_candidates
-        demoted = state.demote(combined)
-        self._deferred_cold = state.last_deferred_demotions.copy()
-        deferred = int(self._deferred_cold.size)
-        # Seed the correction EWMA with the estimated rates so a newly
-        # demoted page is not presumed free until proven otherwise.
-        for page in combined.tolist():
-            self._slow_rate_ewma[page] = rate_by_id.get(
-                page, float(self._slow_rate_ewma[page])
+        with obs.phase("migrate"):
+            carry = self._deferred_cold
+            if carry.size:
+                carry = carry[carry < state.num_huge_pages]
+                carry = carry[~slow_before[carry]]
+                if demotion_cap == 0:
+                    carry = carry[:0]
+            if carry.size:
+                combined = np.concatenate([carry, demote_candidates])
+                _, first_seen = np.unique(combined, return_index=True)
+                combined = combined[np.sort(first_seen)][:demotion_cap]
+            else:
+                combined = demote_candidates
+            demoted = state.demote(combined)
+            self._deferred_cold = state.last_deferred_demotions.copy()
+            deferred = int(self._deferred_cold.size)
+            # Seed the correction EWMA with the estimated rates so a newly
+            # demoted page is not presumed free until proven otherwise.
+            for page in combined.tolist():
+                self._slow_rate_ewma[page] = rate_by_id.get(
+                    page, float(self._slow_rate_ewma[page])
+                )
+            if deferred:
+                diagnostics["deferred_demotions"] = deferred
+        if obs.active and (combined.size or deferred):
+            obs.emit(
+                "migrate",
+                "demote",
+                now,
+                requested=int(combined.size),
+                demoted=demoted,
+                deferred=deferred,
+                reason="backpressure" if deferred else "classified_cold",
+                pages=truncate_pages(combined),
             )
-        if deferred:
-            diagnostics["deferred_demotions"] = deferred
+            obs.inc("repro_thermostat_demoted_pages_total", demoted)
+            obs.inc("repro_thermostat_deferred_pages_total", deferred)
 
         # ------------------------------------------------------------------
         # Correction — monitor every page that spent the epoch in slow
         # memory (Section 3.5).
         # ------------------------------------------------------------------
         if cfg.enable_correction:
-            slow_ids = np.flatnonzero(slow_before)
-            if slow_ids.size:
-                observed_rates = subpage_counts[slow_ids].sum(axis=1) / epoch
-                alpha = self.ewma_alpha
-                self._slow_rate_ewma[slow_ids] = (
-                    alpha * observed_rates
-                    + (1.0 - alpha) * self._slow_rate_ewma[slow_ids]
-                )
-                # Promote by the larger of this interval's observation (the
-                # paper's Section 3.5 sorts by current access counts, which
-                # catches pages the moment they burst) and the EWMA (which
-                # remembers chronically hot pages through their lulls).
-                assessed = np.maximum(observed_rates, self._slow_rate_ewma[slow_ids])
-                correction = select_promotions(
-                    slow_ids, assessed * epoch, budget, epoch
-                )
-                promoted = state.promote(correction.promote)
-                self._slow_rate_ewma[correction.promote] = 0.0
-                self._over_budget = correction.observed_rate > budget
-                diagnostics["slow_observed_rate"] = float(observed_rates.sum())
-                diagnostics["slow_residual_rate"] = correction.residual_rate
-            else:
-                self._over_budget = False
+            with obs.phase("correct"):
+                slow_ids = np.flatnonzero(slow_before)
+                if slow_ids.size:
+                    observed_rates = subpage_counts[slow_ids].sum(axis=1) / epoch
+                    alpha = self.ewma_alpha
+                    self._slow_rate_ewma[slow_ids] = (
+                        alpha * observed_rates
+                        + (1.0 - alpha) * self._slow_rate_ewma[slow_ids]
+                    )
+                    # Promote by the larger of this interval's observation
+                    # (the paper's Section 3.5 sorts by current access
+                    # counts, which catches pages the moment they burst) and
+                    # the EWMA (which remembers chronically hot pages
+                    # through their lulls).
+                    assessed = np.maximum(
+                        observed_rates, self._slow_rate_ewma[slow_ids]
+                    )
+                    correction = select_promotions(
+                        slow_ids, assessed * epoch, budget, epoch
+                    )
+                    promoted = state.promote(correction.promote)
+                    self._slow_rate_ewma[correction.promote] = 0.0
+                    self._over_budget = correction.observed_rate > budget
+                    diagnostics["slow_observed_rate"] = float(observed_rates.sum())
+                    diagnostics["slow_residual_rate"] = correction.residual_rate
+                    if obs.active and correction.promote.size:
+                        obs.emit(
+                            "correct",
+                            "promote",
+                            now,
+                            promoted=promoted,
+                            observed_rate=correction.observed_rate,
+                            residual_rate=correction.residual_rate,
+                            reason="misclassified_hot",
+                            pages=truncate_pages(correction.promote),
+                        )
+                else:
+                    self._over_budget = False
+            if obs.active:
+                obs.inc("repro_thermostat_promoted_pages_total", promoted)
 
         # ------------------------------------------------------------------
         # khugepaged collapses the finished sample; scan 1 of the next
         # period splits a fresh one.
         # ------------------------------------------------------------------
-        if cfg.collapse_after_sampling and sample.size:
-            state.set_split(sample, False)
-        if self._sampler is None:
-            self._sampler = CyclingSampler(rng)
-        new_sample = self._sampler.next_sample(
-            state.num_huge_pages, cfg.sample_fraction
-        )
-        state.set_split(new_sample, True)
-        self._pending_sample = new_sample
-        diagnostics["sampled"] = int(new_sample.size)
+        with obs.phase("sample"):
+            if cfg.collapse_after_sampling and sample.size:
+                state.set_split(sample, False)
+            if self._sampler is None:
+                self._sampler = CyclingSampler(rng)
+            new_sample = self._sampler.next_sample(
+                state.num_huge_pages, cfg.sample_fraction
+            )
+            state.set_split(new_sample, True)
+            self._pending_sample = new_sample
+            diagnostics["sampled"] = int(new_sample.size)
+        if obs.active:
+            obs.emit(
+                "sample",
+                "split_sample",
+                now,
+                sampled=int(new_sample.size),
+                sample_fraction=cfg.sample_fraction,
+                pages=truncate_pages(new_sample),
+            )
+            obs.inc("repro_thermostat_sampled_pages_total", int(new_sample.size))
 
         return PolicyReport(
             overhead_seconds=overhead,

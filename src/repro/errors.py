@@ -79,6 +79,16 @@ class InvariantViolation(SimulationError):
     """
 
 
+class ObservabilityError(ReproError):
+    """The observability layer was configured or driven incorrectly.
+
+    Raised for metric names that break the ``repro_<subsystem>_<name>``
+    convention, histograms re-registered with different bucket layouts,
+    and trace events that fail schema validation.  Never raised on the
+    default (observability-off) path.
+    """
+
+
 class TaskTimeoutError(ReproError):
     """A supervised task exceeded its per-task wall-clock budget.
 

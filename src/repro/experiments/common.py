@@ -28,6 +28,7 @@ from dataclasses import replace
 
 from repro.config import SupervisorConfig
 from repro.experiments.parallel import ResultStore, RunSpec, run_many
+from repro.obs import ObsConfig, clear_env
 from repro.sim.engine import SimulationResult
 from repro.workloads import WORKLOAD_NAMES
 
@@ -49,6 +50,14 @@ _AUDIT = False
 
 #: Aggregate supervision outcomes across this process's batches.
 _SUPERVISOR_TOTALS = {"batches": 0, "resumed": 0, "retried": 0, "quarantined": 0}
+
+#: When set, runs execute under live observers and write per-run
+#: artifacts (``thermostat-repro --trace/--metrics/--self-profile``).
+_OBS: ObsConfig | None = None
+
+#: Parent-side observer annotated by the supervisor with attempt spans
+#: (wall-clock timebase, kept separate from the sim-time run traces).
+_OBS_SUPERVISOR = None
 
 
 def get_store() -> ResultStore:
@@ -90,6 +99,77 @@ def supervisor_totals() -> dict[str, int]:
     return dict(_SUPERVISOR_TOTALS)
 
 
+def configure_observability(config: ObsConfig | None) -> None:
+    """Turn run-level observability on (or off) for subsequent batches.
+
+    With a config whose ``any_enabled`` is true, it is published to
+    worker processes via :data:`repro.obs.OBS_ENV` (serial in-process
+    runs read the same variable, so ``--jobs 1`` and ``--jobs N``
+    produce the same artifact set) and a parent-side observer is built
+    for supervisor annotations.  ``None`` — or an all-off config —
+    clears both.
+    """
+    global _OBS, _OBS_SUPERVISOR
+    if config is None or not config.any_enabled:
+        _OBS = None
+        _OBS_SUPERVISOR = None
+        clear_env()
+        return
+    _OBS = config
+    config.install_env()
+    _OBS_SUPERVISOR = config.make_observer(process="supervisor")
+
+
+def observability_config() -> ObsConfig | None:
+    """The active observability config, if any."""
+    return _OBS
+
+
+def finalize_observability() -> dict | None:
+    """Merge per-run artifacts into the combined outputs; returns a summary.
+
+    Writes ``metrics.json`` + ``metrics.prom`` (merged across every run's
+    snapshot, deterministic order) and — when the supervisor observer
+    collected events or phase timings — ``trace_supervisor.jsonl`` /
+    ``.chrome.json``.  Returns ``{"out_dir", "traces", "metrics",
+    "profile_rows"}`` for the runner's status line, or ``None`` when
+    observability is off.
+    """
+    if _OBS is None:
+        return None
+    import json
+    from pathlib import Path
+
+    from repro.obs import collect_run_metrics, collect_run_profiles
+
+    out_dir = Path(_OBS.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    sup = _OBS_SUPERVISOR
+    if sup is not None and sup.tracer is not None and len(sup.tracer):
+        sup.tracer.write_jsonl(out_dir / "trace_supervisor.jsonl")
+        sup.tracer.write_chrome(out_dir / "trace_supervisor.chrome.json")
+    if sup is not None and sup.metrics is not None and sup.metrics.snapshot() != {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }:
+        (out_dir / "metrics_supervisor.json").write_text(
+            json.dumps(sup.metrics.snapshot(), sort_keys=True, indent=2)
+        )
+    summary = {"out_dir": str(out_dir), "traces": 0, "metrics": 0, "profile_rows": []}
+    summary["traces"] = len(list(out_dir.glob("trace_*.jsonl")))
+    if _OBS.metrics:
+        merged = collect_run_metrics(out_dir)
+        summary["metrics"] = len(list(out_dir.glob("metrics_*.json")))
+        (out_dir / "metrics.json").write_text(
+            json.dumps(merged.snapshot(), sort_keys=True, indent=2)
+        )
+        (out_dir / "metrics.prom").write_text(merged.to_prometheus_text())
+    if _OBS.self_profile:
+        summary["profile_rows"] = collect_run_profiles(out_dir)
+    return summary
+
+
 def _run_batch(
     specs: list[RunSpec],
     jobs: int = 1,
@@ -109,7 +189,10 @@ def _run_batch(
         return run_many(specs, jobs=jobs, store=store)
     from repro.experiments.supervisor import run_supervised
 
-    batch = run_supervised(specs, jobs=jobs, store=store, config=_SUPERVISOR)
+    batch = run_supervised(
+        specs, jobs=jobs, store=store, config=_SUPERVISOR,
+        observer=_OBS_SUPERVISOR,
+    )
     _SUPERVISOR_TOTALS["batches"] += 1
     _SUPERVISOR_TOTALS["resumed"] += batch.resumed
     _SUPERVISOR_TOTALS["retried"] += batch.retried

@@ -219,20 +219,43 @@ def _debug_corrupt_epoch(sim, epoch_index: int) -> None:
         sim.state.topology.fast.tier.allocated_bytes -= HUGE_PAGE_SIZE
 
 
+def run_label(spec: RunSpec) -> str:
+    """Filename-safe label identifying one run's observability artifacts."""
+    return f"{spec.workload}_{spec.policy}_{spec.cache_key()[:12]}"
+
+
 def execute_spec(spec: RunSpec) -> SimulationResult:
-    """Run one spec from scratch (no store involved)."""
+    """Run one spec from scratch (no store involved).
+
+    When the parent published an observability config (:data:`repro.obs.OBS_ENV`),
+    the run executes under a live observer and writes its artifact set
+    (trace, metrics snapshot, phase rollup) before returning.  Observed
+    runs are bit-identical to plain runs, so this never affects the
+    payload or the cache key.
+    """
+    from repro.obs import config_from_env, write_run_artifacts
     from repro.sim.engine import EpochSimulation
     from repro.workloads import make_workload
 
     directives = _apply_test_faults(spec)
     workload = make_workload(spec.workload, scale=spec.scale)
     policy = build_policy(spec.policy, spec.tolerable_slowdown)
+    obs_config = config_from_env()
+    observer = (
+        obs_config.make_observer(process=run_label(spec))
+        if obs_config is not None
+        else None
+    )
     sim = EpochSimulation(
-        workload, policy, spec.simulation_config(), audit=spec.audit
+        workload, policy, spec.simulation_config(), audit=spec.audit,
+        observer=observer,
     )
     if "corrupt" in directives:
         sim.debug_epoch_hook = _debug_corrupt_epoch
-    return sim.run()
+    result = sim.run()
+    if obs_config is not None and observer is not None:
+        write_run_artifacts(obs_config, run_label(spec), observer)
+    return result
 
 
 def _execute_spec_payload(spec: RunSpec) -> tuple[dict, dict[str, np.ndarray]]:

@@ -173,6 +173,31 @@ def main(argv: list[str] | None = None) -> int:
         "(results are bit-identical; violations raise)",
     )
     parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-run decision traces (JSONL + Chrome trace_event "
+        "files under the observability directory); reports stay "
+        "bit-identical",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="record per-run metrics and write merged metrics.json / "
+        "metrics.prom snapshots; reports stay bit-identical",
+    )
+    parser.add_argument(
+        "--self-profile",
+        action="store_true",
+        help="time each engine phase (scan/sample/classify/migrate/...) and "
+        "print a wall-clock self-profile table",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help="directory for observability artifacts (default: "
+        "OUTPUT_DIR/obs with --output-dir, else .thermostat-obs)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     parser.add_argument(
@@ -217,6 +242,27 @@ def main(argv: list[str] | None = None) -> int:
         common.configure_supervisor(None)
     common.configure_audit(args.audit)
 
+    observing = args.trace or args.metrics or args.self_profile
+    if observing:
+        from repro.obs import ObsConfig
+
+        if args.obs_dir is not None:
+            obs_dir = args.obs_dir
+        elif args.output_dir is not None:
+            obs_dir = str(Path(args.output_dir) / "obs")
+        else:
+            obs_dir = ".thermostat-obs"
+        common.configure_observability(
+            ObsConfig(
+                trace=args.trace,
+                metrics=args.metrics,
+                self_profile=args.self_profile,
+                out_dir=obs_dir,
+            )
+        )
+    else:
+        common.configure_observability(None)
+
     requested = args.experiments or list(EXPERIMENTS)
     unknown = [name for name in requested if name not in EXPERIMENTS]
     if unknown:
@@ -250,6 +296,18 @@ def main(argv: list[str] | None = None) -> int:
     if output_dir is not None and not failed:
         _export_series(output_dir, args.scale, args.seed)
         print(f"[reports and CSV series written to {output_dir}]")
+    if observing:
+        obs_summary = common.finalize_observability()
+        if obs_summary is not None:
+            if args.self_profile:
+                from repro.obs.profiling import render_profile_table
+
+                print(render_profile_table(obs_summary["profile_rows"]))
+            print(
+                f"[observability: {obs_summary['traces']} trace(s), "
+                f"{obs_summary['metrics']} metrics snapshot(s) in "
+                f"{obs_summary['out_dir']}]"
+            )
     store = common.get_store()
     print(f"[result store: {store.hits} hits, {store.misses} misses]")
     if supervised:
@@ -265,12 +323,14 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _export_series(output_dir: Path, scale: float, seed: int) -> None:
-    """Dump per-workload CSV time series for the suite runs (Figs 3, 5-10)."""
+    """Dump per-workload CSV time series plus headline/fault summaries."""
     from repro.experiments.common import run_suite
-    from repro.metrics.export import export_simulation_series
+    from repro.metrics.export import export_simulation_series, export_summaries
 
-    for name, result in run_suite(scale=scale, seed=seed).items():
+    results = run_suite(scale=scale, seed=seed)
+    for name, result in results.items():
         export_simulation_series(output_dir, f"series_{name}", result)
+    export_summaries(output_dir, results)
 
 
 if __name__ == "__main__":

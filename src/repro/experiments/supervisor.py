@@ -64,6 +64,7 @@ from repro.experiments.parallel import (
     _execute_spec_payload,
     _flush_completed,
 )
+from repro.obs import NULL_OBSERVER
 from repro.rng import child_rng, make_rng
 from repro.sim.engine import SimulationResult
 
@@ -216,6 +217,7 @@ def run_supervised(
     jobs: int = 1,
     store: ResultStore | None = None,
     config: SupervisorConfig | None = None,
+    observer=None,
 ) -> SupervisedBatch:
     """Run a batch of specs under supervision; see the module docstring.
 
@@ -223,11 +225,22 @@ def run_supervised(
     crash can never take the supervisor down with it.  At most ``jobs``
     tasks are in flight at a time, which keeps parent-side deadlines
     honest (submit time == start time) and bounds a crash's blast radius.
+
+    ``observer`` is an optional observability sink (:mod:`repro.obs`):
+    the supervisor annotates it with attempt spans and retry/quarantine/
+    resume events, timestamped in wall-clock seconds since batch start (a
+    different timebase from the simulated-time engine traces, which is
+    why the runner writes them to a separate trace file).
     """
     config = config if config is not None else SupervisorConfig()
     store = store if store is not None else ResultStore()
+    obs = observer if observer is not None else NULL_OBSERVER
     specs = list(specs)
     jobs = max(1, jobs)
+    batch_start = time.monotonic()
+
+    def _elapsed() -> float:
+        return time.monotonic() - batch_start
 
     tasks: dict[str, _Task] = {}
     for index, spec in enumerate(specs):
@@ -240,6 +253,15 @@ def run_supervised(
         if store.fetch(task.key) is not None:
             task.done = True
             resumed += 1
+            if obs.active:
+                obs.emit(
+                    "supervisor",
+                    "resumed",
+                    _elapsed(),
+                    workload=task.spec.workload,
+                    key=task.key[:12],
+                )
+                obs.inc("repro_supervisor_resumed_total")
 
     jitter_root = make_rng(config.seed)
 
@@ -248,16 +270,40 @@ def run_supervised(
         task.failures.append(_format_failure(exc))
         if task.attempts >= config.max_attempts:
             task.quarantined = True
+            if obs.active:
+                obs.emit(
+                    "supervisor",
+                    "quarantined",
+                    _elapsed(),
+                    workload=task.spec.workload,
+                    key=task.key[:12],
+                    attempts=task.attempts,
+                    error_type=type(exc).__name__,
+                )
+                obs.inc("repro_supervisor_quarantined_total")
             return
         delay = config.backoff_seconds * 2.0 ** (task.attempts - 1)
         jitter = child_rng(
             jitter_root, f"backoff:{task.key}:{task.attempts}"
         ).uniform(0.0, config.backoff_jitter)
         task.eligible = time.monotonic() + delay * (1.0 + jitter)
+        if obs.active:
+            obs.emit(
+                "supervisor",
+                "retry_scheduled",
+                _elapsed(),
+                workload=task.spec.workload,
+                key=task.key[:12],
+                attempt=task.attempts,
+                delay_seconds=delay * (1.0 + jitter),
+                error_type=type(exc).__name__,
+            )
+            obs.inc("repro_supervisor_retries_total")
 
     pool: ProcessPoolExecutor | None = None
     in_flight: dict[Future, str] = {}
     deadlines: dict[Future, float | None] = {}
+    submitted: dict[Future, float] = {}
     retried: set[str] = set()
 
     def _submit(task: _Task) -> None:
@@ -269,10 +315,31 @@ def run_supervised(
         timeout = config.timeout if config.worker_alarm else None
         future = pool.submit(_supervised_worker, spec, timeout)
         in_flight[future] = task.key
+        submitted[future] = _elapsed()
         parent = config.parent_timeout
         deadlines[future] = (
             None if parent is None else time.monotonic() + parent
         )
+
+    def _observe_attempt(
+        future: Future, task: _Task, outcome: str
+    ) -> None:
+        """Span one attempt (call *before* ``_fail`` so numbering agrees)."""
+        began = submitted.pop(future, None)
+        if not obs.active:
+            return
+        start = began if began is not None else _elapsed()
+        obs.emit(
+            "supervisor",
+            "attempt",
+            start,
+            duration=max(0.0, _elapsed() - start),
+            workload=task.spec.workload,
+            key=task.key[:12],
+            attempt=task.attempts + 1,
+            outcome=outcome,
+        )
+        obs.inc("repro_supervisor_attempts_total")
 
     try:
         while any(not task.finished for task in tasks.values()):
@@ -314,16 +381,20 @@ def run_supervised(
                     raise
                 except BrokenProcessPool as exc:
                     pool_broken = True
+                    _observe_attempt(future, task, type(exc).__name__)
                     _fail(task, exc)
                 except BaseException as exc:  # worker exceptions of any kind
+                    _observe_attempt(future, task, type(exc).__name__)
                     _fail(task, exc)
                 else:
+                    _observe_attempt(future, task, "ok")
                     store.put_payload(key, payload)
                     task.done = True
             if pool_broken:
                 # The remaining in-flight futures are doomed on this pool;
                 # charge them the same collateral attempt and rebuild.
                 for future, key in list(in_flight.items()):
+                    _observe_attempt(future, tasks[key], "BrokenProcessPool")
                     _fail(
                         tasks[key],
                         BrokenProcessPool(
@@ -352,6 +423,7 @@ def run_supervised(
                     key = in_flight.pop(future)
                     deadlines.pop(future)
                     if future in overdue:
+                        _observe_attempt(future, tasks[key], "TaskTimeoutError")
                         _fail(
                             tasks[key],
                             TaskTimeoutError(
@@ -360,6 +432,8 @@ def run_supervised(
                                 f"killed"
                             ),
                         )
+                    else:
+                        submitted.pop(future, None)
                 _kill_pool(pool)
                 pool = None
     except KeyboardInterrupt:

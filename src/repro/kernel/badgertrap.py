@@ -30,6 +30,7 @@ from repro.errors import MappingError
 from repro.kernel.fault import FaultContext, FaultKind
 from repro.kernel.mmu import AddressSpace
 from repro.mem.address import PageNumber, page_number
+from repro.obs import NULL_OBSERVER
 from repro.units import BADGERTRAP_FAULT_LATENCY, BASE_PAGE_SHIFT, HUGE_PAGE_SHIFT
 
 
@@ -55,6 +56,10 @@ class BadgerTrap:
     fault_latency: float = BADGERTRAP_FAULT_LATENCY
     _records: dict[tuple[PageNumber, bool], PoisonRecord] = field(default_factory=dict)
     total_faults: int = 0
+    #: Observability sink (:mod:`repro.obs`); callers running under a live
+    #: observer install it so poison/fault counters flow into the metrics
+    #: registry.  The default no-op sink costs one attribute read per site.
+    observer: object = NULL_OBSERVER
 
     def __post_init__(self) -> None:
         self.address_space.faults.register(FaultKind.POISON, self.handle_fault)
@@ -77,6 +82,8 @@ class BadgerTrap:
         self.address_space.tlb.invalidate(vpn, huge)
         record = PoisonRecord(vpn=vpn, huge=huge)
         self._records[(vpn, huge)] = record
+        if self.observer.active:
+            self.observer.inc("repro_badgertrap_poisoned_pages_total")
         return record
 
     def unpoison(self, vpn: PageNumber, huge: bool = False) -> PoisonRecord:
@@ -86,6 +93,8 @@ class BadgerTrap:
             raise MappingError(f"page {vpn:#x} (huge={huge}) is not poisoned")
         entry = self._entry(vpn, huge)
         entry.unpoison()
+        if self.observer.active:
+            self.observer.inc("repro_badgertrap_unpoisoned_pages_total")
         return self._records.pop(key)
 
     def is_poisoned(self, vpn: PageNumber, huge: bool = False) -> bool:
@@ -119,6 +128,8 @@ class BadgerTrap:
         context.entry.poison()
         record.faults += 1
         self.total_faults += 1
+        if self.observer.active:
+            self.observer.inc("repro_badgertrap_faults_total")
         return self.fault_latency
 
     # ------------------------------------------------------------------

@@ -23,6 +23,8 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import MigrationError, RetryExhaustedError
 from repro.mem.numa import FAST_NODE, SLOW_NODE, NumaTopology
+from repro.obs import NULL_OBSERVER
+from repro.obs.metrics import PAGES_BUCKETS
 from repro.sim.clock import VirtualClock
 from repro.sim.stats import StatsRegistry
 from repro.units import BASE_PAGE_SIZE, HUGE_PAGE_SIZE
@@ -83,6 +85,10 @@ class MigrationEngine:
         #: enabled).  When present, each batch attempt may transiently
         #: fail and is retried with exponential backoff.
         self.injector: FaultInjector | None = None
+        #: Observability sink (:mod:`repro.obs`); the epoch engine installs
+        #: its own observer here.  The default no-op sink means the meter
+        #: below costs one attribute read per batch.
+        self.observer = NULL_OBSERVER
 
     # ------------------------------------------------------------------
 
@@ -122,6 +128,11 @@ class MigrationEngine:
         )
         self.stats.counter(stream).add(record.bytes_moved)
         self.stats.counter("migrations").add(1)
+        obs = self.observer
+        if obs.active:
+            obs.inc(f"repro_migration_{reason.value}_bytes_total", record.bytes_moved)
+            obs.inc("repro_migration_batches_total")
+            obs.observe("repro_migration_batch_pages", count, PAGES_BUCKETS)
         return record
 
     def _attempt_with_faults(self) -> None:
@@ -136,11 +147,16 @@ class MigrationEngine:
         if injector is None:
             return
         failures = 0
+        obs = self.observer
         while injector.should_fail_migration():
             failures += 1
             self.stats.counter("fault_migration_failures").add(1)
+            if obs.active:
+                obs.inc("repro_migration_attempt_failures_total")
             if failures > injector.config.max_migration_retries:
                 self.stats.counter("fault_retry_exhausted").add(1)
+                if obs.active:
+                    obs.inc("repro_migration_retry_exhausted_total")
                 raise RetryExhaustedError(
                     f"migration batch failed {failures} times "
                     f"(retry budget {injector.config.max_migration_retries})"

@@ -139,6 +139,21 @@ class MemoryTier:
                 f"is negative: {self.soft_limit_bytes}"
             )
 
+    def record_metrics(self, obs) -> None:
+        """Publish this tier's occupancy gauges to an observability sink.
+
+        Called by the engine once per epoch when observability is on; the
+        gauges carry the latest epoch's values (Prometheus gauge
+        semantics).
+        """
+        kind = self.kind.value
+        obs.set_gauge(f"repro_tiers_{kind}_allocated_bytes", float(self.allocated_bytes))
+        obs.set_gauge(f"repro_tiers_{kind}_free_bytes", float(self.free_bytes))
+        obs.set_gauge(
+            f"repro_tiers_{kind}_usable_capacity_bytes",
+            float(self.usable_capacity_bytes),
+        )
+
     def can_reserve(self, nbytes: int) -> bool:
         """Would :meth:`reserve_bytes` succeed for ``nbytes`` right now?"""
         if nbytes < 0:

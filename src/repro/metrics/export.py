@@ -9,11 +9,22 @@ re-running simulations.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ReproError
 from repro.sim.stats import TimeSeries
+
+#: Decimal places used to quantise join timestamps.  Well below any real
+#: epoch granularity (the engine's finest is seconds), far above float64
+#: noise (~1e-16 relative), so timestamps that differ only by
+#: accumulated rounding join onto one row.
+_TIME_QUANTUM_DECIMALS = 9
+
+
+def _time_key(t: float) -> float:
+    return round(float(t), _TIME_QUANTUM_DECIMALS)
 
 
 def export_timeseries(
@@ -23,15 +34,23 @@ def export_timeseries(
 
     Series are joined on their timestamps (outer join); missing values are
     left empty.  Column order: ``time`` then the series names as given.
+
+    Timestamps are joined on a quantised key (9 decimal places) rather
+    than exact float equality: two series that record "the same" instant
+    through different float arithmetic (``0.1 + 0.2`` vs ``0.3``) land on
+    one row instead of two nearly-identical ones.
     """
     if not series:
         raise ReproError("export_timeseries needs at least one series")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    all_times = sorted({t for ts in series.values() for t in ts.times})
+    all_times = sorted({_time_key(t) for ts in series.values() for t in ts.times})
     lookup = {
-        name: dict(zip(ts.times.tolist(), ts.values.tolist()))
+        name: {
+            _time_key(t): v
+            for t, v in zip(ts.times.tolist(), ts.values.tolist())
+        }
         for name, ts in series.items()
     }
     with path.open("w", newline="") as handle:
@@ -62,6 +81,41 @@ def export_rows(
                 )
             writer.writerow(list(row))
     return path
+
+
+def export_summaries(
+    directory: str | Path,
+    results: Mapping[str, object],
+) -> tuple[Path, Path]:
+    """Write per-run headline and fault summaries as CSV + JSON.
+
+    ``results`` maps run names (workloads) to
+    :class:`~repro.sim.engine.SimulationResult` objects.  Each run
+    contributes its :meth:`~repro.sim.engine.SimulationResult.summary`
+    *and* :meth:`~repro.sim.engine.SimulationResult.fault_summary` —
+    fault columns are all zero for fault-free runs, so the CSV keeps one
+    stable header across configurations.
+    """
+    if not results:
+        raise ReproError("export_summaries needs at least one result")
+    directory = Path(directory)
+    combined: dict[str, dict[str, float]] = {}
+    for name, result in results.items():
+        row = dict(result.summary())
+        row.update(
+            {f"fault_{k}" if not k.startswith("fault_") else k: v
+             for k, v in result.fault_summary().items()}
+        )
+        combined[name] = row
+    columns = list(next(iter(combined.values())))
+    csv_path = export_rows(
+        directory / "summaries.csv",
+        ["name"] + columns,
+        [[name] + [row[c] for c in columns] for name, row in combined.items()],
+    )
+    json_path = directory / "summaries.json"
+    json_path.write_text(json.dumps(combined, sort_keys=True, indent=2))
+    return csv_path, json_path
 
 
 def export_simulation_series(

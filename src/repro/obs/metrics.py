@@ -1,0 +1,247 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The observability layer's second pillar (DESIGN.md "Observability"): a
+process-local registry of named metrics that subsystems increment while
+a simulation runs, exportable as a Prometheus text page or a JSON
+snapshot.  Three deliberate constraints keep it honest:
+
+* **Naming convention** — every metric is ``repro_<subsystem>_<name>``
+  (validated at registration), so a merged snapshot from many runs stays
+  navigable and grep-able.
+* **Fixed bucket layouts** — histograms take their bucket edges at
+  registration and re-registration with different edges is an error;
+  snapshots from different runs/workers therefore always merge
+  cell-by-cell.
+* **Deterministic snapshots** — :meth:`MetricsRegistry.snapshot` sorts
+  every namespace, and :meth:`merge_snapshot` is order-insensitive for
+  counters and histograms (gauges are last-write-wins, so merge in a
+  deterministic order — the callers here merge sorted by run key).
+
+Observing is cheap: counters and gauges are one float add/store;
+histogram observation is one bisection.  Bulk observation
+(:meth:`MetricHistogram.extend`) is vectorized for the per-epoch arrays
+the policy produces.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+#: Enforced metric naming convention: ``repro_<subsystem>_<name>``.
+METRIC_NAME_PATTERN = re.compile(r"^repro_[a-z0-9]+_[a-z0-9_]+$")
+
+# ----------------------------------------------------------------------
+# Standard bucket layouts.  Fixed here so every run and worker uses the
+# same edges and snapshots merge cell-by-cell.
+# ----------------------------------------------------------------------
+
+#: Latency/overhead durations, seconds (1us .. 100s, decades).
+SECONDS_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+#: Page-count batches (powers of two up to a large suite footprint).
+PAGES_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0)
+#: Access rates, accesses/second (decades around the 30K acc/s budget).
+RATE_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 3e4, 1e5, 1e6, 1e7)
+#: Dimensionless fractions in [0, 1] (slowdowns, cold fractions).
+FRACTION_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+#: Byte volumes (4KB page .. 64GB, powers of 16).
+BYTES_BUCKETS = (4096.0, 65536.0, 1048576.0, 16777216.0, 268435456.0, 4294967296.0, 68719476736.0)
+
+
+def validate_metric_name(name: str) -> str:
+    """Return ``name`` if it follows ``repro_<subsystem>_<name>``; else raise."""
+    if not METRIC_NAME_PATTERN.match(name):
+        raise ObservabilityError(
+            f"metric name {name!r} violates the repro_<subsystem>_<name> "
+            "convention (lowercase, underscore-separated)"
+        )
+    return name
+
+
+class MetricCounter:
+    """A monotonically increasing named value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = validate_metric_name(name)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += float(amount)
+
+
+class MetricGauge:
+    """A named value that can move both ways (set to the latest reading)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = validate_metric_name(name)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class MetricHistogram:
+    """A fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are inclusive upper bounds; an observation lands in the
+    first bucket whose edge is >= the value, or in the implicit ``+Inf``
+    overflow cell.  ``counts`` holds one cell per edge plus the overflow
+    cell, so ``len(counts) == len(buckets) + 1``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Iterable[float]) -> None:
+        self.name = validate_metric_name(name)
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be strictly increasing: {edges}"
+            )
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+
+    def extend(self, values) -> None:
+        """Vectorized bulk observation (per-epoch arrays of rates/sizes)."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        # searchsorted(side="left") matches bisect_left: inclusive le edges.
+        cells = np.searchsorted(np.asarray(self.buckets), values, side="left")
+        for cell, n in zip(*np.unique(cells, return_counts=True)):
+            self.counts[int(cell)] += int(n)
+        self.sum += float(values.sum())
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, and histograms for one process/run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, MetricCounter] = {}
+        self.gauges: dict[str, MetricGauge] = {}
+        self.histograms: dict[str, MetricHistogram] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def counter(self, name: str) -> MetricCounter:
+        if name not in self.counters:
+            self.counters[name] = MetricCounter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> MetricGauge:
+        if name not in self.gauges:
+            self.gauges[name] = MetricGauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str, buckets: Iterable[float]) -> MetricHistogram:
+        edges = tuple(float(b) for b in buckets)
+        existing = self.histograms.get(name)
+        if existing is None:
+            self.histograms[name] = MetricHistogram(name, edges)
+        elif existing.buckets != edges:
+            raise ObservabilityError(
+                f"histogram {name!r} re-registered with different buckets: "
+                f"{existing.buckets} vs {edges} (layouts are fixed)"
+            )
+        return self.histograms[name]
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-able, deterministically ordered dump of every metric."""
+        return {
+            "counters": {
+                name: self.counters[name].value for name in sorted(self.counters)
+            },
+            "gauges": {name: self.gauges[name].value for name in sorted(self.gauges)},
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histogram cells add; gauges take the merged value
+        (last write wins — merge snapshots in a deterministic order).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, data["buckets"])
+            if len(data["counts"]) != len(hist.counts):
+                raise ObservabilityError(
+                    f"histogram {name!r} snapshot has {len(data['counts'])} "
+                    f"cells, registry expects {len(hist.counts)}"
+                )
+            for i, n in enumerate(data["counts"]):
+                hist.counts[i] += int(n)
+            hist.sum += float(data["sum"])
+
+    def to_prometheus_text(self) -> str:
+        """The registry as a Prometheus text-format exposition page."""
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(self.counters[name].value)}")
+        for name in sorted(self.gauges):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(self.gauges[name].value)}")
+        for name, hist in sorted(self.histograms.items()):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for edge, cell in zip(hist.buckets, hist.counts):
+                cumulative += cell
+                lines.append(f'{name}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
+            cumulative += hist.counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(hist.sum)}")
+            lines.append(f"{name}_count {cumulative}")
+        return "\n".join(lines) + "\n"
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> MetricsRegistry:
+    """Build one registry from many snapshots (callers pre-sort for gauges)."""
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry
+
+
+def _fmt(value: float) -> str:
+    """Render a float the shortest way that round-trips (ints unpadded)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,290 @@
+"""Structured event tracing: per-epoch decision records, two formats.
+
+The observability layer's first pillar: while a simulation runs, the
+engine, policy, and supervisor emit :class:`TraceEvent` records — which
+pages were sampled, where poison landed, what the classifier decided
+(with estimated access rates), what migrated and why, which faults fired
+— and the tracer serializes them two ways:
+
+* **JSONL** (one event per line, sorted keys) — the canonical,
+  schema-validated form tests and CI check; and
+* **Chrome ``trace_event``** — a ``{"traceEvents": [...]}`` JSON file
+  that opens directly in ``chrome://tracing`` or Perfetto, with one
+  timeline row per (pid, tid).
+
+Timestamps are *simulated* seconds for engine/policy events and
+wall-clock seconds since batch start for supervisor events; the two
+streams go to separate files so neither timeline is polluted.  Events
+are strictly observational — they quote values the simulation already
+computed and never touch an RNG.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Event categories the schema admits (one per decision site).
+EVENT_CATEGORIES = frozenset(
+    {
+        "engine",  # per-epoch rollups: slow rate, slowdown, cold fraction
+        "sample",  # huge pages split for monitoring this interval
+        "poison",  # poisoned-subpage placement within the sample
+        "classify",  # classification verdicts with estimated access rates
+        "migrate",  # demotion batches (with deferral reasons)
+        "correct",  # correction/promotion batches
+        "fault",  # fault-injection events that reached the run
+        "supervisor",  # attempt/retry/quarantine spans (wall-clock)
+        "phase",  # self-profile phase spans
+    }
+)
+
+#: JSON-schema-style description of one JSONL event (used by validation,
+#: documented in DESIGN.md "Observability").
+EVENT_SCHEMA: dict = {
+    "type": "object",
+    "required": ["cat", "name", "time"],
+    "properties": {
+        "cat": {"type": "string", "enum": sorted(EVENT_CATEGORIES)},
+        "name": {"type": "string"},
+        "time": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "args": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+#: Longest page-id list an event will quote verbatim; longer lists are
+#: truncated (the count is always exact).  Keeps traces bounded.
+MAX_INLINE_PAGES = 32
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured decision record."""
+
+    category: str
+    name: str
+    #: Seconds — simulated time for engine/policy events, wall-clock
+    #: since batch start for supervisor events.
+    time: float
+    #: Span length in the same timebase; 0 renders as an instant event.
+    duration: float = 0.0
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        data: dict = {"cat": self.category, "name": self.name, "time": self.time}
+        if self.duration:
+            data["dur"] = self.duration
+        if self.args:
+            data["args"] = self.args
+        return data
+
+
+def validate_event(data: Mapping) -> None:
+    """Raise :class:`ObservabilityError` unless ``data`` fits the schema."""
+    if not isinstance(data, Mapping):
+        raise ObservabilityError(f"trace event must be an object: {data!r}")
+    for key in EVENT_SCHEMA["required"]:
+        if key not in data:
+            raise ObservabilityError(f"trace event missing {key!r}: {dict(data)!r}")
+    unknown = set(data) - set(EVENT_SCHEMA["properties"])
+    if unknown:
+        raise ObservabilityError(
+            f"trace event has unknown fields {sorted(unknown)}: {dict(data)!r}"
+        )
+    if data["cat"] not in EVENT_CATEGORIES:
+        raise ObservabilityError(
+            f"unknown trace category {data['cat']!r} "
+            f"(choose from {sorted(EVENT_CATEGORIES)})"
+        )
+    if not isinstance(data["name"], str) or not data["name"]:
+        raise ObservabilityError(f"trace event name must be a string: {data!r}")
+    for key in ("time", "dur"):
+        if key in data:
+            value = data[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ObservabilityError(f"trace {key!r} must be a number: {data!r}")
+            if value < 0:
+                raise ObservabilityError(f"trace {key!r} must be >= 0: {data!r}")
+    if "args" in data and not isinstance(data["args"], Mapping):
+        raise ObservabilityError(f"trace args must be an object: {data!r}")
+
+
+def truncate_pages(page_ids) -> list[int]:
+    """Quote at most :data:`MAX_INLINE_PAGES` ids (callers record the count)."""
+    return [int(p) for p in list(page_ids)[:MAX_INLINE_PAGES]]
+
+
+class Tracer:
+    """Collects events in memory; writes JSONL and Chrome trace files."""
+
+    def __init__(self, process: str = "repro") -> None:
+        #: Chrome process name for this tracer's timeline row.
+        self.process = process
+        self.events: list[TraceEvent] = []
+
+    def emit(
+        self,
+        category: str,
+        name: str,
+        time: float,
+        duration: float = 0.0,
+        **args,
+    ) -> TraceEvent:
+        """Record one event (values must already be JSON-able)."""
+        if category not in EVENT_CATEGORIES:
+            raise ObservabilityError(
+                f"unknown trace category {category!r} "
+                f"(choose from {sorted(EVENT_CATEGORIES)})"
+            )
+        event = TraceEvent(
+            category=category,
+            name=name,
+            time=float(time),
+            duration=float(duration),
+            args=args,
+        )
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One schema-valid JSON object per line, sorted keys."""
+        return "".join(
+            json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            for event in self.events
+        )
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl())
+        return path
+
+    def to_chrome(self) -> dict:
+        """The events as a Chrome ``trace_event`` JSON object.
+
+        Seconds become microseconds (Chrome's unit); zero-duration events
+        render as instants (``ph: "i"``), spans as complete events
+        (``ph: "X"``).  Categories map to thread ids so each decision
+        stream gets its own timeline row.
+        """
+        tids = {cat: i + 1 for i, cat in enumerate(sorted(EVENT_CATEGORIES))}
+        trace_events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": self.process},
+            }
+        ]
+        for cat, tid in tids.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": cat},
+                }
+            )
+        for event in self.events:
+            entry: dict = {
+                "name": event.name,
+                "cat": event.category,
+                "pid": 1,
+                "tid": tids[event.category],
+                "ts": event.time * 1e6,
+                "args": dict(event.args),
+            }
+            if event.duration:
+                entry["ph"] = "X"
+                entry["dur"] = event.duration * 1e6
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            trace_events.append(entry)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome(), sort_keys=True))
+        return path
+
+
+# ----------------------------------------------------------------------
+# Reading back (round-trip tests, CI validation)
+# ----------------------------------------------------------------------
+
+
+def read_jsonl(path: str | Path, validate: bool = True) -> list[dict]:
+    """Load a JSONL trace; with ``validate`` every event is schema-checked."""
+    events: list[dict] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        if validate:
+            try:
+                validate_event(data)
+            except ObservabilityError as exc:
+                raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+        events.append(data)
+    return events
+
+
+def chrome_to_events(chrome: Mapping) -> list[dict]:
+    """Map a Chrome trace back to schema-shaped event dicts.
+
+    Metadata events (``ph: "M"``) are dropped; everything else converts
+    microseconds back to seconds.  Used by round-trip tests and the CI
+    validator to prove the two formats carry the same records.
+    """
+    events: list[dict] = []
+    for entry in chrome.get("traceEvents", ()):
+        if entry.get("ph") == "M":
+            continue
+        data: dict = {
+            "cat": entry["cat"],
+            "name": entry["name"],
+            "time": entry["ts"] / 1e6,
+        }
+        if entry.get("dur"):
+            data["dur"] = entry["dur"] / 1e6
+        if entry.get("args"):
+            data["args"] = entry["args"]
+        events.append(data)
+    return events
+
+
+def events_equal(jsonl_events: Iterable[Mapping], chrome_events: Iterable[Mapping]) -> bool:
+    """Whether two event streams match within float round-trip tolerance."""
+    jsonl_events = list(jsonl_events)
+    chrome_events = list(chrome_events)
+    if len(jsonl_events) != len(chrome_events):
+        return False
+    for a, b in zip(jsonl_events, chrome_events):
+        if (a["cat"], a["name"]) != (b["cat"], b["name"]):
+            return False
+        if a.get("args", {}) != b.get("args", {}):
+            return False
+        for key in ("time", "dur"):
+            # Chrome stores microseconds; two float conversions may wobble
+            # at the last bit.
+            if abs(a.get(key, 0.0) - b.get(key, 0.0)) > 1e-9:
+                return False
+    return True

@@ -1,0 +1,92 @@
+"""Validate an observability artifact directory (CI entry point).
+
+``python -m repro.obs.validate DIR`` checks everything a traced+metered
+run should have produced:
+
+* every ``trace_*.jsonl`` is schema-valid (:data:`repro.obs.tracer.EVENT_SCHEMA`);
+* every JSONL trace has a Chrome twin carrying the *same* events;
+* every ``metrics_*.json`` parses and merges cleanly (fixed bucket
+  layouts, naming convention);
+* the merged ``metrics.json`` / ``metrics.prom``, when present, agree
+  with a fresh merge of the per-run snapshots.
+
+Exit code 0 on success; 1 with a one-line reason on the first problem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs import collect_run_metrics
+from repro.obs.tracer import chrome_to_events, events_equal, read_jsonl
+
+
+def validate_directory(out_dir: str | Path) -> dict[str, int]:
+    """Validate every artifact under ``out_dir``; returns what was checked.
+
+    Raises :class:`ObservabilityError` on the first invalid artifact.
+    """
+    out_dir = Path(out_dir)
+    if not out_dir.is_dir():
+        raise ObservabilityError(f"not a directory: {out_dir}")
+    checked = {"traces": 0, "events": 0, "metrics": 0}
+
+    for jsonl_path in sorted(out_dir.glob("trace_*.jsonl")):
+        events = read_jsonl(jsonl_path, validate=True)
+        checked["traces"] += 1
+        checked["events"] += len(events)
+        chrome_path = jsonl_path.with_name(
+            jsonl_path.name.replace(".jsonl", ".chrome.json")
+        )
+        if not chrome_path.exists():
+            raise ObservabilityError(f"{jsonl_path} has no Chrome twin {chrome_path}")
+        chrome = json.loads(chrome_path.read_text())
+        if "traceEvents" not in chrome:
+            raise ObservabilityError(f"{chrome_path}: no traceEvents key")
+        if not events_equal(events, chrome_to_events(chrome)):
+            raise ObservabilityError(
+                f"{chrome_path} does not carry the same events as {jsonl_path}"
+            )
+
+    merged = collect_run_metrics(out_dir)  # raises on any bad snapshot
+    checked["metrics"] = len(list(out_dir.glob("metrics_*.json")))
+
+    combined = out_dir / "metrics.json"
+    if combined.exists():
+        if json.loads(combined.read_text()) != merged.snapshot():
+            raise ObservabilityError(
+                f"{combined} disagrees with a fresh merge of the per-run snapshots"
+            )
+    prom = out_dir / "metrics.prom"
+    if prom.exists() and prom.read_text() != merged.to_prometheus_text():
+        raise ObservabilityError(
+            f"{prom} disagrees with a fresh merge of the per-run snapshots"
+        )
+    return checked
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate OBS_DIR", file=sys.stderr)
+        return 2
+    try:
+        checked = validate_directory(argv[0])
+    except ObservabilityError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"ok: {checked['traces']} trace(s), {checked['events']} event(s), "
+        f"{checked['metrics']} metrics snapshot(s)"
+    )
+    if checked["traces"] == 0 and checked["metrics"] == 0:
+        print("INVALID: directory holds no observability artifacts", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

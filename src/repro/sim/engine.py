@@ -31,6 +31,8 @@ from repro.faults.injector import FaultInjector
 from repro.mem.migration import MigrationReason
 from repro.mem.numa import NumaTopology, SLOW_NODE
 from repro.mem.wear import WearTracker
+from repro.obs import NULL_OBSERVER
+from repro.obs.metrics import FRACTION_BUCKETS, RATE_BUCKETS, SECONDS_BUCKETS
 from repro.rng import child_rng, make_rng
 from repro.sim.clock import VirtualClock
 from repro.sim.invariants import InvariantAuditor
@@ -190,11 +192,17 @@ class EpochSimulation:
         config: SimulationConfig | None = None,
         topology: NumaTopology | None = None,
         audit: bool = False,
+        observer=None,
     ) -> None:
         self.workload = workload
         self.policy = policy
         self.config = config or SimulationConfig()
         self.audit = audit
+        #: Observability sink (:mod:`repro.obs`).  The default no-op sink
+        #: costs one attribute read per instrumentation site; a live
+        #: observer records decisions without perturbing the run (observed
+        #: runs are bit-identical to plain runs).
+        self.observer = observer if observer is not None else NULL_OBSERVER
         if topology is None:
             # Provision both tiers generously relative to the footprint so
             # capacity never interferes with placement decisions (as in the
@@ -220,6 +228,13 @@ class EpochSimulation:
 
     def run(self) -> SimulationResult:
         """Execute the configured number of epochs and return the result."""
+        obs = self.observer
+        # Decision sites downstream share the engine's sink: the policy
+        # traces sampling/classification, the migration engine meters
+        # traffic.  With the null sink these assignments are the only
+        # observability work the whole run performs.
+        self.policy.observer = obs
+        self.state.migration.observer = obs
         rng = make_rng(self.config.seed)
         workload_rng = child_rng(rng, f"workload:{self.workload.name}")
         policy_rng = child_rng(rng, f"policy:{self.policy.name}")
@@ -242,33 +257,35 @@ class EpochSimulation:
 
         for epoch_index in range(self.config.num_epochs):
             start = self.clock.now
-            needed = self.workload.num_huge_pages_at(start)
-            if needed < self.state.num_huge_pages:
-                raise SimulationError(
-                    f"workload {self.workload.name!r} shrank its footprint "
-                    f"from {self.state.num_huge_pages} to {needed} huge pages "
-                    f"at t={start:g}s; the engine only supports growth — "
-                    "model released memory as idle pages instead"
+            with obs.phase("scan"):
+                needed = self.workload.num_huge_pages_at(start)
+                if needed < self.state.num_huge_pages:
+                    raise SimulationError(
+                        f"workload {self.workload.name!r} shrank its footprint "
+                        f"from {self.state.num_huge_pages} to {needed} huge pages "
+                        f"at t={start:g}s; the engine only supports growth — "
+                        "model released memory as idle pages instead"
+                    )
+                if needed > self.state.num_huge_pages:
+                    self.state.grow(needed)
+                    if wear is not None:
+                        wear.grow(needed)
+                profile = self.workload.epoch_profile(
+                    start, epoch, workload_rng, stochastic=self.config.stochastic
                 )
-            if needed > self.state.num_huge_pages:
-                self.state.grow(needed)
-                if wear is not None:
-                    wear.grow(needed)
-            profile = self.workload.epoch_profile(
-                start, epoch, workload_rng, stochastic=self.config.stochastic
-            )
-            if profile.num_huge_pages != self.state.num_huge_pages:
-                raise SimulationError(
-                    f"workload produced {profile.num_huge_pages} huge pages "
-                    f"but state tracks {self.state.num_huge_pages}"
-                )
+                if profile.num_huge_pages != self.state.num_huge_pages:
+                    raise SimulationError(
+                        f"workload produced {profile.num_huge_pages} huge pages "
+                        f"but state tracks {self.state.num_huge_pages}"
+                    )
 
-            # 2. Charge this epoch's slow-memory stalls against the current
-            # placement (ground truth — observation faults never change it).
-            huge_counts = profile.huge_counts()
-            slow_mask = self.state.slow_mask()
-            slow_accesses = float(huge_counts[slow_mask].sum())
-            slow_rate = slow_accesses / epoch
+                # 2. Charge this epoch's slow-memory stalls against the
+                # current placement (ground truth — observation faults
+                # never change it).
+                huge_counts = profile.huge_counts()
+                slow_mask = self.state.slow_mask()
+                slow_accesses = float(huge_counts[slow_mask].sum())
+                slow_rate = slow_accesses / epoch
 
             # 2b. Schedule this epoch's faults and apply their immediate
             # consequences: capacity lock, overhead spike, wear-induced
@@ -280,30 +297,33 @@ class EpochSimulation:
             retry_overhead_before = retries_before = 0.0
             events = None
             if injector is not None:
-                events = injector.begin_epoch()
-                self.state.demotion_locked = events.capacity_locked
-                fault_overhead += events.overhead_spike_seconds
-                observed_profile, lost = injector.observe_profile(profile)
-                lost_pages = int(lost.size)
-                if wear is not None:
-                    slow_ids = np.flatnonzero(slow_mask)
-                    epoch_writes = huge_counts[slow_ids] * profile.write_fraction
-                    wear.writes[slow_ids] += np.rint(epoch_writes).astype(np.int64)
-                    struck = injector.sample_ue_pages(wear.writes, slow_ids)
-                    if struck.size:
-                        # Machine-check recovery: copy each page off the
-                        # failing region (correction traffic) and remap the
-                        # worn cells to spares (wear counter resets).
-                        self.state.promote(struck)
-                        wear.writes[struck] = 0
-                        fault_overhead += (
-                            struck.size * self.config.faults.ue_repair_seconds
-                        )
-                        ue_pages = int(struck.size)
-                retry_overhead_before = self.stats.counter(
-                    "fault_retry_overhead_seconds"
-                ).value
-                retries_before = self.stats.counter("fault_migration_retries").value
+                with obs.phase("faults"):
+                    events = injector.begin_epoch()
+                    self.state.demotion_locked = events.capacity_locked
+                    fault_overhead += events.overhead_spike_seconds
+                    observed_profile, lost = injector.observe_profile(profile)
+                    lost_pages = int(lost.size)
+                    if wear is not None:
+                        slow_ids = np.flatnonzero(slow_mask)
+                        epoch_writes = huge_counts[slow_ids] * profile.write_fraction
+                        wear.writes[slow_ids] += np.rint(epoch_writes).astype(np.int64)
+                        struck = injector.sample_ue_pages(wear.writes, slow_ids)
+                        if struck.size:
+                            # Machine-check recovery: copy each page off the
+                            # failing region (correction traffic) and remap
+                            # the worn cells to spares (wear counter resets).
+                            self.state.promote(struck)
+                            wear.writes[struck] = 0
+                            fault_overhead += (
+                                struck.size * self.config.faults.ue_repair_seconds
+                            )
+                            ue_pages = int(struck.size)
+                    retry_overhead_before = self.stats.counter(
+                        "fault_retry_overhead_seconds"
+                    ).value
+                    retries_before = self.stats.counter(
+                        "fault_migration_retries"
+                    ).value
 
             # 3. Let the policy observe and reshuffle.
             report = self.policy.on_epoch(self.state, observed_profile, policy_rng)
@@ -324,27 +344,44 @@ class EpochSimulation:
             slowdown = stall_time / epoch
 
             # 4. Record.
-            now = self.clock.advance(epoch)
-            ts = self.stats.timeseries
-            ts("slow_access_rate").record(now, slow_rate)
-            ts("slowdown").record(now, slowdown)
-            ts("overhead_seconds").record(now, report.overhead_seconds)
-            ts("cold_fraction").record(now, self.state.cold_fraction())
-            breakdown = self.state.footprint_breakdown()
-            for key, value in breakdown.items():
-                ts(key).record(now, value)
-            ts("throughput_ops").record(
-                now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
-            )
-            self.stats.counter("total_slow_accesses").add(slow_accesses)
-            self.stats.counter("epochs").add(1)
-            if injector is not None:
-                self._record_fault_epoch(
-                    now,
+            with obs.phase("bookkeeping"):
+                now = self.clock.advance(epoch)
+                ts = self.stats.timeseries
+                ts("slow_access_rate").record(now, slow_rate)
+                ts("slowdown").record(now, slowdown)
+                ts("overhead_seconds").record(now, report.overhead_seconds)
+                cold_fraction = self.state.cold_fraction()
+                ts("cold_fraction").record(now, cold_fraction)
+                breakdown = self.state.footprint_breakdown()
+                for key, value in breakdown.items():
+                    ts(key).record(now, value)
+                ts("throughput_ops").record(
+                    now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
+                )
+                self.stats.counter("total_slow_accesses").add(slow_accesses)
+                self.stats.counter("epochs").add(1)
+                if injector is not None:
+                    self._record_fault_epoch(
+                        now,
+                        events,
+                        fault_overhead,
+                        retry_overhead,
+                        retries_this_epoch,
+                        ue_pages,
+                        lost_pages,
+                    )
+
+            if obs.active:
+                self._observe_epoch(
+                    obs,
+                    start,
+                    epoch,
+                    slow_rate,
+                    slow_accesses,
+                    slowdown,
+                    cold_fraction,
+                    report,
                     events,
-                    fault_overhead,
-                    retry_overhead,
-                    retries_this_epoch,
                     ue_pages,
                     lost_pages,
                 )
@@ -355,7 +392,8 @@ class EpochSimulation:
             if self.debug_epoch_hook is not None:
                 self.debug_epoch_hook(self, epoch_index)
             if self.auditor is not None:
-                self.auditor.check_epoch()
+                with obs.phase("audit"):
+                    self.auditor.check_epoch()
 
         extras: dict = {}
         tail = self.config.truncated_tail
@@ -371,6 +409,63 @@ class EpochSimulation:
             baseline_ops_per_second=self.workload.baseline_ops_per_second,
             extras=extras,
         )
+
+    def _observe_epoch(
+        self,
+        obs,
+        start: float,
+        epoch: float,
+        slow_rate: float,
+        slow_accesses: float,
+        slowdown: float,
+        cold_fraction: float,
+        report,
+        events,
+        ue_pages: int,
+        lost_pages: int,
+    ) -> None:
+        """Emit one epoch's trace span and metrics (live observer only).
+
+        Strictly observational — reads values the epoch already computed,
+        consumes no RNG, and never touches simulation state.
+        """
+        obs.emit(
+            "engine",
+            "epoch",
+            start,
+            duration=epoch,
+            slow_rate=slow_rate,
+            slowdown=slowdown,
+            cold_fraction=cold_fraction,
+            overhead_seconds=report.overhead_seconds,
+            demoted=report.demoted,
+            promoted=report.promoted,
+            deferred=report.deferred,
+        )
+        if events is not None and (
+            events.count or events.capacity_locked or ue_pages or lost_pages
+        ):
+            obs.emit(
+                "fault",
+                "epoch_faults",
+                start,
+                capacity_locked=bool(events.capacity_locked),
+                overhead_spike_seconds=events.overhead_spike_seconds,
+                ue_pages=ue_pages,
+                lost_sample_pages=lost_pages,
+            )
+        obs.inc("repro_engine_epochs_total")
+        obs.inc("repro_engine_slow_accesses_total", slow_accesses)
+        obs.observe("repro_engine_slow_access_rate", slow_rate, RATE_BUCKETS)
+        obs.observe("repro_engine_epoch_slowdown", slowdown, FRACTION_BUCKETS)
+        obs.observe(
+            "repro_engine_epoch_overhead_seconds",
+            report.overhead_seconds,
+            SECONDS_BUCKETS,
+        )
+        obs.set_gauge("repro_engine_cold_fraction", cold_fraction)
+        self.topology.fast.tier.record_metrics(obs)
+        self.topology.slow.tier.record_metrics(obs)
 
     def _record_fault_epoch(
         self,
@@ -434,6 +529,9 @@ def run_simulation(
     config: SimulationConfig | None = None,
     topology: NumaTopology | None = None,
     audit: bool = False,
+    observer=None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`EpochSimulation`."""
-    return EpochSimulation(workload, policy, config, topology, audit=audit).run()
+    return EpochSimulation(
+        workload, policy, config, topology, audit=audit, observer=observer
+    ).run()

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import NULL_OBSERVER
 from repro.sim.profile import EpochProfile
 from repro.sim.state import TieredMemoryState
 
@@ -48,6 +49,10 @@ class PlacementPolicy(abc.ABC):
     """Decides page placement from (partially observable) access profiles."""
 
     name: str = "policy"
+    #: Observability sink (:mod:`repro.obs`); the engine installs its own
+    #: observer here at the start of :meth:`~repro.sim.engine.EpochSimulation.run`.
+    #: Policies that trace decisions guard on ``observer.active``.
+    observer = NULL_OBSERVER
 
     @abc.abstractmethod
     def on_epoch(

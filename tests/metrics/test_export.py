@@ -37,6 +37,24 @@ class TestExportTimeseries:
         rows = list(csv.reader(path.open()))
         assert rows[2] == ["1.0", "", "6.0"]
 
+    def test_float_noise_joins_onto_one_row(self, tmp_path):
+        """Regression: 0.1 + 0.2 and 0.3 are "the same" timestamp.
+
+        The old exact-float outer join split them into two nearly
+        identical rows, each with one empty cell; the quantised join key
+        must land both series on a single row.
+        """
+        path = export_timeseries(
+            tmp_path / "noise.csv",
+            {
+                "a": make_series("a", [(0.1 + 0.2, 1.0)]),
+                "b": make_series("b", [(0.3, 2.0)]),
+            },
+        )
+        rows = list(csv.reader(path.open()))
+        assert len(rows) == 2  # header + ONE joined row
+        assert rows[1] == ["0.3", "1.0", "2.0"]
+
     def test_creates_parent_dirs(self, tmp_path):
         path = export_timeseries(
             tmp_path / "deep" / "dir" / "x.csv",
@@ -60,22 +78,53 @@ class TestExportRows:
             export_rows(tmp_path / "t.csv", ["x", "y"], [[1]])
 
 
+def _run_once():
+    import numpy as np
+
+    from repro.baselines import StaticFractionPolicy
+    from repro.config import SimulationConfig
+    from repro.sim.engine import run_simulation
+    from repro.workloads.base import RateModelWorkload
+
+    return run_simulation(
+        RateModelWorkload("w", np.full(2 * 512, 1.0)),
+        StaticFractionPolicy(0.5),
+        SimulationConfig(duration=90, epoch=30, seed=0),
+    )
+
+
 class TestExportSimulation:
     def test_standard_series_dumped(self, tmp_path):
-        import numpy as np
-
-        from repro.baselines import StaticFractionPolicy
-        from repro.config import SimulationConfig
-        from repro.sim.engine import run_simulation
-        from repro.workloads.base import RateModelWorkload
-
-        result = run_simulation(
-            RateModelWorkload("w", np.full(2 * 512, 1.0)),
-            StaticFractionPolicy(0.5),
-            SimulationConfig(duration=90, epoch=30, seed=0),
-        )
+        result = _run_once()
         path = export_simulation_series(tmp_path, "w", result)
         rows = list(csv.reader(path.open()))
         assert rows[0][0] == "time"
         assert "cold_fraction" in rows[0]
         assert len(rows) == 4  # header + 3 epochs
+
+
+class TestExportSummaries:
+    def test_headline_and_fault_summaries_written(self, tmp_path):
+        import json
+
+        from repro.metrics.export import export_summaries
+
+        result = _run_once()
+        csv_path, json_path = export_summaries(tmp_path, {"w": result})
+        rows = list(csv.reader(csv_path.open()))
+        assert rows[0][0] == "name"
+        assert rows[1][0] == "w"
+        # Headline columns from summary() plus fault_-prefixed columns
+        # from fault_summary() share one row.
+        assert any(col.startswith("fault_") for col in rows[0])
+        assert set(result.summary()) <= set(rows[0])
+        data = json.loads(json_path.read_text())
+        assert set(data) == {"w"}
+        for key, value in result.summary().items():
+            assert data["w"][key] == value
+
+    def test_empty_rejected(self, tmp_path):
+        from repro.metrics.export import export_summaries
+
+        with pytest.raises(ReproError):
+            export_summaries(tmp_path, {})

@@ -1,0 +1,190 @@
+"""Tests for the observability metrics registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    FRACTION_BUCKETS,
+    PAGES_BUCKETS,
+    RATE_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricHistogram,
+    MetricsRegistry,
+    merge_snapshots,
+    validate_metric_name,
+)
+
+
+class TestNamingConvention:
+    def test_valid_names_pass(self):
+        for name in (
+            "repro_engine_epochs_total",
+            "repro_tiers_fast_allocated_bytes",
+            "repro_x_y",
+        ):
+            assert validate_metric_name(name) == name
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "engine_epochs_total",  # missing repro_ prefix
+            "repro_epochs",  # missing subsystem segment
+            "repro_Engine_epochs",  # uppercase
+            "repro_engine-epochs",  # dash
+            "repro__epochs",  # empty subsystem
+            "",
+        ],
+    )
+    def test_bad_names_raise(self, bad):
+        with pytest.raises(ObservabilityError):
+            validate_metric_name(bad)
+
+    def test_registry_enforces_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            registry.counter("bad_name")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("also bad")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("nope", SECONDS_BUCKETS)
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_events_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        # Same name returns the same counter.
+        assert registry.counter("repro_test_events_total") is counter
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("repro_test_events_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("repro_test_level")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+
+class TestHistogramBucketEdges:
+    def test_edge_values_are_inclusive_le(self):
+        """An observation exactly on an edge lands in that edge's cell."""
+        hist = MetricHistogram("repro_test_hist", (1.0, 10.0, 100.0))
+        hist.observe(1.0)
+        hist.observe(10.0)
+        hist.observe(100.0)
+        assert hist.counts == [1, 1, 1, 0]
+
+    def test_overflow_cell(self):
+        hist = MetricHistogram("repro_test_hist", (1.0, 10.0))
+        hist.observe(10.0001)
+        hist.observe(1e9)
+        assert hist.counts == [0, 0, 2]
+
+    def test_below_first_edge(self):
+        hist = MetricHistogram("repro_test_hist", (1.0, 10.0))
+        hist.observe(0.0)
+        hist.observe(0.5)
+        assert hist.counts == [2, 0, 0]
+
+    def test_extend_matches_observe(self):
+        """Vectorized extend and scalar observe agree cell-for-cell."""
+        values = [0.0, 0.001, 0.003, 0.0031, 0.5, 0.99, 1.0, 1.5]
+        a = MetricHistogram("repro_test_hist", FRACTION_BUCKETS)
+        b = MetricHistogram("repro_test_hist", FRACTION_BUCKETS)
+        for v in values:
+            a.observe(v)
+        b.extend(np.array(values))
+        assert a.counts == b.counts
+        assert a.sum == pytest.approx(b.sum)
+
+    def test_counts_has_one_overflow_cell(self):
+        for layout in (SECONDS_BUCKETS, PAGES_BUCKETS, RATE_BUCKETS):
+            hist = MetricHistogram("repro_test_hist", layout)
+            assert len(hist.counts) == len(layout) + 1
+
+    def test_non_increasing_buckets_raise(self):
+        with pytest.raises(ObservabilityError):
+            MetricHistogram("repro_test_hist", (1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            MetricHistogram("repro_test_hist", (2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            MetricHistogram("repro_test_hist", ())
+
+    def test_reregistration_with_other_buckets_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_hist", (1.0, 2.0))
+        registry.histogram("repro_test_hist", (1.0, 2.0))  # same layout: fine
+        with pytest.raises(ObservabilityError):
+            registry.histogram("repro_test_hist", (1.0, 3.0))
+
+
+class TestSnapshotAndMerge:
+    def _sample_registry(self, scale=1.0):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_events_total").inc(3 * scale)
+        registry.gauge("repro_test_level").set(7 * scale)
+        hist = registry.histogram("repro_test_hist", (1.0, 10.0))
+        hist.observe(0.5 * scale)
+        hist.observe(5.0)
+        return registry
+
+    def test_snapshot_is_deterministic_and_jsonable(self):
+        import json
+
+        snap = self._sample_registry().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == sorted(snap["counters"])
+
+    def test_merge_adds_counters_and_cells(self):
+        a = self._sample_registry().snapshot()
+        b = self._sample_registry().snapshot()
+        merged = merge_snapshots([a, b]).snapshot()
+        assert merged["counters"]["repro_test_events_total"] == 6.0
+        assert merged["histograms"]["repro_test_hist"]["counts"] == [2, 2, 0]
+        assert merged["histograms"]["repro_test_hist"]["sum"] == pytest.approx(11.0)
+
+    def test_merge_order_insensitive_for_counters_and_histograms(self):
+        a = self._sample_registry(1.0).snapshot()
+        b = self._sample_registry(2.0).snapshot()
+        ab = merge_snapshots([a, b]).snapshot()
+        ba = merge_snapshots([b, a]).snapshot()
+        assert ab["counters"] == ba["counters"]
+        assert ab["histograms"] == ba["histograms"]
+
+    def test_merge_rejects_mismatched_layouts(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_hist", (1.0, 2.0))
+        bad = {"histograms": {"repro_test_hist": {"buckets": [5.0], "counts": [0, 0], "sum": 0.0}}}
+        with pytest.raises(ObservabilityError):
+            registry.merge_snapshot(bad)
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_events_total").inc(2)
+        registry.gauge("repro_test_level").set(0.5)
+        hist = registry.histogram("repro_test_hist", (1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)
+        text = registry.to_prometheus_text()
+        lines = text.splitlines()
+        assert "# TYPE repro_test_events_total counter" in lines
+        assert "repro_test_events_total 2" in lines
+        assert "repro_test_level 0.5" in lines
+        # le buckets are cumulative and end with +Inf == _count.
+        assert 'repro_test_hist_bucket{le="1"} 1' in lines
+        assert 'repro_test_hist_bucket{le="10"} 2' in lines
+        assert 'repro_test_hist_bucket{le="+Inf"} 3' in lines
+        assert "repro_test_hist_count 3" in lines
+        assert "repro_test_hist_sum 55.5" in lines
+        assert text.endswith("\n")

@@ -1,0 +1,140 @@
+"""Tests for the structured event tracer and its two serializations."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.tracer import (
+    EVENT_CATEGORIES,
+    MAX_INLINE_PAGES,
+    Tracer,
+    chrome_to_events,
+    events_equal,
+    read_jsonl,
+    truncate_pages,
+    validate_event,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(process="test")
+    tracer.emit("engine", "epoch", time=0.0, duration=30.0, slow_rate=0.5)
+    tracer.emit(
+        "classify", "verdict", time=30.0,
+        sampled=10, cold=3, cold_pages=[1, 2, 3],
+    )
+    tracer.emit("migrate", "demote", time=30.0, requested=3, demoted=3,
+                reason="classified_cold")
+    tracer.emit("fault", "epoch_faults", time=60.0)
+    return tracer
+
+
+class TestEmit:
+    def test_unknown_category_raises(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().emit("bogus", "x", time=0.0)
+
+    def test_len_counts_events(self):
+        assert len(_sample_tracer()) == 4
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tracer.write_jsonl(tmp_path / "trace_test.jsonl")
+        events = read_jsonl(path, validate=True)
+        assert len(events) == len(tracer)
+        assert events[0] == {
+            "cat": "engine",
+            "name": "epoch",
+            "time": 0.0,
+            "dur": 30.0,
+            "args": {"slow_rate": 0.5},
+        }
+        # Instant events carry no dur key.
+        assert "dur" not in events[3]
+
+    def test_lines_have_sorted_keys(self, tmp_path):
+        path = _sample_tracer().write_jsonl(tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            data = json.loads(line)
+            assert line == json.dumps(data, sort_keys=True)
+
+    def test_read_rejects_invalid_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cat": "bogus", "name": "x", "time": 0}\n')
+        with pytest.raises(ObservabilityError):
+            read_jsonl(path, validate=True)
+        # Without validation the line still parses.
+        assert len(read_jsonl(path, validate=False)) == 1
+
+
+class TestChromeRoundTrip:
+    def test_chrome_carries_the_same_records(self):
+        tracer = _sample_tracer()
+        jsonl_events = [e.to_dict() for e in tracer.events]
+        chrome_events = chrome_to_events(tracer.to_chrome())
+        assert events_equal(jsonl_events, chrome_events)
+
+    def test_chrome_structure(self, tmp_path):
+        tracer = _sample_tracer()
+        chrome = json.loads(tracer.write_chrome(tmp_path / "t.json").read_text())
+        entries = chrome["traceEvents"]
+        metadata = [e for e in entries if e["ph"] == "M"]
+        # One process_name plus one thread_name per category.
+        assert len(metadata) == 1 + len(EVENT_CATEGORIES)
+        spans = [e for e in entries if e["ph"] == "X"]
+        instants = [e for e in entries if e["ph"] == "i"]
+        assert len(spans) == 1 and spans[0]["dur"] == 30.0 * 1e6
+        assert len(instants) == 3
+        # Each category gets its own timeline row (tid).
+        tids = {e["cat"]: e["tid"] for e in spans + instants}
+        assert len(set(tids.values())) == len(tids)
+
+    def test_events_equal_detects_divergence(self):
+        a = [{"cat": "engine", "name": "epoch", "time": 0.0}]
+        assert not events_equal(a, [])
+        assert not events_equal(a, [{"cat": "engine", "name": "other", "time": 0.0}])
+        assert not events_equal(a, [{"cat": "engine", "name": "epoch", "time": 1.0}])
+        assert events_equal(a, [{"cat": "engine", "name": "epoch", "time": 0.0 + 1e-12}])
+
+
+class TestValidateEvent:
+    def test_minimal_valid_event(self):
+        validate_event({"cat": "engine", "name": "epoch", "time": 0.0})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"name": "x", "time": 0.0},  # missing cat
+            {"cat": "engine", "time": 0.0},  # missing name
+            {"cat": "engine", "name": "x"},  # missing time
+            {"cat": "nope", "name": "x", "time": 0.0},  # unknown category
+            {"cat": "engine", "name": "x", "time": -1.0},  # negative time
+            {"cat": "engine", "name": "x", "time": 0.0, "dur": -1.0},
+            {"cat": "engine", "name": "x", "time": 0.0, "extra": 1},  # unknown field
+            {"cat": "engine", "name": "x", "time": True},  # bool is not a number
+            {"cat": "engine", "name": "", "time": 0.0},  # empty name
+            {"cat": "engine", "name": "x", "time": 0.0, "args": [1]},  # args not object
+        ],
+    )
+    def test_invalid_events_raise(self, bad):
+        with pytest.raises(ObservabilityError):
+            validate_event(bad)
+
+
+class TestTruncatePages:
+    def test_short_lists_pass_through(self):
+        assert truncate_pages([3, 1, 2]) == [3, 1, 2]
+
+    def test_long_lists_are_capped(self):
+        pages = truncate_pages(range(1000))
+        assert len(pages) == MAX_INLINE_PAGES
+        assert pages == list(range(MAX_INLINE_PAGES))
+
+    def test_ids_are_plain_ints(self):
+        import numpy as np
+
+        pages = truncate_pages(np.array([1, 2], dtype=np.int64))
+        assert all(type(p) is int for p in pages)
