@@ -1,0 +1,27 @@
+"""Extension benchmark: multi-tenant fleet resilience under chaos.
+
+Runs the default chaos-scenario suite (noisy neighbor, host DRAM shrink,
+adversarial tenant) over a small fleet and checks the resilience gate:
+every SLO violation drew an arbiter response, fleet invariants held, and
+the unrecoverable tenant was quarantined rather than crashing the run.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ext_fleet
+
+
+def test_ext_fleet(benchmark, bench_scale, bench_seed):
+    rows = run_once(benchmark, ext_fleet.run, bench_scale, bench_seed)
+    print()
+    print(ext_fleet.render(rows))
+
+    assert [row["scenario"] for row in rows] == list(ext_fleet.DEFAULT_CHAOS)
+    for row in rows:
+        scorecard = row["scorecard"]
+        assert scorecard["invariants"]["violations"] == 0
+        slo = scorecard["slo"]
+        assert slo["violations_with_response"] == slo["violations_total"]
+    adversarial = next(r for r in rows if r["scenario"] == "adversarial")
+    impossible = adversarial["scorecard"]["tenants"]["impossible"]
+    assert impossible["quarantined"]

@@ -30,13 +30,14 @@ from repro.core.classifier import select_cold_pages
 from repro.core.correction import select_promotions
 from repro.core.estimator import estimate_rates_vectorized
 from repro.core.sampling import CyclingSampler, choose_poison_subpages
+from repro.errors import ConfigError
 from repro.kernel.cgroup import MemoryCgroup
 from repro.obs import truncate_pages
 from repro.obs.metrics import RATE_BUCKETS
 from repro.sim.policy import PlacementPolicy, PolicyReport
 from repro.sim.profile import EpochProfile
 from repro.sim.state import TieredMemoryState
-from repro.units import BADGERTRAP_FAULT_LATENCY, MICROSECOND
+from repro.units import BADGERTRAP_FAULT_LATENCY, HUGE_PAGE_SIZE, MICROSECOND
 
 #: Cost of one Accessed-bit clear + TLB shootdown during sampling scans.
 SHOOTDOWN_COST = 0.5 * MICROSECOND
@@ -86,6 +87,18 @@ class ThermostatPolicy(PlacementPolicy):
         self._deferred_cold: np.ndarray = np.empty(0, dtype=np.int64)
         #: Without-replacement sampler (built lazily with the policy rng).
         self._sampler: CyclingSampler | None = None
+        #: Host-imposed fast-tier budget (bytes of DRAM this instance may
+        #: occupy).  ``None`` means unconstrained — the historical
+        #: single-tenant behavior.  The fleet arbiter sets this on every
+        #: grant change; when the fast-resident footprint exceeds it, the
+        #: policy force-demotes its coldest-known pages until it fits.
+        self.dram_budget_bytes: int | None = None
+
+    def set_dram_budget(self, nbytes: int | None) -> None:
+        """Install (or clear) the host's fast-tier budget directive."""
+        if nbytes is not None and nbytes < 0:
+            raise ConfigError(f"dram budget must be >= 0: {nbytes}")
+        self.dram_budget_bytes = nbytes
 
     @property
     def config(self) -> ThermostatConfig:
@@ -222,6 +235,42 @@ class ThermostatPolicy(PlacementPolicy):
                 obs.observe("repro_thermostat_estimated_rate", estimated, RATE_BUCKETS)
 
         # ------------------------------------------------------------------
+        # Host budget directive — when the arbiter capped this instance's
+        # DRAM share below its fast-resident footprint, force-demote the
+        # coldest-known pages until the footprint fits.  Pages the sampler
+        # rated this interval go coldest-first; unrated pages (rate
+        # unknown) are kept fast longest.  Budget pressure overrides the
+        # over-budget demotion pause: the host's capacity math cannot wait
+        # for the correction mechanism to drain.
+        # ------------------------------------------------------------------
+        budget_forced = np.empty(0, dtype=np.int64)
+        if self.dram_budget_bytes is not None:
+            fast_ids = np.flatnonzero(~slow_before)
+            over_bytes = fast_ids.size * HUGE_PAGE_SIZE - self.dram_budget_bytes
+            if over_bytes > 0 and fast_ids.size:
+                demotion_cap = max(
+                    demotion_cap,
+                    max(1, int(cfg.max_demotion_fraction * state.num_huge_pages)),
+                )
+                need = min(-(-over_bytes // HUGE_PAGE_SIZE), demotion_cap)
+                known = np.array(
+                    [rate_by_id.get(int(p), np.inf) for p in fast_ids]
+                )
+                order = np.argsort(known, kind="stable")
+                budget_forced = fast_ids[order[:need]]
+                diagnostics["budget_forced_demotions"] = int(budget_forced.size)
+                if obs.active:
+                    obs.emit(
+                        "migrate",
+                        "budget_directive",
+                        now,
+                        budget_bytes=int(self.dram_budget_bytes),
+                        over_bytes=int(over_bytes),
+                        forced=int(budget_forced.size),
+                        pages=truncate_pages(budget_forced),
+                    )
+
+        # ------------------------------------------------------------------
         # Demote — fresh classifications plus re-planned deferrals.  Pages
         # whose demotion was deferred last interval (backpressure, failed
         # migrations) go to the head of the list; the engine's graceful
@@ -234,8 +283,10 @@ class ThermostatPolicy(PlacementPolicy):
                 carry = carry[~slow_before[carry]]
                 if demotion_cap == 0:
                     carry = carry[:0]
-            if carry.size:
-                combined = np.concatenate([carry, demote_candidates])
+            if carry.size or budget_forced.size:
+                combined = np.concatenate(
+                    [budget_forced, carry, demote_candidates]
+                )
                 _, first_seen = np.unique(combined, return_index=True)
                 combined = combined[np.sort(first_seen)][:demotion_cap]
             else:

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.config import FaultConfig, SimulationConfig, ThermostatConfig
 from repro.errors import ConfigWarning, ReproError
+from repro.ioutil import atomic_write, atomic_write_json
 from repro.mem.migration import MigrationReason, MigrationRecord
 from repro.mem.numa import NumaTopology
 from repro.mem.tiers import TierKind, TierSpec
@@ -487,25 +488,15 @@ class ResultStore:
         if self.cache_dir is None:
             return
         manifest, arrays = payload
-        json_path = self.cache_dir / f"{key}.json"
-        npz_path = self.cache_dir / f"{key}.npz"
-        tmp_json = json_path.with_suffix(".json.tmp")
-        tmp_npz = npz_path.with_suffix(".npz.tmp.npz")
-        # fsync before the rename: os.replace is atomic for the *name*,
-        # but without a flush a crash right after it can still surface a
-        # torn manifest under the final name.
-        with tmp_json.open("w") as handle:
-            handle.write(json.dumps(manifest, sort_keys=True))
-            handle.flush()
-            os.fsync(handle.fileno())
-        with tmp_npz.open("wb") as handle:
-            np.savez(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
         # Arrays first: a manifest without arrays would be a poisoned
         # entry, arrays without a manifest are just unreachable bytes.
-        os.replace(tmp_npz, npz_path)
-        os.replace(tmp_json, json_path)
+        atomic_write(
+            self.cache_dir / f"{key}.npz",
+            lambda handle: np.savez(handle, **arrays),
+            binary=True,
+            tmp_suffix=".tmp.npz",
+        )
+        atomic_write_json(self.cache_dir / f"{key}.json", manifest)
 
     def clear_memory(self) -> None:
         """Drop the in-process memo (the disk layer, if any, survives)."""

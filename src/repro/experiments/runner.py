@@ -36,6 +36,7 @@ from repro.experiments import common
 from repro.experiments import (
     ext_counting,
     ext_faults,
+    ext_fleet,
     ext_latency,
     ext_oracle,
     ext_thp_tradeoff,
@@ -108,6 +109,9 @@ EXPERIMENTS: dict[str, Callable[[float, int, int], str]] = {
     ),
     "ext-thp": lambda scale, seed, jobs: ext_thp_tradeoff.render(
         ext_thp_tradeoff.run(scale, seed, jobs=jobs)
+    ),
+    "ext-fleet": lambda scale, seed, jobs: ext_fleet.render(
+        ext_fleet.run(scale, seed, jobs=jobs)
     ),
 }
 
@@ -198,6 +202,27 @@ def main(argv: list[str] | None = None) -> int:
         "OUTPUT_DIR/obs with --output-dir, else .thermostat-obs)",
     )
     parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="ext-fleet: number of base tenants in the fleet "
+        f"(default {ext_fleet.DEFAULT_TENANTS})",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        help="ext-fleet: comma-separated chaos scenarios to run "
+        "(default noisy-neighbor,dram-shrink,adversarial); "
+        "see repro.fleet.SCENARIOS",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        help="ext-fleet: per-tenant slowdown SLO as a fraction "
+        "(default 0.05)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     parser.add_argument(
@@ -241,6 +266,23 @@ def main(argv: list[str] | None = None) -> int:
     else:
         common.configure_supervisor(None)
     common.configure_audit(args.audit)
+
+    chaos = None
+    if args.chaos is not None:
+        chaos = tuple(
+            name.strip() for name in args.chaos.split(",") if name.strip()
+        )
+        if not chaos:
+            parser.error("--chaos must name at least one scenario")
+    try:
+        ext_fleet.configure(
+            tenants=args.tenants,
+            chaos=chaos,
+            slo=args.slo,
+            scorecard_dir=args.output_dir,
+        )
+    except Exception as exc:  # ConfigError -> argparse-style message
+        parser.error(str(exc))
 
     observing = args.trace or args.metrics or args.self_profile
     if observing:

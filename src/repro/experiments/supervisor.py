@@ -41,7 +41,6 @@ supervised batch is bit-identical to ``run_many`` and to a cache replay.
 
 from __future__ import annotations
 
-import json
 import os
 import signal
 import time
@@ -58,6 +57,7 @@ from pathlib import Path
 
 from repro.config import SupervisorConfig
 from repro.errors import QuarantinedTaskError, TaskTimeoutError
+from repro.ioutil import atomic_write_json
 from repro.experiments.parallel import (
     ResultStore,
     RunSpec,
@@ -204,12 +204,9 @@ def write_quarantine(
         "entries": [asdict(entry) for entry in entries],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with tmp.open("w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    # Same fsync + os.replace path the result store uses: a crash
+    # mid-write can never leave a truncated report that poisons --resume.
+    atomic_write_json(path, payload, indent=2)
 
 
 def run_supervised(

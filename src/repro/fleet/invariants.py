@@ -1,0 +1,90 @@
+"""Fleet-level invariants, checked at every epoch boundary.
+
+Mirrors the engine's :class:`~repro.sim.invariants.InvariantAuditor`:
+purely observational (auditing a run never changes it), raising
+:class:`~repro.errors.InvariantViolation` with an ``[invariant:<name>]``
+prefix the supervisor and tests can grep.  Where the engine auditor
+guards one tenant's books, this one guards the *shared* ledger: the DRAM
+grants the arbiter hands out must conserve the host budget, respect
+floors and quantization, and be backed by a live policy directive
+whenever a tenant is over its grant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolation
+from repro.fleet.tenant import LadderLevel, Tenant
+from repro.units import HUGE_PAGE_SIZE
+
+
+class FleetInvariantAuditor:
+    """Epoch-boundary self-checks for the shared DRAM ledger."""
+
+    def __init__(self, arbiter) -> None:
+        self.arbiter = arbiter
+        self.checked_epochs = 0
+        self._last_epoch = -1
+
+    @staticmethod
+    def _violation(name: str, detail: str) -> InvariantViolation:
+        return InvariantViolation(f"[invariant:fleet-{name}] {detail}")
+
+    def check_epoch(self, tenants: list[Tenant], epoch_index: int) -> None:
+        if epoch_index <= self._last_epoch:
+            raise self._violation(
+                "clock",
+                f"epoch counter went backwards: {epoch_index} after "
+                f"{self._last_epoch}",
+            )
+        self._last_epoch = epoch_index
+
+        arbiter = self.arbiter
+        granted = sum(t.grant_bytes for t in tenants)
+        if granted > arbiter.host_dram_bytes:
+            raise self._violation(
+                "conservation",
+                f"granted {granted} bytes exceeds the host budget "
+                f"{arbiter.host_dram_bytes}",
+            )
+        if arbiter.host_dram_bytes > arbiter.base_host_dram_bytes:
+            raise self._violation(
+                "conservation",
+                f"host budget {arbiter.host_dram_bytes} exceeds the "
+                f"hardware size {arbiter.base_host_dram_bytes}",
+            )
+        for tenant in tenants:
+            name = tenant.spec.name
+            grant = tenant.grant_bytes
+            if grant < 0 or grant % HUGE_PAGE_SIZE:
+                raise self._violation(
+                    "grant-quantum",
+                    f"tenant {name!r} grant {grant} is negative or not a "
+                    f"whole number of huge pages",
+                )
+            if tenant.departed or tenant.level is LadderLevel.QUARANTINED:
+                if grant != 0:
+                    raise self._violation(
+                        "ghost-grant",
+                        f"tenant {name!r} is "
+                        f"{'departed' if tenant.departed else 'quarantined'} "
+                        f"but still holds {grant} bytes",
+                    )
+                continue
+            if tenant.admitted and grant < tenant.floor_bytes:
+                raise self._violation(
+                    "floor",
+                    f"tenant {name!r} grant {grant} is below its floor "
+                    f"{tenant.floor_bytes}",
+                )
+            if tenant.admitted and tenant.fast_usage_bytes > grant:
+                # Over-grant usage is legal *transiently* (the policy
+                # drains it at its migration rate limit) but only while
+                # the budget directive is actually in force.
+                if tenant.policy.dram_budget_bytes != grant:
+                    raise self._violation(
+                        "directive",
+                        f"tenant {name!r} uses {tenant.fast_usage_bytes} "
+                        f"fast bytes over its grant {grant} but its policy "
+                        f"directive is {tenant.policy.dram_budget_bytes}",
+                    )
+        self.checked_epochs += 1

@@ -1,0 +1,63 @@
+"""Crash-safe file writes shared by every persistence path.
+
+One idiom, one implementation: write to a temp file *next to* the final
+name, flush + ``fsync``, then ``os.replace``.  The rename is atomic for
+the name, and the fsync guarantees the bytes are on disk before the name
+points at them — so a reader can never observe a truncated file under
+the final name, no matter when the writer is killed.
+
+Used by the result store (``<key>.json`` / ``<key>.npz`` entries), the
+supervisor's ``quarantine.json``, and the fleet's resilience scorecards.
+Temp files follow the ``<name><tmp_suffix>`` convention the store's
+stale-temp sweeper matches (``*.tmp`` / ``*.tmp.npz``), so droppings from
+a SIGKILLed writer are cleaned on the next store open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, IO
+
+
+def fsync_handle(handle: IO) -> None:
+    """Flush Python and OS buffers for an open handle."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def atomic_write(
+    path: str | os.PathLike,
+    writer: Callable[[IO], None],
+    binary: bool = False,
+    tmp_suffix: str = ".tmp",
+) -> Path:
+    """Write a file atomically: temp file -> fsync -> ``os.replace``.
+
+    ``writer`` receives the open temp-file handle and must write the full
+    content; the final name is only updated after a successful fsync, so
+    a crash mid-write leaves the previous version (or nothing) in place —
+    never a torn file.
+    """
+    path = Path(path)
+    tmp = path.parent / (path.name + tmp_suffix)
+    with tmp.open("wb" if binary else "w") as handle:
+        writer(handle)
+        fsync_handle(handle)
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> Path:
+    """Atomically replace ``path`` with ``text``."""
+    return atomic_write(path, lambda handle: handle.write(text))
+
+
+def atomic_write_json(
+    path: str | os.PathLike, payload, indent: int | None = None
+) -> Path:
+    """Atomically replace ``path`` with canonical (sorted-keys) JSON."""
+    return atomic_write_text(
+        path, json.dumps(payload, sort_keys=True, indent=indent)
+    )

@@ -81,6 +81,10 @@ class MemoryTier:
     #: allocation is never fault-injected.
     soft_limit_bytes: int | None = None
 
+    def __post_init__(self) -> None:
+        if self.soft_limit_bytes is not None:
+            self._validate_soft_limit(self.soft_limit_bytes)
+
     @property
     def kind(self) -> TierKind:
         return self.spec.kind
@@ -106,15 +110,40 @@ class MemoryTier:
         """Bytes a reservation can still take right now (never negative)."""
         return max(0, self.usable_capacity_bytes - self.allocated_bytes)
 
+    def _validate_soft_limit(self, nbytes: int) -> None:
+        """Reject a soft limit the tier could never honor.
+
+        Catching the bad value here — with the tier named — beats the
+        alternative of a ``CapacityError`` surfacing deep inside some
+        later allocation with no hint of which knob caused it.
+        """
+        if nbytes < 0:
+            raise ConfigError(
+                f"{self.kind.value} tier soft limit must be >= 0: {nbytes}"
+            )
+        if nbytes > self.spec.capacity_bytes:
+            raise ConfigError(
+                f"{self.kind.value} tier soft limit {nbytes} exceeds the "
+                f"hardware capacity {self.spec.capacity_bytes}"
+            )
+        if nbytes < self.allocated_bytes:
+            raise ConfigError(
+                f"{self.kind.value} tier soft limit {nbytes} is below the "
+                f"current usage {self.allocated_bytes}; release or migrate "
+                "pages off the tier before lowering the limit"
+            )
+
     def set_soft_limit(self, nbytes: int | None) -> None:
         """Cap usable capacity below the hardware size (``None`` clears).
 
-        Already-allocated bytes above a new limit stay allocated — the
-        limit only throttles *new* reservations, matching how allocation
-        pressure behaves on a real node.
+        The limit only throttles *new* reservations; lowering it below
+        what is already allocated (or raising it past the hardware) is
+        rejected with a :class:`~repro.errors.ConfigError` naming the
+        tier — callers that want to shrink an occupied tier must drain it
+        first (the fleet arbiter's shrink ladder does exactly that).
         """
-        if nbytes is not None and nbytes < 0:
-            raise ConfigError(f"soft limit must be >= 0: {nbytes}")
+        if nbytes is not None:
+            self._validate_soft_limit(nbytes)
         self.soft_limit_bytes = nbytes
 
     def audit(self) -> None:
@@ -133,10 +162,13 @@ class MemoryTier:
                 f"[invariant:tier-frames] {self.kind.value} tier bump pointer "
                 f"{self._next_frame} past capacity {self.capacity_frames}"
             )
-        if self.soft_limit_bytes is not None and self.soft_limit_bytes < 0:
+        if self.soft_limit_bytes is not None and not (
+            0 <= self.soft_limit_bytes <= self.spec.capacity_bytes
+        ):
             raise InvariantViolation(
                 f"[invariant:tier-limit] {self.kind.value} tier soft limit "
-                f"is negative: {self.soft_limit_bytes}"
+                f"{self.soft_limit_bytes} outside "
+                f"[0, {self.spec.capacity_bytes}]"
             )
 
     def record_metrics(self, obs) -> None:

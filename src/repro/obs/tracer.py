@@ -40,6 +40,8 @@ EVENT_CATEGORIES = frozenset(
         "fault",  # fault-injection events that reached the run
         "supervisor",  # attempt/retry/quarantine spans (wall-clock)
         "phase",  # self-profile phase spans
+        "fleet",  # arbiter decisions, SLO violations, tenant lifecycle
+        "chaos",  # chaos-scenario windows opening and closing
     }
 )
 

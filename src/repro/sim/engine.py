@@ -217,7 +217,7 @@ class EpochSimulation:
         self.state = TieredMemoryState(
             workload.num_huge_pages_at(0.0), topology, self.clock, self.stats
         )
-        #: Epoch-boundary self-checks; built lazily in :meth:`run` so the
+        #: Epoch-boundary self-checks; built lazily in :meth:`start` so the
         #: auditor's baselines see the state exactly as the run starts.
         self.auditor: InvariantAuditor | None = None
         #: Test hook: called as ``hook(self, epoch_index)`` after each
@@ -225,9 +225,36 @@ class EpochSimulation:
         #: deliberately corrupt an engine step to prove the auditor
         #: catches it.  Never set outside tests.
         self.debug_epoch_hook = None
+        #: Optional ground-truth transform ``filter(profile, epoch_index)
+        #: -> profile`` applied to each epoch's access profile before the
+        #: stall charge.  The fleet layer uses it for interference
+        #: (noisy-neighbor bursts) and load throttling; the filter must
+        #: preserve the profile's page count and must not consume RNG.
+        self.profile_filter = None
+        # Steppable-run state, populated by :meth:`start`.
+        self._started = False
+        self._epoch_index = 0
+        self._workload_rng = None
+        self._policy_rng = None
+        self._injector: FaultInjector | None = None
+        self._wear: WearTracker | None = None
 
-    def run(self) -> SimulationResult:
-        """Execute the configured number of epochs and return the result."""
+    # -- steppable interface ---------------------------------------------
+    #
+    # run() == start() + num_epochs x step() + finish(), and the split is
+    # exact: the fleet simulation drives many engines in lockstep through
+    # step() while a plain run() stays bit-identical to the historical
+    # monolithic loop (same RNG streams consumed in the same order).
+
+    def start(self, injector: FaultInjector | None = None) -> None:
+        """Prepare RNG streams, fault injection, and auditing for stepping.
+
+        ``injector`` overrides the config-built fault injector (the fleet
+        layer passes one whose model rates its chaos schedule modulates
+        over time); when provided, the caller owns its RNG streams.
+        """
+        if self._started:
+            raise SimulationError("simulation already started")
         obs = self.observer
         # Decision sites downstream share the engine's sink: the policy
         # traces sampling/classification, the migration engine meters
@@ -236,165 +263,188 @@ class EpochSimulation:
         self.policy.observer = obs
         self.state.migration.observer = obs
         rng = make_rng(self.config.seed)
-        workload_rng = child_rng(rng, f"workload:{self.workload.name}")
-        policy_rng = child_rng(rng, f"policy:{self.policy.name}")
-        epoch = self.config.epoch
-        slow_latency = self.topology.latency(SLOW_NODE)
+        self._workload_rng = child_rng(rng, f"workload:{self.workload.name}")
+        self._policy_rng = child_rng(rng, f"policy:{self.policy.name}")
         # Fault injection (off by default): the injector and its wear
         # tracker draw from dedicated child streams, so enabling them does
         # not perturb the workload or policy randomness.
-        injector: FaultInjector | None = None
-        wear: WearTracker | None = None
-        if self.config.faults.enabled:
-            injector = FaultInjector.from_config(
+        self._injector = injector
+        self._wear = None
+        if self._injector is None and self.config.faults.enabled:
+            self._injector = FaultInjector.from_config(
                 self.config.faults, child_rng(rng, "faults")
             )
-            self.state.migration.injector = injector
-            if injector.wear is not None:
-                wear = WearTracker(max(self.state.num_huge_pages, 1))
+        if self._injector is not None:
+            self.state.migration.injector = self._injector
+            if self._injector.wear is not None:
+                self._wear = WearTracker(max(self.state.num_huge_pages, 1))
         if self.audit:
             self.auditor = InvariantAuditor(self.state, self.clock, self.stats)
+        self._epoch_index = 0
+        self._started = True
 
-        for epoch_index in range(self.config.num_epochs):
-            start = self.clock.now
-            with obs.phase("scan"):
-                needed = self.workload.num_huge_pages_at(start)
-                if needed < self.state.num_huge_pages:
-                    raise SimulationError(
-                        f"workload {self.workload.name!r} shrank its footprint "
-                        f"from {self.state.num_huge_pages} to {needed} huge pages "
-                        f"at t={start:g}s; the engine only supports growth — "
-                        "model released memory as idle pages instead"
-                    )
-                if needed > self.state.num_huge_pages:
-                    self.state.grow(needed)
-                    if wear is not None:
-                        wear.grow(needed)
-                profile = self.workload.epoch_profile(
-                    start, epoch, workload_rng, stochastic=self.config.stochastic
+    def step(self) -> None:
+        """Simulate one epoch (grow, charge stalls, policy, record, audit)."""
+        if not self._started:
+            raise SimulationError("call start() before step()")
+        obs = self.observer
+        epoch = self.config.epoch
+        epoch_index = self._epoch_index
+        injector = self._injector
+        wear = self._wear
+        slow_latency = self.topology.latency(SLOW_NODE)
+        start = self.clock.now
+        with obs.phase("scan"):
+            needed = self.workload.num_huge_pages_at(start)
+            if needed < self.state.num_huge_pages:
+                raise SimulationError(
+                    f"workload {self.workload.name!r} shrank its footprint "
+                    f"from {self.state.num_huge_pages} to {needed} huge pages "
+                    f"at t={start:g}s; the engine only supports growth — "
+                    "model released memory as idle pages instead"
                 )
+            if needed > self.state.num_huge_pages:
+                self.state.grow(needed)
+                if wear is not None:
+                    wear.grow(needed)
+            profile = self.workload.epoch_profile(
+                start, epoch, self._workload_rng, stochastic=self.config.stochastic
+            )
+            if profile.num_huge_pages != self.state.num_huge_pages:
+                raise SimulationError(
+                    f"workload produced {profile.num_huge_pages} huge pages "
+                    f"but state tracks {self.state.num_huge_pages}"
+                )
+            if self.profile_filter is not None:
+                profile = self.profile_filter(profile, epoch_index)
                 if profile.num_huge_pages != self.state.num_huge_pages:
                     raise SimulationError(
-                        f"workload produced {profile.num_huge_pages} huge pages "
-                        f"but state tracks {self.state.num_huge_pages}"
+                        "profile_filter changed the profile's page count "
+                        f"to {profile.num_huge_pages} (state tracks "
+                        f"{self.state.num_huge_pages})"
                     )
 
-                # 2. Charge this epoch's slow-memory stalls against the
-                # current placement (ground truth — observation faults
-                # never change it).
-                huge_counts = profile.huge_counts()
-                slow_mask = self.state.slow_mask()
-                slow_accesses = float(huge_counts[slow_mask].sum())
-                slow_rate = slow_accesses / epoch
+            # 2. Charge this epoch's slow-memory stalls against the
+            # current placement (ground truth — observation faults
+            # never change it).
+            huge_counts = profile.huge_counts()
+            slow_mask = self.state.slow_mask()
+            slow_accesses = float(huge_counts[slow_mask].sum())
+            slow_rate = slow_accesses / epoch
 
-            # 2b. Schedule this epoch's faults and apply their immediate
-            # consequences: capacity lock, overhead spike, wear-induced
-            # uncorrectable errors (pages rescued through the correction
-            # path), and degraded monitoring for the policy's view.
-            fault_overhead = 0.0
-            ue_pages = lost_pages = 0
-            observed_profile = profile
-            retry_overhead_before = retries_before = 0.0
-            events = None
+        # 2b. Schedule this epoch's faults and apply their immediate
+        # consequences: capacity lock, overhead spike, wear-induced
+        # uncorrectable errors (pages rescued through the correction
+        # path), and degraded monitoring for the policy's view.
+        fault_overhead = 0.0
+        ue_pages = lost_pages = 0
+        observed_profile = profile
+        retry_overhead_before = retries_before = 0.0
+        events = None
+        if injector is not None:
+            with obs.phase("faults"):
+                events = injector.begin_epoch()
+                self.state.demotion_locked = events.capacity_locked
+                fault_overhead += events.overhead_spike_seconds
+                observed_profile, lost = injector.observe_profile(profile)
+                lost_pages = int(lost.size)
+                if wear is not None:
+                    slow_ids = np.flatnonzero(slow_mask)
+                    epoch_writes = huge_counts[slow_ids] * profile.write_fraction
+                    wear.writes[slow_ids] += np.rint(epoch_writes).astype(np.int64)
+                    struck = injector.sample_ue_pages(wear.writes, slow_ids)
+                    if struck.size:
+                        # Machine-check recovery: copy each page off the
+                        # failing region (correction traffic) and remap
+                        # the worn cells to spares (wear counter resets).
+                        self.state.promote(struck)
+                        wear.writes[struck] = 0
+                        fault_overhead += (
+                            struck.size * self.config.faults.ue_repair_seconds
+                        )
+                        ue_pages = int(struck.size)
+                retry_overhead_before = self.stats.counter(
+                    "fault_retry_overhead_seconds"
+                ).value
+                retries_before = self.stats.counter(
+                    "fault_migration_retries"
+                ).value
+
+        # 3. Let the policy observe and reshuffle.
+        report = self.policy.on_epoch(self.state, observed_profile, self._policy_rng)
+
+        stall_time = slow_accesses * slow_latency + report.overhead_seconds
+        retry_overhead = retries_this_epoch = 0.0
+        if injector is not None:
+            retry_overhead = (
+                self.stats.counter("fault_retry_overhead_seconds").value
+                - retry_overhead_before
+            )
+            retries_this_epoch = (
+                self.stats.counter("fault_migration_retries").value
+                - retries_before
+            )
+            fault_overhead += retry_overhead
+            stall_time += fault_overhead
+        slowdown = stall_time / epoch
+
+        # 4. Record.
+        with obs.phase("bookkeeping"):
+            now = self.clock.advance(epoch)
+            ts = self.stats.timeseries
+            ts("slow_access_rate").record(now, slow_rate)
+            ts("slowdown").record(now, slowdown)
+            ts("overhead_seconds").record(now, report.overhead_seconds)
+            cold_fraction = self.state.cold_fraction()
+            ts("cold_fraction").record(now, cold_fraction)
+            breakdown = self.state.footprint_breakdown()
+            for key, value in breakdown.items():
+                ts(key).record(now, value)
+            ts("throughput_ops").record(
+                now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
+            )
+            self.stats.counter("total_slow_accesses").add(slow_accesses)
+            self.stats.counter("epochs").add(1)
             if injector is not None:
-                with obs.phase("faults"):
-                    events = injector.begin_epoch()
-                    self.state.demotion_locked = events.capacity_locked
-                    fault_overhead += events.overhead_spike_seconds
-                    observed_profile, lost = injector.observe_profile(profile)
-                    lost_pages = int(lost.size)
-                    if wear is not None:
-                        slow_ids = np.flatnonzero(slow_mask)
-                        epoch_writes = huge_counts[slow_ids] * profile.write_fraction
-                        wear.writes[slow_ids] += np.rint(epoch_writes).astype(np.int64)
-                        struck = injector.sample_ue_pages(wear.writes, slow_ids)
-                        if struck.size:
-                            # Machine-check recovery: copy each page off the
-                            # failing region (correction traffic) and remap
-                            # the worn cells to spares (wear counter resets).
-                            self.state.promote(struck)
-                            wear.writes[struck] = 0
-                            fault_overhead += (
-                                struck.size * self.config.faults.ue_repair_seconds
-                            )
-                            ue_pages = int(struck.size)
-                    retry_overhead_before = self.stats.counter(
-                        "fault_retry_overhead_seconds"
-                    ).value
-                    retries_before = self.stats.counter(
-                        "fault_migration_retries"
-                    ).value
-
-            # 3. Let the policy observe and reshuffle.
-            report = self.policy.on_epoch(self.state, observed_profile, policy_rng)
-
-            stall_time = slow_accesses * slow_latency + report.overhead_seconds
-            retry_overhead = retries_this_epoch = 0.0
-            if injector is not None:
-                retry_overhead = (
-                    self.stats.counter("fault_retry_overhead_seconds").value
-                    - retry_overhead_before
-                )
-                retries_this_epoch = (
-                    self.stats.counter("fault_migration_retries").value
-                    - retries_before
-                )
-                fault_overhead += retry_overhead
-                stall_time += fault_overhead
-            slowdown = stall_time / epoch
-
-            # 4. Record.
-            with obs.phase("bookkeeping"):
-                now = self.clock.advance(epoch)
-                ts = self.stats.timeseries
-                ts("slow_access_rate").record(now, slow_rate)
-                ts("slowdown").record(now, slowdown)
-                ts("overhead_seconds").record(now, report.overhead_seconds)
-                cold_fraction = self.state.cold_fraction()
-                ts("cold_fraction").record(now, cold_fraction)
-                breakdown = self.state.footprint_breakdown()
-                for key, value in breakdown.items():
-                    ts(key).record(now, value)
-                ts("throughput_ops").record(
-                    now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
-                )
-                self.stats.counter("total_slow_accesses").add(slow_accesses)
-                self.stats.counter("epochs").add(1)
-                if injector is not None:
-                    self._record_fault_epoch(
-                        now,
-                        events,
-                        fault_overhead,
-                        retry_overhead,
-                        retries_this_epoch,
-                        ue_pages,
-                        lost_pages,
-                    )
-
-            if obs.active:
-                self._observe_epoch(
-                    obs,
-                    start,
-                    epoch,
-                    slow_rate,
-                    slow_accesses,
-                    slowdown,
-                    cold_fraction,
-                    report,
+                self._record_fault_epoch(
+                    now,
                     events,
+                    fault_overhead,
+                    retry_overhead,
+                    retries_this_epoch,
                     ue_pages,
                     lost_pages,
                 )
 
-            # 5. Audit the epoch boundary (off by default; --audit and
-            # supervised retries turn it on).  Purely observational, so
-            # audited runs stay bit-identical to unaudited ones.
-            if self.debug_epoch_hook is not None:
-                self.debug_epoch_hook(self, epoch_index)
-            if self.auditor is not None:
-                with obs.phase("audit"):
-                    self.auditor.check_epoch()
+        if obs.active:
+            self._observe_epoch(
+                obs,
+                start,
+                epoch,
+                slow_rate,
+                slow_accesses,
+                slowdown,
+                cold_fraction,
+                report,
+                events,
+                ue_pages,
+                lost_pages,
+            )
 
+        # 5. Audit the epoch boundary (off by default; --audit and
+        # supervised retries turn it on).  Purely observational, so
+        # audited runs stay bit-identical to unaudited ones.
+        if self.debug_epoch_hook is not None:
+            self.debug_epoch_hook(self, epoch_index)
+        if self.auditor is not None:
+            with obs.phase("audit"):
+                self.auditor.check_epoch()
+        self._epoch_index += 1
+
+    def finish(self) -> SimulationResult:
+        """Package everything recorded so far into a result."""
+        if not self._started:
+            raise SimulationError("call start() before finish()")
         extras: dict = {}
         tail = self.config.truncated_tail
         if tail > 1e-6 * self.config.epoch:
@@ -409,6 +459,18 @@ class EpochSimulation:
             baseline_ops_per_second=self.workload.baseline_ops_per_second,
             extras=extras,
         )
+
+    @property
+    def epochs_run(self) -> int:
+        """Completed :meth:`step` calls."""
+        return self._epoch_index
+
+    def run(self) -> SimulationResult:
+        """Execute the configured number of epochs and return the result."""
+        self.start()
+        for _ in range(self.config.num_epochs):
+            self.step()
+        return self.finish()
 
     def _observe_epoch(
         self,

@@ -158,3 +158,46 @@ class TestCgroupIntegration:
         )
         result2 = sim2.run()
         assert result2.final_cold_fraction > cold_at_low_target
+
+
+class TestDramBudgetDirective:
+    def test_budget_forces_fast_footprint_down(self):
+        """A budget below the hot set forces demotions despite the SLO."""
+        from repro.mem.numa import FAST_NODE
+        from repro.sim.engine import EpochSimulation
+        from repro.units import HUGE_PAGE_SIZE
+
+        workload = two_band_workload(num_huge=64)
+        policy = ThermostatPolicy(ThermostatConfig(tolerable_slowdown=0.5))
+        sim = EpochSimulation(
+            workload, policy, SimulationConfig(duration=900, epoch=30, seed=5)
+        )
+        budget = 16 * HUGE_PAGE_SIZE
+        policy.set_dram_budget(budget)
+        sim.run()
+        assert sim.state.occupancy_bytes()[FAST_NODE] <= budget
+
+    def test_none_budget_is_historical_behavior(self):
+        """With no directive the run is bit-identical to the seed policy."""
+        plain = run_policy(two_band_workload(), duration=600.0)
+        directed_policy = ThermostatPolicy(ThermostatConfig())
+        directed_policy.set_dram_budget(10**12)  # far above the footprint
+        from repro.sim.engine import run_simulation as run_sim
+
+        roomy = run_sim(
+            two_band_workload(),
+            directed_policy,
+            SimulationConfig(duration=600.0, epoch=30, seed=5, stochastic=True),
+        )
+        assert np.array_equal(
+            plain.series("slowdown").values, roomy.series("slowdown").values
+        )
+
+    def test_budget_validation(self):
+        from repro.errors import ConfigError
+
+        policy = ThermostatPolicy(ThermostatConfig())
+        with pytest.raises(ConfigError):
+            policy.set_dram_budget(-1)
+        policy.set_dram_budget(None)
+        assert policy.dram_budget_bytes is None

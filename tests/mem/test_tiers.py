@@ -119,10 +119,19 @@ class TestSoftLimit:
         tier.reserve_bytes(4 * MB)
         assert tier.usable_free_bytes == 0
 
-    def test_existing_allocation_above_limit_survives(self):
+    def test_limit_below_usage_rejected(self):
         tier = MemoryTier(TierSpec.slow(1 * GB))
         tier.reserve_bytes(8 * MB)
-        tier.set_soft_limit(2 * MB)
+        with pytest.raises(ConfigError, match="slow tier soft limit"):
+            tier.set_soft_limit(2 * MB)
+        # The rejected limit left the tier untouched.
+        assert tier.soft_limit_bytes is None
+        assert tier.can_reserve(1 * MB)
+
+    def test_limit_at_usage_blocks_new_reservations(self):
+        tier = MemoryTier(TierSpec.slow(1 * GB))
+        tier.reserve_bytes(8 * MB)
+        tier.set_soft_limit(8 * MB)
         # Nothing is evicted, but no new reservation fits...
         assert tier.allocated_bytes == 8 * MB
         assert tier.usable_free_bytes == 0
@@ -130,6 +139,19 @@ class TestSoftLimit:
         # ...and clearing the limit reopens the tier.
         tier.set_soft_limit(None)
         assert tier.can_reserve(1 * MB)
+
+    def test_limit_above_capacity_rejected(self):
+        tier = MemoryTier(TierSpec.slow(1 * MB))
+        with pytest.raises(ConfigError, match="exceeds the hardware capacity"):
+            tier.set_soft_limit(2 * MB)
+
+    def test_construction_validates_limit(self):
+        with pytest.raises(ConfigError, match="slow tier soft limit"):
+            MemoryTier(TierSpec.slow(1 * MB), soft_limit_bytes=2 * MB)
+        with pytest.raises(ConfigError):
+            MemoryTier(TierSpec.slow(1 * MB), soft_limit_bytes=-1)
+        tier = MemoryTier(TierSpec.slow(4 * MB), soft_limit_bytes=2 * MB)
+        assert tier.usable_capacity_bytes == 2 * MB
 
     def test_validation(self):
         tier = MemoryTier(TierSpec.slow(1 * MB))

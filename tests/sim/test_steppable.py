@@ -1,0 +1,129 @@
+"""Tests for the steppable engine interface (start/step/finish).
+
+The fleet layer drives many engines in lockstep through ``step()``; these
+tests pin the contract that the split run is bit-identical to ``run()``
+and that the ``profile_filter`` hook behaves as documented.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import StaticFractionPolicy
+from repro.config import SimulationConfig, ThermostatConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.errors import SimulationError
+from repro.sim.engine import EpochSimulation
+from repro.sim.profile import EpochProfile
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import RateModelWorkload
+
+
+def make_workload(num_huge: int = 8, rate_per_page: float = 100.0) -> RateModelWorkload:
+    rates = np.full(num_huge * SUBPAGES_PER_HUGE_PAGE, rate_per_page / 512)
+    return RateModelWorkload("uniform", rates, baseline_ops_per_second=1000.0)
+
+
+def make_engine(**config_kwargs) -> EpochSimulation:
+    defaults = dict(duration=150, epoch=30, seed=5, stochastic=True)
+    defaults.update(config_kwargs)
+    return EpochSimulation(
+        make_workload(),
+        ThermostatPolicy(ThermostatConfig(scan_interval=30.0)),
+        SimulationConfig(**defaults),
+    )
+
+
+class TestSteppable:
+    def test_stepped_run_matches_monolithic_run(self):
+        whole = make_engine().run()
+
+        engine = make_engine()
+        engine.start()
+        for _ in range(engine.config.num_epochs):
+            engine.step()
+        stepped = engine.finish()
+
+        assert np.array_equal(
+            whole.series("slowdown").values, stepped.series("slowdown").values
+        )
+        assert np.array_equal(
+            whole.series("cold_fraction").values,
+            stepped.series("cold_fraction").values,
+        )
+        assert whole.average_slowdown == stepped.average_slowdown
+
+    def test_epochs_run_counts_steps(self):
+        engine = make_engine()
+        engine.start()
+        assert engine.epochs_run == 0
+        engine.step()
+        engine.step()
+        assert engine.epochs_run == 2
+
+    def test_double_start_rejected(self):
+        engine = make_engine()
+        engine.start()
+        with pytest.raises(SimulationError, match="already started"):
+            engine.start()
+
+    def test_finish_requires_start(self):
+        with pytest.raises(SimulationError, match="start"):
+            make_engine().finish()
+
+    def test_partial_run_result_is_usable(self):
+        engine = make_engine()
+        engine.start()
+        engine.step()
+        result = engine.finish()
+        assert result.stats.counter("epochs").value == 1
+        assert result.duration == pytest.approx(30.0)
+
+
+class TestProfileFilter:
+    def test_identity_filter_preserves_run(self):
+        plain = make_engine().run()
+        engine = make_engine()
+        engine.profile_filter = lambda profile, epoch_index: profile
+        filtered = engine.run()
+        assert np.array_equal(
+            plain.series("slowdown").values, filtered.series("slowdown").values
+        )
+
+    def test_scaling_filter_changes_observed_pressure(self):
+        def amplify(profile, epoch_index):
+            return EpochProfile(
+                start_time=profile.start_time,
+                duration=profile.duration,
+                counts=profile.counts * 4,
+                write_fraction=profile.write_fraction,
+            )
+
+        quiet = EpochSimulation(
+            make_workload(),
+            StaticFractionPolicy(0.5),
+            SimulationConfig(duration=150, epoch=30, seed=5, stochastic=False),
+        ).run()
+        loud_engine = EpochSimulation(
+            make_workload(),
+            StaticFractionPolicy(0.5),
+            SimulationConfig(duration=150, epoch=30, seed=5, stochastic=False),
+        )
+        loud_engine.profile_filter = amplify
+        loud = loud_engine.run()
+        assert loud.average_slowdown > quiet.average_slowdown
+
+    def test_filter_changing_page_count_is_rejected(self):
+        def truncate(profile, epoch_index):
+            half = len(profile.counts) // 2
+            return EpochProfile(
+                start_time=profile.start_time,
+                duration=profile.duration,
+                counts=profile.counts[:half],
+                write_fraction=profile.write_fraction,
+            )
+
+        engine = make_engine()
+        engine.profile_filter = truncate
+        engine.start()
+        with pytest.raises(SimulationError, match="page count"):
+            engine.step()

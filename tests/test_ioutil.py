@@ -1,0 +1,58 @@
+"""Tests for the shared atomic-write helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write, atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content_and_returns_path(self, tmp_path):
+        target = tmp_path / "out.txt"
+        returned = atomic_write_text(target, "hello")
+        assert returned == target
+        assert target.read_text() == "hello"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "hello")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write(target, lambda h: h.write(b"\x00\x01\x02"), binary=True)
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_failed_write_preserves_previous_version(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "v1")
+
+        def exploding_writer(handle):
+            handle.write("partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(target, exploding_writer)
+        # The final name still holds the previous complete version.
+        assert target.read_text() == "v1"
+
+    def test_json_is_canonical(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_json(target, {"b": 2, "a": 1})
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+        # Keys are sorted so equal payloads produce byte-equal files.
+        assert target.read_text().index('"a"') < target.read_text().index('"b"')
+
+    def test_custom_tmp_suffix(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write(target, lambda h: h.write("x"), tmp_suffix=".part")
+        assert target.read_text() == "x"
+        assert not (tmp_path / "out.txt.part").exists()
