@@ -81,7 +81,7 @@ def test_parallel_suite_speedup(benchmark):
     fanned = benchmark.pedantic(fan_out, rounds=3, iterations=1)
     fanned_elapsed = min(timings)
 
-    for a, b in zip(serial, fanned):
+    for a, b in zip(serial, fanned, strict=True):
         assert a.summary() == b.summary()
         assert a.fault_summary() == b.fault_summary()
 

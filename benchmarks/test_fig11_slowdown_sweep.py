@@ -24,7 +24,7 @@ def test_fig11_slowdown_sweep(benchmark, bench_scale, bench_seed):
     # Monotone (small tolerance for stochastic noise).
     for name, row in grouped.items():
         values = [c.cold_fraction for c in row]
-        assert all(b >= a - 0.05 for a, b in zip(values, values[1:])), name
+        assert all(b >= a - 0.05 for a, b in zip(values, values[1:], strict=False)), name
 
     # Scaling vs saturating shapes.
     aero = fractions("aerospike")

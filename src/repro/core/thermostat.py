@@ -185,7 +185,7 @@ class ThermostatPolicy(PlacementPolicy):
                     ~slow_before[classification.cold_pages]
                 ]
                 # The coldest candidates go first under the demotion cap.
-                rate_by_id = dict(zip(sample.tolist(), estimated.tolist()))
+                rate_by_id = dict(zip(sample.tolist(), estimated.tolist(), strict=True))
                 if cold_now_fast.size > demotion_cap:
                     order = np.argsort(
                         [rate_by_id.get(p, 0.0) for p in cold_now_fast.tolist()]

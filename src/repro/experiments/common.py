@@ -137,9 +137,9 @@ def finalize_observability() -> dict | None:
     """
     if _OBS is None:
         return None
-    import json
     from pathlib import Path
 
+    from repro.ioutil import atomic_write_json, atomic_write_text
     from repro.obs import collect_run_metrics, collect_run_profiles
 
     out_dir = Path(_OBS.out_dir)
@@ -153,18 +153,16 @@ def finalize_observability() -> dict | None:
         "gauges": {},
         "histograms": {},
     }:
-        (out_dir / "metrics_supervisor.json").write_text(
-            json.dumps(sup.metrics.snapshot(), sort_keys=True, indent=2)
+        atomic_write_json(
+            out_dir / "metrics_supervisor.json", sup.metrics.snapshot(), indent=2
         )
     summary = {"out_dir": str(out_dir), "traces": 0, "metrics": 0, "profile_rows": []}
     summary["traces"] = len(list(out_dir.glob("trace_*.jsonl")))
     if _OBS.metrics:
         merged = collect_run_metrics(out_dir)
         summary["metrics"] = len(list(out_dir.glob("metrics_*.json")))
-        (out_dir / "metrics.json").write_text(
-            json.dumps(merged.snapshot(), sort_keys=True, indent=2)
-        )
-        (out_dir / "metrics.prom").write_text(merged.to_prometheus_text())
+        atomic_write_json(out_dir / "metrics.json", merged.snapshot(), indent=2)
+        atomic_write_text(out_dir / "metrics.prom", merged.to_prometheus_text())
     if _OBS.self_profile:
         summary["profile_rows"] = collect_run_profiles(out_dir)
     return summary
@@ -312,7 +310,7 @@ def run_suite(
         durations=durations,
     )
     results = _run_batch(specs, jobs=jobs, store=store)
-    return dict(zip(WORKLOAD_NAMES, results))
+    return dict(zip(WORKLOAD_NAMES, results, strict=True))
 
 
 def prefetch(specs: list[RunSpec], jobs: int = 1) -> None:

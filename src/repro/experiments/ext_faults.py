@@ -74,7 +74,7 @@ def run(
     ]
     results = run_many(specs, jobs=jobs, store=get_store())
     rows = []
-    for rate, result in zip(failure_rates, results):
+    for rate, result in zip(failure_rates, results, strict=True):
         summary = result.fault_summary()
         rows.append(
             FaultSweepRow(

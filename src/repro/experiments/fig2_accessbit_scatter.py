@@ -66,7 +66,7 @@ class ScatterResult:
         wildly different rates — the paper's visual point, quantified.
         """
         bins: dict[int, list[float]] = {}
-        for count, rate in zip(self.hot_subpage_counts, self.true_rates):
+        for count, rate in zip(self.hot_subpage_counts, self.true_rates, strict=True):
             bins.setdefault(int(count) // 32, []).append(rate)
         cvs = []
         for rates in bins.values():

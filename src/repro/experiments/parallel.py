@@ -409,6 +409,7 @@ def payload_to_result(
             arrays["mig.target"],
             arrays["mig.reason"],
             arrays["mig.huge"],
+            strict=True,
         )
     ]
 
@@ -515,7 +516,7 @@ class ResultStore:
         and the attempt is retried by the supervisor).
         """
         for pattern in ("*.tmp", "*.tmp.npz"):
-            for stale in self.cache_dir.glob(pattern):
+            for stale in sorted(self.cache_dir.glob(pattern)):
                 try:
                     stale.unlink()
                 except OSError:

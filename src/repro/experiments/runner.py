@@ -52,6 +52,7 @@ from repro.experiments import (
     table3_migration,
     table4_cost,
 )
+from repro.ioutil import atomic_write_text
 
 
 def _fig5to10(scale: float, seed: int, jobs: int) -> str:
@@ -320,7 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         started = time.perf_counter()
         try:
             report = EXPERIMENTS[name](args.scale, args.seed, args.jobs)
-        except Exception as exc:  # noqa: BLE001 - one bad figure must not sink the rest
+        except Exception as exc:  # one bad figure must not sink the rest
             elapsed = time.perf_counter() - started
             message = str(exc).splitlines()[0] if str(exc) else ""
             print(f"[FAILED {name}: {type(exc).__name__}: {message}] ({elapsed:.1f}s)")
@@ -334,7 +335,7 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if output_dir is not None:
             output_dir.mkdir(parents=True, exist_ok=True)
-            (output_dir / f"{name}.txt").write_text(report + "\n")
+            atomic_write_text(output_dir / f"{name}.txt", report + "\n")
     if output_dir is not None and not failed:
         _export_series(output_dir, args.scale, args.seed)
         print(f"[reports and CSV series written to {output_dir}]")

@@ -66,7 +66,7 @@ def render(rows: list[CostRow]) -> str:
     body = []
     for r in rows:
         cells = [r.workload, f"{100 * r.cold_fraction:.0f}%"]
-        for ratio, paper_value in zip(TABLE4_COST_RATIOS, r.paper):
+        for ratio, paper_value in zip(TABLE4_COST_RATIOS, r.paper, strict=True):
             cells += [f"{100 * r.savings[ratio]:.0f}%", f"{100 * paper_value:.0f}%"]
         body.append(cells)
     return format_table(

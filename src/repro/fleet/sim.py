@@ -173,7 +173,7 @@ class FleetSimulation:
             ]
             if arrivals:
                 verdicts = self.arbiter.admit_batch(arrivals, tenant_list, now)
-                for tenant, admitted in zip(arrivals, verdicts):
+                for tenant, admitted in zip(arrivals, verdicts, strict=True):
                     if admitted:
                         tenant.start(injector=self._injectors[tenant.spec.name])
                         self.chaos.sync_tenant(tenant, now)

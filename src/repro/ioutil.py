@@ -18,44 +18,57 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Callable, IO
+from typing import IO, Any, Callable
 
 
-def fsync_handle(handle: IO) -> None:
+def fsync_handle(handle: IO[Any]) -> None:
     """Flush Python and OS buffers for an open handle."""
     handle.flush()
     os.fsync(handle.fileno())
 
 
 def atomic_write(
-    path: str | os.PathLike,
-    writer: Callable[[IO], None],
+    path: str | os.PathLike[str],
+    writer: Callable[[IO[Any]], None],
     binary: bool = False,
     tmp_suffix: str = ".tmp",
+    newline: str | None = None,
 ) -> Path:
     """Write a file atomically: temp file -> fsync -> ``os.replace``.
 
     ``writer`` receives the open temp-file handle and must write the full
     content; the final name is only updated after a successful fsync, so
     a crash mid-write leaves the previous version (or nothing) in place —
-    never a torn file.
+    never a torn file.  ``newline`` is forwarded to :meth:`Path.open`
+    (text mode only; pass ``""`` for ``csv.writer`` payloads).
     """
     path = Path(path)
     tmp = path.parent / (path.name + tmp_suffix)
-    with tmp.open("wb" if binary else "w") as handle:
+    handle_cm: IO[Any]
+    if binary:
+        if newline is not None:
+            raise ValueError("newline is only valid for text-mode writes")
+        handle_cm = tmp.open("wb")
+    else:
+        handle_cm = tmp.open("w", newline=newline)
+    with handle_cm as handle:
         writer(handle)
         fsync_handle(handle)
     os.replace(tmp, path)
     return path
 
 
-def atomic_write_text(path: str | os.PathLike, text: str) -> Path:
+def atomic_write_text(path: str | os.PathLike[str], text: str) -> Path:
     """Atomically replace ``path`` with ``text``."""
-    return atomic_write(path, lambda handle: handle.write(text))
+
+    def _write(handle: IO[Any]) -> None:
+        handle.write(text)
+
+    return atomic_write(path, _write)
 
 
 def atomic_write_json(
-    path: str | os.PathLike, payload, indent: int | None = None
+    path: str | os.PathLike[str], payload: object, indent: int | None = None
 ) -> Path:
     """Atomically replace ``path`` with canonical (sorted-keys) JSON."""
     return atomic_write_text(

@@ -1,0 +1,58 @@
+"""``repro.lint`` — AST-based determinism & invariant linter.
+
+Every figure in this reproduction rests on bit-identical replay: the
+content-addressed result store, the retry-and-quarantine supervisor, and
+the RNG-free chaos engine all assume that no code path touches global RNG
+state, wall-clock time, or unordered iteration.  This package moves those
+contracts from docstrings and runtime auditors into review-time static
+analysis: ``python -m repro.lint src tests`` fails the build before a
+nondeterministic change can merge.
+
+Architecture
+------------
+
+* :mod:`repro.lint.domains` classifies every file into a *domain*
+  (``sim`` / ``experiments`` / ``store`` / ``obs`` / ``metrics`` /
+  ``infra`` / ``tests`` / ...) so each rule can scope itself to the
+  packages whose contracts it encodes.
+* :mod:`repro.lint.analysis` parses a file once — parent-linked AST,
+  import-alias resolution, suppression pragmas — and every rule reads
+  from that single :class:`~repro.lint.analysis.FileAnalysis`.
+* :mod:`repro.lint.rules` holds the rule registry.  Rules are plugins:
+  subclass :class:`~repro.lint.rules.Rule`, decorate with
+  :func:`~repro.lint.rules.register`, and the engine, CLI, baseline and
+  docs pick the rule up by its ID.
+* :mod:`repro.lint.baseline` grandfathers pre-existing findings behind
+  content-addressed keys so the gate can be strict for *new* code
+  without a flag day.
+* :mod:`repro.lint.engine` / :mod:`repro.lint.cli` orchestrate discovery,
+  pragma filtering, baseline matching, and text/JSON reporting.
+
+Suppression is explicit and auditable: ``# reprolint: disable=R003`` on
+the offending line, or ``# reprolint: disable-file=R007`` for a whole
+module, each ideally with a justification comment.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analysis import FileAnalysis
+from repro.lint.baseline import Baseline
+from repro.lint.domains import ModuleInfo, classify
+from repro.lint.engine import LintConfig, LintReport, lint_paths
+from repro.lint.findings import Finding
+from repro.lint.rules import RULE_REGISTRY, Rule, all_rules, register
+
+__all__ = [
+    "Baseline",
+    "FileAnalysis",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleInfo",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "classify",
+    "lint_paths",
+    "register",
+]

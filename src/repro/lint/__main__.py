@@ -1,0 +1,13 @@
+"""Entry point for ``python -m repro.lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:  # e.g. `... --list-rules | head`
+        sys.stderr.close()
+        code = 0
+    raise SystemExit(code)

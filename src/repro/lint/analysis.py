@@ -1,0 +1,172 @@
+"""Single-pass file analysis shared by every rule.
+
+Each file is parsed exactly once.  The resulting :class:`FileAnalysis`
+carries the parent-linked AST, an import-alias table for resolving
+dotted call names to canonical module paths (``np.random.seed`` →
+``numpy.random.seed`` regardless of how numpy was imported), and the
+``# reprolint:`` suppression pragmas collected from the token stream.
+Rules are pure readers of this object, which keeps an 8-rule run at
+one parse + one token scan per file.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.domains import ModuleInfo
+
+_PARENT = "_reprolint_parent"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+_RULE_ID_RE = re.compile(r"^(?:R\d{3}|all)$")
+
+
+@dataclass(frozen=True)
+class PragmaError:
+    """A malformed or unknown-rule suppression comment."""
+
+    line: int
+    text: str
+
+
+@dataclass
+class Pragmas:
+    """Suppression state for one file."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_level: frozenset[str] = frozenset()
+    errors: list[PragmaError] = field(default_factory=list)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        for scope in (self.file_level, self.by_line.get(line, frozenset())):
+            if "all" in scope or rule in scope:
+                return True
+        return False
+
+
+def _parse_pragmas(source: str) -> Pragmas:
+    pragmas = Pragmas()
+    file_level: set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas  # the parse error is reported separately as R000
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "reprolint" not in token.string:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if match is None:
+            pragmas.errors.append(PragmaError(token.start[0], token.string.strip()))
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",") if part.strip()}
+        bad = sorted(rule for rule in rules if not _RULE_ID_RE.match(rule))
+        if bad or not rules:
+            pragmas.errors.append(PragmaError(token.start[0], token.string.strip()))
+            continue
+        if match.group("kind") == "disable-file":
+            file_level.update(rules)
+        else:
+            line = token.start[0]
+            existing = pragmas.by_line.get(line, frozenset())
+            pragmas.by_line[line] = existing | frozenset(rules)
+    pragmas.file_level = frozenset(file_level)
+    return pragmas
+
+
+def _link_parents(tree: ast.Module) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT, parent)
+
+
+def parent(node: ast.AST) -> ast.AST | None:
+    """Parent of ``node`` in its tree (None for the module root)."""
+    return getattr(node, _PARENT, None)
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local binding name -> canonical dotted module/attribute path."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    table[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the *top* name.
+                    head = alias.name.split(".", 1)[0]
+                    table[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach stdlib/numpy names
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                table[bound] = f"{node.module}.{alias.name}"
+    return table
+
+
+@dataclass
+class FileAnalysis:
+    """Everything a rule needs to know about one source file."""
+
+    module: ModuleInfo
+    source: str
+    tree: ast.Module
+    imports: dict[str, str]
+    pragmas: Pragmas
+    lines: list[str]
+
+    @classmethod
+    def parse(cls, module: ModuleInfo, source: str) -> FileAnalysis:
+        """Parse ``source``; raises :class:`SyntaxError` on bad input."""
+        tree = ast.parse(source, filename=module.path)
+        _link_parents(tree)
+        return cls(
+            module=module,
+            source=source,
+            tree=tree,
+            imports=_collect_imports(tree),
+            pragmas=_parse_pragmas(source),
+            lines=source.splitlines(),
+        )
+
+    # -- name resolution -------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> tuple[str, bool] | None:
+        """Canonical dotted name for an expression, if it has one.
+
+        Returns ``(canonical, imported)`` where ``imported`` says whether
+        the head name was resolved through an import binding.  Rules that
+        match module attributes (``numpy.random.*``, ``time.time``)
+        should require ``imported``; rules that match builtins (``open``,
+        ``hash``, ``sum``) accept bare, unimported names.
+        """
+        attrs: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            attrs.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        head = current.id
+        canonical_head = self.imports.get(head)
+        imported = canonical_head is not None
+        dotted = ".".join([canonical_head if imported else head, *reversed(attrs)])
+        return dotted, imported
+
+    def call_name(self, call: ast.Call) -> tuple[str, bool] | None:
+        """Resolve the function a :class:`ast.Call` invokes."""
+        return self.resolve(call.func)
+
+    def line_text(self, lineno: int) -> str:
+        """Source text of a 1-indexed line ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""

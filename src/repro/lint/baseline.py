@@ -1,0 +1,82 @@
+"""Grandfathered-finding baseline.
+
+A linter retrofitted onto a living tree needs a way to be strict about
+*new* violations without a flag-day cleanup.  The baseline is a committed
+JSON file mapping content-addressed finding keys to a human-readable
+snapshot.  Keys hash the rule ID, the file path, and the *stripped source
+line text* (plus an occurrence index for duplicate lines) — not the line
+number — so unrelated edits above a grandfathered finding do not churn
+the baseline.
+
+The shipped tree lints clean, so the committed baseline is empty; the
+machinery exists so a future emergency merge can be grandfathered
+deliberately (and ``--strict`` will fail the build the moment a baseline
+entry goes stale, forcing the debt to be deleted when it is paid).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.ioutil import atomic_write_json
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, resolved relative to the working directory
+#: (the linter is run from the repo root, like ruff or pytest).
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def finding_key(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Content-addressed key for one finding.
+
+    ``occurrence`` disambiguates identical violations on identical lines
+    within one file (0-indexed, in line order).
+    """
+    material = f"{finding.rule}|{finding.path}|{line_text.strip()}"
+    digest = hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+    return f"{digest}:{occurrence}"
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding keys."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path | None) -> Baseline:
+        """Load a baseline file; a missing file is an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        payload = json.loads(path.read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: {payload.get('version')!r}"
+            )
+        entries = payload.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline in {path}: 'findings' not a mapping")
+        return cls(entries=dict(entries), path=path)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def save(self, path: str | Path, keyed_findings: dict[str, Finding]) -> None:
+        """Atomically rewrite the baseline from the given findings."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                key: f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+                for key, finding in keyed_findings.items()
+            },
+        }
+        atomic_write_json(path, payload, indent=2)

@@ -1,0 +1,155 @@
+"""Command-line front end: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 clean, 1 findings (or, under ``--strict``, stale baseline
+entries), 2 usage errors.  ``--format json`` emits a machine-readable
+report for CI artifact diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline
+from repro.lint.engine import DEFAULT_EXCLUDES, LintConfig, lint_paths
+from repro.lint.rules import RULE_REGISTRY, all_rules
+
+
+def _rule_set(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & invariant linter for the Thermostat reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current set of findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (paid-off debt must be deleted)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--disable",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="additional path substrings to exclude (repeatable); "
+        f"always excluded: {', '.join(DEFAULT_EXCLUDES)}",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["registered determinism rules:"]
+    for rule in all_rules():
+        doc = (type(rule).__doc__ or "").strip().splitlines()
+        summary = doc[0].split("—", 1)[-1].strip() if doc else rule.title
+        lines.append(f"  {rule.rule_id}  {summary}")
+        lines.append(f"        fix: {rule.hint}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    config = LintConfig(
+        paths=tuple(args.paths),
+        baseline_path=None if args.no_baseline else args.baseline,
+        strict=args.strict,
+        select=_rule_set(args.select),
+        disable=_rule_set(args.disable) or frozenset(),
+        excludes=DEFAULT_EXCLUDES + tuple(args.exclude),
+    )
+    try:
+        report = lint_paths(config)
+    except (ValueError, OSError) as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline().save(args.baseline, report.keyed_findings)
+        print(
+            f"reprolint: baseline {args.baseline} updated "
+            f"({len(report.keyed_findings)} finding(s) grandfathered)"
+        )
+        return 0
+
+    exit_code = report.exit_code(strict=args.strict)
+    if args.format == "json":
+        payload = {
+            "version": 1,
+            "files_checked": report.files_checked,
+            "findings": [finding.to_dict() for finding in report.findings],
+            "baselined": [finding.to_dict() for finding in report.baselined],
+            "stale_baseline": report.stale_baseline,
+            "rules": sorted(RULE_REGISTRY),
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code
+
+    for finding in report.findings:
+        print(finding.render())
+    summary = (
+        f"reprolint: {len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.files_checked} file(s) checked"
+    )
+    if report.stale_baseline:
+        summary += f", {len(report.stale_baseline)} stale baseline entr(y/ies)"
+        if args.strict:
+            for key in report.stale_baseline:
+                print(f"reprolint: stale baseline entry {key} — delete it")
+    print(summary)
+    return exit_code

@@ -1,0 +1,185 @@
+"""Lint orchestration: discovery, per-file analysis, filtering, baseline.
+
+The engine is deliberately dogfooded: file discovery is ``sorted``, the
+report order is the :class:`~repro.lint.findings.Finding` dataclass
+order, and baseline writes go through ``repro.ioutil`` — the linter obeys
+the same contracts it enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.analysis import FileAnalysis
+from repro.lint.baseline import Baseline, finding_key
+from repro.lint.domains import classify
+from repro.lint.findings import Finding
+from repro.lint.rules import INTERNAL_RULE, RULE_REGISTRY, Rule, all_rules
+
+#: Paths never linted: generated caches plus the self-test fixture corpus
+#: (which contains deliberate violations).
+DEFAULT_EXCLUDES: tuple[str, ...] = ("__pycache__", "tests/lint/fixtures")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One lint invocation's knobs."""
+
+    paths: tuple[str, ...] = ("src", "tests")
+    baseline_path: str | None = None
+    strict: bool = False
+    select: frozenset[str] | None = None
+    disable: frozenset[str] = frozenset()
+    excludes: tuple[str, ...] = DEFAULT_EXCLUDES
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  #: new violations
+    baselined: list[Finding] = field(default_factory=list)  #: grandfathered
+    stale_baseline: list[str] = field(default_factory=list)  #: paid-off keys
+    files_checked: int = 0
+    #: key -> finding for every current (new + baselined) violation; this
+    #: is exactly what ``--update-baseline`` persists.
+    keyed_findings: dict[str, Finding] = field(default_factory=dict)
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.findings:
+            return 1
+        if strict and self.stale_baseline:
+            return 1
+        return 0
+
+
+def discover(paths: Sequence[str], excludes: Sequence[str]) -> list[Path]:
+    """Expand files/directories into a sorted, exclusion-filtered file list."""
+    seen: list[Path] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            posix = candidate.as_posix()
+            if any(pattern in posix for pattern in excludes):
+                continue
+            seen.append(candidate)
+    return seen
+
+
+def active_rules(config: LintConfig) -> list[Rule]:
+    """Registry rules surviving ``--select`` / ``--disable``, validated."""
+    known = set(RULE_REGISTRY)
+    requested = set() if config.select is None else set(config.select)
+    unknown = (requested | set(config.disable)) - known
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    rules = all_rules()
+    if config.select is not None:
+        rules = [rule for rule in rules if rule.rule_id in config.select]
+    return [rule for rule in rules if rule.rule_id not in config.disable]
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> tuple[list[Finding], FileAnalysis | None]:
+    """Lint one file; parse failures surface as R000 findings."""
+    module = classify(path.as_posix())
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return (
+            [
+                Finding(
+                    path=module.path,
+                    line=1,
+                    col=1,
+                    rule=INTERNAL_RULE,
+                    message=f"unreadable file: {exc}",
+                )
+            ],
+            None,
+        )
+    try:
+        analysis = FileAnalysis.parse(module, source)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=module.path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=INTERNAL_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            None,
+        )
+
+    findings = list(_pragma_findings(analysis))
+    for rule in rules:
+        if not rule.applies(module):
+            continue
+        for finding in rule.check(analysis):
+            if not analysis.pragmas.suppresses(finding.rule, finding.line):
+                findings.append(finding)
+    return sorted(findings), analysis
+
+
+def _pragma_findings(analysis: FileAnalysis) -> Iterator[Finding]:
+    for error in analysis.pragmas.errors:
+        yield Finding(
+            path=analysis.module.path,
+            line=error.line,
+            col=1,
+            rule=INTERNAL_RULE,
+            message=f"malformed reprolint pragma: {error.text}",
+        )
+    referenced = set(analysis.pragmas.file_level)
+    for rules in analysis.pragmas.by_line.values():
+        referenced.update(rules)
+    for rule_id in sorted(referenced - set(RULE_REGISTRY) - {"all"}):
+        yield Finding(
+            path=analysis.module.path,
+            line=1,
+            col=1,
+            rule=INTERNAL_RULE,
+            message=f"pragma references unknown rule {rule_id}",
+        )
+
+
+def lint_paths(config: LintConfig) -> LintReport:
+    """Run the full pipeline over ``config.paths``."""
+    rules = active_rules(config)
+    baseline = Baseline.load(config.baseline_path)
+    report = LintReport()
+    matched_keys: set[str] = set()
+
+    for path in discover(config.paths, config.excludes):
+        report.files_checked += 1
+        findings, analysis = lint_file(path, rules)
+        occurrences: dict[str, int] = {}
+        for finding in findings:
+            if finding.rule == INTERNAL_RULE:
+                # Internal problems are never baselined or suppressed.
+                report.findings.append(finding)
+                continue
+            line_text = analysis.line_text(finding.line) if analysis else ""
+            base = finding_key(finding, line_text, 0).rsplit(":", 1)[0]
+            occurrence = occurrences.get(base, 0)
+            occurrences[base] = occurrence + 1
+            key = f"{base}:{occurrence}"
+            report.keyed_findings[key] = finding
+            if key in baseline:
+                matched_keys.add(key)
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+
+    report.stale_baseline = sorted(set(baseline.entries) - matched_keys)
+    report.findings.sort()
+    report.baselined.sort()
+    return report

@@ -1,0 +1,40 @@
+"""Finding record shared by rules, engine, baseline, and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports are stable regardless
+    of the order rules ran in — the linter holds itself to the same
+    determinism contract it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    hint: str = field(compare=False, default="")
+
+    def render(self) -> str:
+        """One-line text form: ``path:line:col: R003 message [hint: ...]``."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form for ``--format json`` and CI artifacts."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,615 @@
+"""The determinism rule registry.
+
+Each rule encodes one reproducibility contract the platform depends on.
+Rules are plugins: subclass :class:`Rule`, decorate with
+:func:`register`, and the engine, CLI (``--list-rules``), baseline and
+self-tests pick the new rule up by its ID.  Rules never parse — they
+read a shared :class:`~repro.lint.analysis.FileAnalysis` — so adding a
+rule costs one extra AST walk, not one extra parse.
+
+The IDs are stable API: baselines, pragmas and CI configs reference
+them, so a retired rule's ID must not be reused.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, ClassVar, Iterator
+
+from repro.lint.analysis import FileAnalysis, parent
+from repro.lint.domains import ModuleInfo
+from repro.lint.findings import Finding
+
+#: Rule ID reserved for linter-internal problems (unparseable file,
+#: malformed pragma).  Not suppressible and never registered as a plugin.
+INTERNAL_RULE = "R000"
+
+RULE_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the registry (IDs must be unique)."""
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list["Rule"]:
+    """Fresh instances of every registered rule, in ID order."""
+    return [RULE_REGISTRY[rule_id]() for rule_id in sorted(RULE_REGISTRY)]
+
+
+class Rule:
+    """Base class for determinism rules."""
+
+    rule_id: ClassVar[str]
+    title: ClassVar[str]
+    hint: ClassVar[str]
+
+    def applies(self, module: ModuleInfo) -> bool:
+        """Whether this rule runs against ``module`` (domain scoping)."""
+        return True
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        """Yield findings for one analysed file."""
+        raise NotImplementedError
+
+    def finding(
+        self, analysis: FileAnalysis, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=analysis.module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+            hint=self.hint,
+        )
+
+
+# --- shared shape helpers ---------------------------------------------------
+
+
+def _last_segment(dotted: str) -> str:
+    return dotted.rsplit(".", 1)[-1]
+
+
+def _is_set_expr(analysis: FileAnalysis, node: ast.AST) -> bool:
+    """Set literal, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = analysis.call_name(node)
+        return resolved is not None and resolved[0] in {"set", "frozenset"}
+    return False
+
+
+def _call_matches(
+    analysis: FileAnalysis, node: ast.AST, names: frozenset[str]
+) -> tuple[ast.Call, str] | None:
+    """Match a call whose *imported* canonical name is in ``names``."""
+    if not isinstance(node, ast.Call):
+        return None
+    resolved = analysis.call_name(node)
+    if resolved is None:
+        return None
+    canonical, imported = resolved
+    if imported and canonical in names:
+        return node, canonical
+    return None
+
+
+# --- R001: global RNG -------------------------------------------------------
+
+#: numpy.random functions that read or mutate the hidden global
+#: RandomState.  ``default_rng`` / ``Generator`` / ``SeedSequence`` are
+#: local-state constructors and are governed by R002 instead; ``seed``
+#: is also R002 (it *re*seeds the global state).
+_NUMPY_GLOBAL_FNS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "f", "gamma", "geometric", "get_state", "gumbel",
+        "hypergeometric", "laplace", "logistic", "lognormal", "logseries",
+        "multinomial", "multivariate_normal", "negative_binomial",
+        "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+        "permutation", "poisson", "power", "rand", "randint", "randn",
+        "random", "random_integers", "random_sample", "ranf", "rayleigh",
+        "sample", "set_state", "shuffle", "standard_cauchy",
+        "standard_exponential", "standard_gamma", "standard_normal",
+        "standard_t", "triangular", "uniform", "vonmises", "wald",
+        "weibull", "zipf",
+    }
+)
+
+
+@register
+class GlobalRngRule(Rule):
+    """R001 — no global-RNG use outside ``repro/rng.py``.
+
+    Randomness must flow through an injected ``numpy.random.Generator``
+    (or be derived via ``repro.rng.child_rng``) so adding a consumer of
+    randomness never perturbs existing experiments.
+    """
+
+    rule_id = "R001"
+    title = "global RNG state"
+    hint = "inject a numpy Generator (repro.rng.make_rng / child_rng) instead"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.domain != "rng"
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            analysis, node, "stdlib 'random' module imported"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        analysis, node, "stdlib 'random' module imported"
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = analysis.call_name(node)
+                if resolved is None or not resolved[1]:
+                    continue
+                canonical = resolved[0]
+                if (
+                    canonical.startswith("numpy.random.")
+                    and _last_segment(canonical) in _NUMPY_GLOBAL_FNS
+                ):
+                    yield self.finding(
+                        analysis, node, f"global-state call {canonical}()"
+                    )
+                elif canonical.startswith("random.") and canonical != "random.seed":
+                    yield self.finding(
+                        analysis, node, f"stdlib global-RNG call {canonical}()"
+                    )
+
+
+# --- R002: unseeded RNG -----------------------------------------------------
+
+
+@register
+class UnseededRngRule(Rule):
+    """R002 — every generator must be explicitly seeded.
+
+    ``default_rng()`` with no (or ``None``) seed pulls OS entropy and
+    makes the run unrepeatable; ``np.random.seed`` / ``random.seed``
+    mutate hidden global state that other components race on.
+    """
+
+    rule_id = "R002"
+    title = "unseeded / global reseeding RNG"
+    hint = "pass an explicit integer seed (see repro.rng.make_rng / label_seed)"
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = analysis.call_name(node)
+            if resolved is None or not resolved[1]:
+                continue
+            canonical = resolved[0]
+            if canonical == "numpy.random.default_rng":
+                if self._unseeded(node):
+                    yield self.finding(
+                        analysis, node, "default_rng() without an explicit seed"
+                    )
+            elif canonical in {"numpy.random.seed", "random.seed"}:
+                yield self.finding(
+                    analysis, node, f"{canonical}() reseeds shared global state"
+                )
+
+    @staticmethod
+    def _unseeded(call: ast.Call) -> bool:
+        if call.keywords:
+            for keyword in call.keywords:
+                if keyword.arg == "seed":
+                    return (
+                        isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is None
+                    )
+        if not call.args:
+            return not call.keywords or all(k.arg != "seed" for k in call.keywords)
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+# --- R003: wall clock -------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """R003 — simulation code never reads the host clock.
+
+    Simulated time comes from ``repro.sim.clock.VirtualClock``; host time
+    in a result payload breaks the content-addressed store (same spec,
+    different bytes).  ``time.perf_counter`` is deliberately not listed:
+    elapsed-duration *display* (runner timing lines, profiler) is
+    observational and filtered out of report diffs.
+    """
+
+    rule_id = "R003"
+    title = "wall-clock read"
+    hint = "stamp events from sim.clock.VirtualClock; host time only in allowlisted files"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        if module.domain in {"tests", "scripts"}:
+            return False
+        return not module.wall_clock_allowed
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            matched = _call_matches(analysis, node, _WALL_CLOCK_CALLS)
+            if matched is not None:
+                yield self.finding(
+                    analysis, matched[0], f"wall-clock call {matched[1]}()"
+                )
+
+
+# --- R004: nondeterministic iteration ---------------------------------------
+
+#: Consumers that erase iteration order (aggregates) or impose one.
+_ORDER_OK = frozenset(
+    {"sorted", "len", "set", "frozenset", "sum", "max", "min", "any", "all", "Counter"}
+)
+#: Order-preserving wrappers we look through while searching for one.
+_PASS_THROUGH = frozenset({"list", "tuple", "iter", "reversed", "enumerate"})
+
+_FS_SCAN_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_FS_SCAN_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """R004 — no iteration over unordered or filesystem-ordered sources.
+
+    ``set`` iteration order depends on hash seeding and insertion
+    history; ``os.listdir``/``glob`` return directory order, which
+    differs across filesystems and runs.  Either is enough to flip a
+    replayed result.
+    """
+
+    rule_id = "R004"
+    title = "nondeterministic iteration"
+    hint = "wrap the iterable in sorted(...) or use an order-insensitive aggregate"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.domain not in {"tests", "scripts"}
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if isinstance(node, ast.For) and _is_set_expr(analysis, node.iter):
+                yield self.finding(analysis, node.iter, "loop over a set")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                # A comprehension consumed by an order-insensitive
+                # aggregate is fine here (float-sum order is R008's job).
+                if self._order_established(analysis, node):
+                    continue
+                for generator in node.generators:
+                    if _is_set_expr(analysis, generator.iter):
+                        yield self.finding(
+                            analysis, generator.iter, "comprehension over a set"
+                        )
+            elif isinstance(node, ast.Call):
+                described = self._fs_scan(analysis, node)
+                if described is not None and not self._order_established(
+                    analysis, node
+                ):
+                    yield self.finding(
+                        analysis,
+                        node,
+                        f"{described} result used without sorted(...)",
+                    )
+
+    @staticmethod
+    def _fs_scan(analysis: FileAnalysis, call: ast.Call) -> str | None:
+        resolved = analysis.call_name(call)
+        if resolved is not None and resolved[1] and resolved[0] in _FS_SCAN_CALLS:
+            return resolved[0]
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _FS_SCAN_METHODS:
+            return f".{func.attr}()"
+        return None
+
+    @staticmethod
+    def _order_established(analysis: FileAnalysis, expr: ast.AST) -> bool:
+        child: ast.AST = expr
+        node = parent(expr)
+        while node is not None:
+            if isinstance(
+                node,
+                (ast.GeneratorExp, ast.ListComp, ast.comprehension, ast.Starred),
+            ):
+                child, node = node, parent(node)
+                continue
+            if not isinstance(node, ast.Call) or child is node.func:
+                return False
+            resolved = analysis.call_name(node)
+            segment = _last_segment(resolved[0]) if resolved else ""
+            if segment in _ORDER_OK:
+                return True
+            if segment in _PASS_THROUGH:
+                child, node = node, parent(node)
+                continue
+            return False
+        return False
+
+
+# --- R005: non-atomic artifact writes ---------------------------------------
+
+_STDLIB_OPENS = frozenset({"io.open", "gzip.open", "bz2.open", "lzma.open"})
+
+
+@register
+class RawArtifactWriteRule(Rule):
+    """R005 — result artifacts are written atomically.
+
+    A raw ``open(..., 'w')`` torn by a crash leaves a half-written file
+    under its final name; the result store, supervisor and scorecards
+    all assume readers can never observe that.  ``repro.ioutil`` is the
+    one sanctioned write path (temp file → fsync → ``os.replace``).
+    """
+
+    rule_id = "R005"
+    title = "non-atomic artifact write"
+    hint = "use repro.ioutil.atomic_write / atomic_write_text / atomic_write_json"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return (
+            module.domain in {"experiments", "store", "obs", "metrics"}
+            or module.package == "fleet"
+        )
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = analysis.call_name(node)
+            canonical = resolved[0] if resolved else ""
+            imported = resolved[1] if resolved else False
+            func = node.func
+            if canonical == "open" and not imported:
+                mode = self._mode(node, position=1)
+            elif imported and canonical in _STDLIB_OPENS:
+                mode = self._mode(node, position=1)
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                mode = self._mode(node, position=0)
+            elif isinstance(func, ast.Attribute) and func.attr in {
+                "write_text",
+                "write_bytes",
+            }:
+                yield self.finding(
+                    analysis, node, f"raw Path.{func.attr}() for an artifact"
+                )
+                continue
+            else:
+                continue
+            if mode is not None and any(flag in mode for flag in "wax+"):
+                yield self.finding(
+                    analysis, node, f"raw open(..., {mode!r}) for writing"
+                )
+
+    @staticmethod
+    def _mode(call: ast.Call, position: int) -> str | None:
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                value = keyword.value
+                return value.value if isinstance(value, ast.Constant) else None
+        if len(call.args) > position:
+            value = call.args[position]
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                return value.value
+        return None
+
+
+# --- R006: unordered collections in digests ---------------------------------
+
+_DIGEST_CALLS = frozenset(
+    {
+        "hashlib.md5", "hashlib.sha1", "hashlib.sha224", "hashlib.sha256",
+        "hashlib.sha384", "hashlib.sha512", "hashlib.sha3_256",
+        "hashlib.sha3_512", "hashlib.blake2b", "hashlib.blake2s",
+    }
+)
+_UNORDERED_VIEWS = frozenset({"keys", "values", "items"})
+
+
+@register
+class UnorderedDigestRule(Rule):
+    """R006 — digests and cache keys see only canonically-ordered data.
+
+    A ``set`` (or raw dict view / unsorted ``json.dumps``) hashed into a
+    cache key makes two identical runs disagree on their key — the store
+    then silently recomputes or, worse, collides.
+    """
+
+    rule_id = "R006"
+    title = "unordered data in digest"
+    hint = "sort the collection first, or json.dumps(..., sort_keys=True)"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.domain not in {"tests", "scripts"}
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            args = self._digest_args(analysis, node)
+            for arg in args:
+                reason = self._unordered_reason(analysis, arg)
+                if reason is not None:
+                    yield self.finding(analysis, arg, reason)
+
+    @staticmethod
+    def _digest_args(analysis: FileAnalysis, call: ast.Call) -> list[ast.expr]:
+        resolved = analysis.call_name(call)
+        if resolved is not None:
+            canonical, imported = resolved
+            if canonical == "hash" and not imported:
+                return list(call.args[:1])
+            if imported and canonical in _DIGEST_CALLS:
+                return list(call.args[:1])
+            if imported and canonical == "hashlib.new":
+                return list(call.args[1:2])
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "update":
+            return list(call.args[:1])
+        return []
+
+    def _unordered_reason(
+        self, analysis: FileAnalysis, arg: ast.expr
+    ) -> str | None:
+        node: ast.expr = arg
+        # Look through .encode(...) — json.dumps(...).encode() is the
+        # idiomatic way bytes reach a hashlib digest.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "encode"
+        ):
+            node = node.func.value
+        if _is_set_expr(analysis, node):
+            return "set fed into a digest (iteration order is unstable)"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _UNORDERED_VIEWS:
+                return f"raw dict .{func.attr}() view fed into a digest"
+            resolved = analysis.call_name(node)
+            if resolved is not None and resolved[1] and resolved[0] == "json.dumps":
+                for keyword in node.keywords:
+                    if keyword.arg == "sort_keys":
+                        value = keyword.value
+                        if isinstance(value, ast.Constant) and value.value:
+                            return None
+                        break
+                return "json.dumps(...) without sort_keys=True fed into a digest"
+        return None
+
+
+# --- R007: mutable module-level state ---------------------------------------
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+@register
+class ModuleStateRule(Rule):
+    """R007 — sim-domain modules carry no mutable module-level state.
+
+    A module-level accumulator survives across runs in one process, so
+    run N's result depends on runs 1..N-1 — the exact aliasing class of
+    bug the PR2 ``lru_cache`` incident came from.  ALL_CAPS non-empty
+    literals are treated as constant tables and allowed; anything
+    genuinely initialise-once (a registry populated at import time)
+    carries an explicit pragma with a justification.
+    """
+
+    rule_id = "R007"
+    title = "mutable module-level state"
+    hint = "move state into a class, or pragma a justified import-time registry"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.is_sim_domain
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for stmt in analysis.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target] if isinstance(stmt.target, ast.Name) else []
+                value = stmt.value
+            else:
+                continue
+            for target in targets:
+                message = self._mutable_reason(analysis, target.id, value)
+                if message is not None:
+                    yield self.finding(analysis, stmt, message)
+
+    @staticmethod
+    def _mutable_reason(
+        analysis: FileAnalysis, name: str, value: ast.expr
+    ) -> str | None:
+        if name.startswith("__") and name.endswith("__"):
+            return None  # __all__ and friends
+        is_constant_name = name == name.upper()
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            empty = not (value.keys if isinstance(value, ast.Dict) else value.elts)
+            if empty:
+                return f"module-level accumulator '{name}' (empty mutable literal)"
+            if not is_constant_name:
+                return f"module-level mutable '{name}' (not an ALL_CAPS constant table)"
+            return None
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return None if is_constant_name else (
+                f"module-level mutable '{name}' built by comprehension"
+            )
+        if isinstance(value, ast.Call):
+            resolved = analysis.call_name(value)
+            if resolved is not None and _last_segment(resolved[0]) in _MUTABLE_CONSTRUCTORS:
+                return f"module-level mutable '{name}' ({_last_segment(resolved[0])}(...))"
+        return None
+
+
+# --- R008: order-sensitive float accumulation -------------------------------
+
+
+@register
+class UnorderedFloatSumRule(Rule):
+    """R008 — no ``sum()`` over an unordered iterable in metrics paths.
+
+    Float addition is not associative; summing a set accumulates in hash
+    order, so the same numbers can produce different totals between runs
+    — invisible until a tolerance-gated comparison flakes.
+    """
+
+    rule_id = "R008"
+    title = "float accumulation over unordered iterable"
+    hint = "sum a sorted(...) sequence, or use math.fsum (order-insensitive)"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.is_sim_domain or module.domain in {"metrics", "obs"}
+
+    def check(self, analysis: FileAnalysis) -> Iterator[Finding]:
+        for node in ast.walk(analysis.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            resolved = analysis.call_name(node)
+            if resolved is None or resolved[0] != "sum" or resolved[1]:
+                continue
+            arg = node.args[0]
+            if _is_set_expr(analysis, arg):
+                yield self.finding(analysis, arg, "sum() over a set")
+            elif isinstance(arg, (ast.GeneratorExp, ast.ListComp)) and any(
+                _is_set_expr(analysis, generator.iter)
+                for generator in arg.generators
+            ):
+                yield self.finding(
+                    analysis, arg, "sum() over a comprehension driven by a set"
+                )
+
+
+RuleFactory = Callable[[], Rule]

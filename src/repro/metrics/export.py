@@ -9,11 +9,11 @@ re-running simulations.
 from __future__ import annotations
 
 import csv
-import json
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import ReproError
+from repro.ioutil import atomic_write, atomic_write_json
 from repro.sim.stats import TimeSeries
 
 #: Decimal places used to quantise join timestamps.  Well below any real
@@ -49,18 +49,19 @@ def export_timeseries(
     lookup = {
         name: {
             _time_key(t): v
-            for t, v in zip(ts.times.tolist(), ts.values.tolist())
+            for t, v in zip(ts.times.tolist(), ts.values.tolist(), strict=True)
         }
         for name, ts in series.items()
     }
-    with path.open("w", newline="") as handle:
+    def _write(handle) -> None:
         writer = csv.writer(handle)
         writer.writerow(["time"] + list(series))
         for t in all_times:
             writer.writerow(
                 [t] + [lookup[name].get(t, "") for name in series]
             )
-    return path
+
+    return atomic_write(path, _write, newline="")
 
 
 def export_rows(
@@ -71,7 +72,8 @@ def export_rows(
     """Write tabular experiment rows as a CSV."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
+
+    def _write(handle) -> None:
         writer = csv.writer(handle)
         writer.writerow(list(columns))
         for row in rows:
@@ -80,7 +82,8 @@ def export_rows(
                     f"row has {len(row)} cells for {len(columns)} columns"
                 )
             writer.writerow(list(row))
-    return path
+
+    return atomic_write(path, _write, newline="")
 
 
 def export_summaries(
@@ -113,8 +116,7 @@ def export_summaries(
         ["name"] + columns,
         [[name] + [row[c] for c in columns] for name, row in combined.items()],
     )
-    json_path = directory / "summaries.json"
-    json_path.write_text(json.dumps(combined, sort_keys=True, indent=2))
+    json_path = atomic_write_json(directory / "summaries.json", combined, indent=2)
     return csv_path, json_path
 
 

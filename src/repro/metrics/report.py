@@ -38,11 +38,11 @@ class Table:
             for i in range(len(self.columns))
         ]
         lines = [self.title, "=" * len(self.title)]
-        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=True))
         lines.append(header)
         lines.append("-" * len(header))
         for row in cells:
-            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
 
@@ -76,7 +76,7 @@ def format_figure_series(
             step = max(1, len(values) // max_points)
             values = values[::step]
             times = times[::step]
-        points = " ".join(f"{t:.0f}s:{v:.3g}" for t, v in zip(times, values))
+        points = " ".join(f"{t:.0f}s:{v:.3g}" for t, v in zip(times, values, strict=True))
         lines.append(f"{name}: {points}")
     return "\n".join(lines)
 

@@ -42,6 +42,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro.ioutil import atomic_write_json
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import PhaseProfiler
 from repro.obs.tracer import Tracer, truncate_pages  # noqa: F401  (re-export)
@@ -202,17 +203,21 @@ def write_run_artifacts(
             observer.tracer.write_chrome(out_dir / f"trace_{label}.chrome.json")
         )
     if observer.metrics is not None:
-        path = out_dir / f"metrics_{label}.json"
-        path.write_text(
-            json.dumps(observer.metrics.snapshot(), sort_keys=True, indent=2)
+        written.append(
+            atomic_write_json(
+                out_dir / f"metrics_{label}.json",
+                observer.metrics.snapshot(),
+                indent=2,
+            )
         )
-        written.append(path)
     if observer.profiler is not None:
-        path = out_dir / f"profile_{label}.json"
-        path.write_text(
-            json.dumps({"phases": observer.profiler.rollup()}, sort_keys=True, indent=2)
+        written.append(
+            atomic_write_json(
+                out_dir / f"profile_{label}.json",
+                {"phases": observer.profiler.rollup()},
+                indent=2,
+            )
         )
-        written.append(path)
     return written
 
 

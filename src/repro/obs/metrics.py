@@ -109,7 +109,7 @@ class MetricHistogram:
         edges = tuple(float(b) for b in buckets)
         if not edges:
             raise ObservabilityError(f"histogram {name!r} needs at least one bucket")
-        if any(b >= a for b, a in zip(edges, edges[1:])):
+        if any(b >= a for b, a in zip(edges, edges[1:], strict=False)):
             raise ObservabilityError(
                 f"histogram {name!r} buckets must be strictly increasing: {edges}"
             )
@@ -133,7 +133,7 @@ class MetricHistogram:
             return
         # searchsorted(side="left") matches bisect_left: inclusive le edges.
         cells = np.searchsorted(np.asarray(self.buckets), values, side="left")
-        for cell, n in zip(*np.unique(cells, return_counts=True)):
+        for cell, n in zip(*np.unique(cells, return_counts=True), strict=True):
             self.counts[int(cell)] += int(n)
         self.sum += float(values.sum())
 
@@ -222,7 +222,7 @@ class MetricsRegistry:
         for name, hist in sorted(self.histograms.items()):
             lines.append(f"# TYPE {name} histogram")
             cumulative = 0
-            for edge, cell in zip(hist.buckets, hist.counts):
+            for edge, cell in zip(hist.buckets, hist.counts, strict=False):
                 cumulative += cell
                 lines.append(f'{name}_bucket{{le="{_fmt(edge)}"}} {cumulative}')
             cumulative += hist.counts[-1]

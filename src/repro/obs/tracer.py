@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.errors import ObservabilityError
+from repro.ioutil import atomic_write_text
 
 #: Event categories the schema admits (one per decision site).
 EVENT_CATEGORIES = frozenset(
@@ -169,8 +170,7 @@ class Tracer:
     def write_jsonl(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_jsonl())
-        return path
+        return atomic_write_text(path, self.to_jsonl())
 
     def to_chrome(self) -> dict:
         """The events as a Chrome ``trace_event`` JSON object.
@@ -221,8 +221,7 @@ class Tracer:
     def write_chrome(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_chrome(), sort_keys=True))
-        return path
+        return atomic_write_text(path, json.dumps(self.to_chrome(), sort_keys=True))
 
 
 # ----------------------------------------------------------------------
@@ -279,7 +278,7 @@ def events_equal(jsonl_events: Iterable[Mapping], chrome_events: Iterable[Mappin
     chrome_events = list(chrome_events)
     if len(jsonl_events) != len(chrome_events):
         return False
-    for a, b in zip(jsonl_events, chrome_events):
+    for a, b in zip(jsonl_events, chrome_events, strict=True):
         if (a["cat"], a["name"]) != (b["cat"], b["name"]):
             return False
         if a.get("args", {}) != b.get("args", {}):

@@ -71,7 +71,7 @@ class TimeSeries:
         return len(self._times)
 
     def __iter__(self) -> Iterator[Sample]:
-        return (Sample(t, v) for t, v in zip(self._times, self._values))
+        return (Sample(t, v) for t, v in zip(self._times, self._values, strict=True))
 
     @property
     def times(self) -> np.ndarray:
@@ -91,7 +91,7 @@ class TimeSeries:
 
     def extend(self, times: Iterable[float], values: Iterable[float]) -> None:
         """Append many observations (used when rehydrating stored results)."""
-        for t, v in zip(times, values):
+        for t, v in zip(times, values, strict=True):
             self.record(float(t), float(v))
 
     def mean(self) -> float:
@@ -123,7 +123,7 @@ class TimeSeries:
         edge = start + window
         bucket: list[float] = []
         bucket_times: list[float] = []
-        for t, v in zip(times, values):
+        for t, v in zip(times, values, strict=True):
             if t >= edge and bucket:
                 smoothed.record(float(np.mean(bucket_times)), float(np.mean(bucket)))
                 bucket, bucket_times = [], []

@@ -112,7 +112,7 @@ class CompositeWorkload(Workload):
     def member_cold_fractions(self, slow_mask: np.ndarray) -> dict[str, float]:
         """Per-tenant cold fraction from a final placement mask."""
         fractions = {}
-        for member, (start, end) in zip(self.members, self._offsets):
+        for member, (start, end) in zip(self.members, self._offsets, strict=True):
             span = slow_mask[start:end]
             fractions[member.name] = float(span.mean()) if span.size else 0.0
         return fractions

@@ -128,6 +128,6 @@ class TestPipeline:
             [r for r in [1] for _ in range(0)]
         ) or report.poisoned_subpages <= len(report.sampled) + 10
         # With the prefilter, only the touched subpage per page is poisoned.
-        for vpn, (accessed, poisoned) in thermostat._poisoned.items():
+        for _vpn, (accessed, poisoned) in thermostat._poisoned.items():
             assert accessed == 1
             assert len(poisoned) == 1

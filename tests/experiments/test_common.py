@@ -70,5 +70,5 @@ class TestPolicies:
         assert result.policy_name == "kstaled"
 
     def test_unknown_policy_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown policy"):
             common.run_thermostat("web-search", scale=0.02, policy="magic")

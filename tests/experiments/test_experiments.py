@@ -142,7 +142,7 @@ class TestTable4:
         rows = table4_cost.run(scale=SCALE, seed=SEED)
         assert len(rows) == 6
         for row in rows:
-            for ratio, saving in row.savings.items():
+            for _ratio, saving in row.savings.items():
                 assert 0.0 <= saving <= row.cold_fraction
         assert "Table 4" in table4_cost.render(rows)
 

@@ -1,5 +1,7 @@
 """Tests for parallel execution and the persistent result store."""
 
+from typing import ClassVar
+
 import numpy as np
 import pytest
 
@@ -279,7 +281,7 @@ class TestInterruptFlush:
 class TestDeterminism:
     """run_suite serial, parallel, and cache-replayed are identical."""
 
-    DURATIONS = {
+    DURATIONS: ClassVar[dict[str, float]] = {
         "aerospike": 90.0,
         "cassandra": 90.0,
         "in-memory-analytics": 90.0,

@@ -68,7 +68,7 @@ class TestCleanBatch:
         )
         assert batch.quarantined == []
         assert (batch.resumed, batch.retried, batch.attempts) == (0, 0, {})
-        for got, want in zip(batch.results, reference):
+        for got, want in zip(batch.results, reference, strict=True):
             assert_results_identical(got, want)
         batch.raise_on_quarantine()  # no-op on a clean batch
 
@@ -95,7 +95,7 @@ class TestCrashRecovery:
         assert batch.quarantined == []
         assert batch.retried >= 1
         assert batch.attempts[SPEC.cache_key()] >= 1
-        for got, want in zip(batch.results, reference):
+        for got, want in zip(batch.results, reference, strict=True):
             assert_results_identical(got, want)
 
     def test_hang_cut_short_by_worker_alarm(self, tmp_path, monkeypatch):
@@ -189,7 +189,7 @@ class TestResume:
         assert not (tmp_path / "half-written.json.tmp").exists()
         assert batch.resumed == 1
         assert batch.quarantined == []
-        for got, want in zip(batch.results, reference):
+        for got, want in zip(batch.results, reference, strict=True):
             assert_results_identical(got, want)
 
 

@@ -61,7 +61,7 @@ def run_mechanism_engine() -> set[int]:
     for _ in range(40):
         pages = rng.choice(NUM_PAGES, size=accesses_per_interval, p=probabilities)
         offsets = rng.integers(0, HUGE_PAGE_SIZE, size=accesses_per_interval)
-        for page, offset in zip(pages, offsets):
+        for page, offset in zip(pages, offsets, strict=True):
             space.access(int(page) * HUGE_PAGE_SIZE + int(offset))
         thermostat.advance_scan()
     return {int(p) for p in thermostat.cold_pages}

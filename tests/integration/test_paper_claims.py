@@ -84,7 +84,7 @@ class TestFigure11Shape:
         for name, row in grouped.items():
             values = [c.cold_fraction for c in row]
             assert all(
-                b >= a - 0.05 for a, b in zip(values, values[1:])
+                b >= a - 0.05 for a, b in zip(values, values[1:], strict=False)
             ), name
 
         # Aerospike scales strongly; TPCC and web-search saturate.

@@ -1,0 +1,8 @@
+# LINT-PATH: src/repro/core/broken_pragmas.py
+"""Fixture: malformed and unknown-rule pragmas surface as R000."""
+
+
+def work() -> int:
+    value = 1  # reprolint: disable=
+    other = 2  # reprolint: disable=R999
+    return value + other

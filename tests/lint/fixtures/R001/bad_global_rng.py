@@ -1,0 +1,16 @@
+# LINT-PATH: src/repro/core/sampler.py
+"""Fixture: global-RNG use in a sim-domain module (every form R001 catches)."""
+import random  # LINT-EXPECT: R001
+from random import choice  # LINT-EXPECT: R001
+
+import numpy as np
+from numpy import random as npr
+
+
+def draw(values):
+    random.shuffle(values)  # LINT-EXPECT: R001
+    picked = choice(values)  # LINT-EXPECT: R001
+    jitter = np.random.rand(3)  # LINT-EXPECT: R001
+    np.random.shuffle(values)  # LINT-EXPECT: R001
+    noise = npr.normal(0.0, 1.0)  # LINT-EXPECT: R001
+    return picked, jitter, noise

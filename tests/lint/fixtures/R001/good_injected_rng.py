@@ -1,0 +1,10 @@
+# LINT-PATH: src/repro/core/sampler.py
+"""Fixture: randomness flowing through an injected Generator is clean."""
+import numpy as np
+
+
+def draw(rng: np.random.Generator, values):
+    rng.shuffle(values)
+    noise = rng.normal(0.0, 1.0)
+    child = np.random.default_rng(rng.integers(2**63))
+    return values, noise, child

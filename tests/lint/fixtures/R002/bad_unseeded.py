@@ -1,0 +1,12 @@
+# LINT-PATH: src/repro/workloads/synthetic.py
+"""Fixture: unseeded generators and global reseeding."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def build():
+    a = np.random.default_rng()  # LINT-EXPECT: R002
+    b = default_rng(None)  # LINT-EXPECT: R002
+    c = np.random.default_rng(seed=None)  # LINT-EXPECT: R002
+    np.random.seed(42)  # LINT-EXPECT: R002
+    return a, b, c

@@ -1,0 +1,13 @@
+# LINT-PATH: src/repro/workloads/synthetic.py
+"""Fixture: explicitly seeded generators are clean."""
+import numpy as np
+from numpy.random import default_rng
+
+FIXED_SEED = 0xA5105
+
+
+def build(seed: int):
+    a = np.random.default_rng(seed)
+    b = default_rng(FIXED_SEED)
+    c = np.random.default_rng(seed=7)
+    return a, b, c

@@ -1,0 +1,13 @@
+# LINT-PATH: src/repro/fleet/scheduler.py
+"""Fixture: host-clock reads inside the simulation domain."""
+import time
+from datetime import date, datetime
+
+
+def stamp():
+    started = time.time()  # LINT-EXPECT: R003
+    tick = time.monotonic()  # LINT-EXPECT: R003
+    nanos = time.time_ns()  # LINT-EXPECT: R003
+    when = datetime.now()  # LINT-EXPECT: R003
+    day = date.today()  # LINT-EXPECT: R003
+    return started, tick, nanos, when, day

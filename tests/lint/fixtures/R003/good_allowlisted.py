@@ -1,0 +1,7 @@
+# LINT-PATH: src/repro/experiments/supervisor.py
+"""Fixture: the supervisor is allowlisted — it must measure real time."""
+import time
+
+
+def deadline(budget: float) -> float:
+    return time.monotonic() + budget

@@ -1,0 +1,12 @@
+# LINT-PATH: src/repro/fleet/scheduler.py
+"""Fixture: virtual time and duration-only perf_counter are clean."""
+from time import perf_counter
+
+from repro.sim.clock import VirtualClock
+
+
+def stamp(clock: VirtualClock):
+    started = perf_counter()  # display-only durations are permitted
+    now = clock.now
+    clock.advance(30.0)
+    return started, now

@@ -1,0 +1,8 @@
+# LINT-PATH: src/repro/kernel/watchdog.py
+"""Fixture: an inline pragma suppresses one flagged line."""
+import time
+
+
+def heartbeat() -> float:
+    # Host time never reaches a result payload: logged for debugging only.
+    return time.time()  # reprolint: disable=R003

@@ -1,0 +1,16 @@
+# LINT-PATH: src/repro/mem/scan.py
+"""Fixture: set iteration and unsorted filesystem scans."""
+import glob
+import os
+from pathlib import Path
+
+
+def visit(pages, root: Path):
+    for page in {1, 2, 3}:  # LINT-EXPECT: R004
+        pages.append(page)
+    doubled = [p * 2 for p in set(pages)]  # LINT-EXPECT: R004
+    for name in os.listdir(root):  # LINT-EXPECT: R004
+        pages.append(name)
+    matches = glob.glob("*.json")  # LINT-EXPECT: R004
+    entries = list(root.iterdir())  # LINT-EXPECT: R004
+    return doubled, matches, entries

@@ -1,0 +1,18 @@
+# LINT-PATH: src/repro/mem/scan.py
+"""Fixture: sorted wrapping and order-insensitive aggregates are clean."""
+import os
+from pathlib import Path
+
+
+def visit(pages, root: Path, table: dict):
+    for page in sorted({1, 2, 3}):
+        pages.append(page)
+    doubled = [p * 2 for p in sorted(set(pages))]
+    for name in sorted(os.listdir(root)):
+        pages.append(name)
+    count = len(list(root.glob("*.json")))
+    biggest = max(root.iterdir())
+    names = sorted(p.name for p in root.iterdir())
+    for key, value in table.items():  # dicts preserve insertion order
+        pages.append((key, value))
+    return doubled, count, biggest, names

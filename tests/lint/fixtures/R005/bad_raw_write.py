@@ -1,0 +1,14 @@
+# LINT-PATH: src/repro/experiments/report_writer.py
+"""Fixture: raw artifact writes in the experiments domain."""
+from pathlib import Path
+
+
+def persist(path: Path, payload: str):
+    with open(path, "w") as handle:  # LINT-EXPECT: R005
+        handle.write(payload)
+    with path.open("a") as handle:  # LINT-EXPECT: R005
+        handle.write(payload)
+    with open(path, mode="x") as handle:  # LINT-EXPECT: R005
+        handle.write(payload)
+    path.write_text(payload)  # LINT-EXPECT: R005
+    path.write_bytes(payload.encode())  # LINT-EXPECT: R005

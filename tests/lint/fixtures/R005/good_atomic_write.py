@@ -1,0 +1,15 @@
+# LINT-PATH: src/repro/experiments/report_writer.py
+"""Fixture: reads and ioutil-mediated writes are clean."""
+from pathlib import Path
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+def persist(path: Path, payload: str):
+    atomic_write_text(path, payload)
+    atomic_write_json(path.with_suffix(".json"), {"payload": payload})
+    with open(path) as handle:  # default mode is read
+        first = handle.read()
+    with path.open("rb") as handle:
+        raw = handle.read()
+    return first, raw

@@ -1,0 +1,7 @@
+# LINT-PATH: src/repro/kernel/pagemap_dump.py
+"""Fixture: R005 scopes to artifact-writing domains, not the kernel model."""
+from pathlib import Path
+
+
+def debug_dump(path: Path, payload: str):
+    path.write_text(payload)

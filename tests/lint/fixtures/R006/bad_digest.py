@@ -1,0 +1,12 @@
+# LINT-PATH: src/repro/experiments/keys.py
+"""Fixture: unordered collections leaking into digests and cache keys."""
+import hashlib
+import json
+
+
+def cache_key(spec: dict, tags: set):
+    token = hash(frozenset(spec))  # LINT-EXPECT: R006
+    digest = hashlib.sha256(json.dumps(spec).encode())  # LINT-EXPECT: R006
+    digest.update(spec.keys())  # LINT-EXPECT: R006
+    weak = hashlib.md5({1, 2, 3})  # LINT-EXPECT: R006
+    return token, digest, weak

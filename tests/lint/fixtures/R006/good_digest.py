@@ -1,0 +1,12 @@
+# LINT-PATH: src/repro/experiments/keys.py
+"""Fixture: canonically ordered digest input is clean."""
+import hashlib
+import json
+
+
+def cache_key(spec: dict, tags: set):
+    token = hash(tuple(sorted(tags)))
+    canonical = json.dumps(spec, sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8"))
+    digest.update(json.dumps(spec, sort_keys=True).encode())
+    return token, digest.hexdigest()

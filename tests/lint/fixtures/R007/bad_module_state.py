@@ -1,0 +1,10 @@
+# LINT-PATH: src/repro/core/tracking.py
+"""Fixture: mutable module-level accumulators in the sim domain."""
+from collections import defaultdict
+
+cache = {}  # LINT-EXPECT: R007
+_seen = set()  # LINT-EXPECT: R007
+HISTORY = []  # LINT-EXPECT: R007
+pending: list = []  # LINT-EXPECT: R007
+by_tier = defaultdict(list)  # LINT-EXPECT: R007
+recent_pages = [0, 1, 2]  # LINT-EXPECT: R007

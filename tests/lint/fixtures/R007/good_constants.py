@@ -1,0 +1,16 @@
+# LINT-PATH: src/repro/core/tracking.py
+"""Fixture: constant tables, scalars and dunders are clean."""
+
+__all__ = ["EpochTracker", "LATENCY_TABLE"]
+
+LATENCY_TABLE = {"dram": 80e-9, "slow": 1e-6}
+_TIER_NAMES = ["dram", "slow"]
+EPOCH_SECONDS = 30.0
+
+
+class EpochTracker:
+    """Instance state is where mutation belongs."""
+
+    def __init__(self):
+        self.cache = {}
+        self.seen = set()

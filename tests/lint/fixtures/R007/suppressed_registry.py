@@ -1,0 +1,15 @@
+# LINT-PATH: src/repro/workloads/plugins.py
+"""Fixture: a justified import-time registry carries a file pragma."""
+# The registry is populated only at import time (decorator side effects)
+# and never mutated afterwards, so runs stay order-independent.
+# reprolint: disable-file=R007
+
+_PLUGINS = {}
+
+
+def register(name):
+    def decorate(cls):
+        _PLUGINS[name] = cls
+        return cls
+
+    return decorate

@@ -1,0 +1,10 @@
+# LINT-PATH: src/repro/metrics/rollup.py
+"""Fixture: float accumulation in hash order."""
+
+
+def totals(latencies: list, tiers: set):
+    direct = sum({0.1, 0.2, 0.3})  # LINT-EXPECT: R008
+    constructed = sum(set(latencies))  # LINT-EXPECT: R008
+    projected = sum(t.load for t in tiers)  # not detectable: tiers is a name
+    comprehended = sum(x * 2 for x in set(latencies))  # LINT-EXPECT: R008
+    return direct, constructed, projected, comprehended

@@ -1,0 +1,11 @@
+# LINT-PATH: src/repro/metrics/rollup.py
+"""Fixture: ordered or order-insensitive accumulation is clean."""
+import math
+
+
+def totals(latencies: list, tiers: set, loads: dict):
+    ordered = sum(sorted(set(latencies)))
+    exact = math.fsum(tiers)  # fsum is order-insensitive
+    inserted = sum(loads.values())  # dicts preserve insertion order
+    plain = sum(latencies)
+    return ordered, exact, inserted, plain

@@ -1,0 +1,128 @@
+"""Baseline lifecycle: grandfather, survive edits, fail on stale debt."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintConfig, lint_paths
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _tree(tmp_path: Path, source: str = VIOLATION) -> Path:
+    target = tmp_path / "src" / "repro" / "sim" / "clocked.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+def _config(tmp_path: Path, baseline: Path | None) -> LintConfig:
+    return LintConfig(
+        paths=(str(tmp_path / "src"),),
+        baseline_path=None if baseline is None else str(baseline),
+    )
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path: Path) -> None:
+    _tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+
+    first = lint_paths(_config(tmp_path, None))
+    assert len(first.findings) == 1
+
+    Baseline().save(baseline_path, first.keyed_findings)
+    second = lint_paths(_config(tmp_path, baseline_path))
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert second.exit_code(strict=True) == 0
+
+
+def test_baseline_keys_survive_line_shifts(tmp_path: Path) -> None:
+    target = _tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(
+        baseline_path, lint_paths(_config(tmp_path, None)).keyed_findings
+    )
+
+    # Insert unrelated lines above the grandfathered finding.
+    target.write_text("# a new comment\n# another\n" + VIOLATION)
+    report = lint_paths(_config(tmp_path, baseline_path))
+    assert report.findings == []
+    assert len(report.baselined) == 1
+
+
+def test_new_violation_is_not_masked_by_baseline(tmp_path: Path) -> None:
+    _tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(
+        baseline_path, lint_paths(_config(tmp_path, None)).keyed_findings
+    )
+
+    _tree(tmp_path, VIOLATION + "\n\ndef more():\n    return time.monotonic()\n")
+    report = lint_paths(_config(tmp_path, baseline_path))
+    assert len(report.baselined) == 1
+    assert len(report.findings) == 1
+    assert "time.monotonic" in report.findings[0].message
+
+
+def test_duplicate_lines_grandfather_individually(tmp_path: Path) -> None:
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    _tree(tmp_path, source)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(
+        baseline_path, lint_paths(_config(tmp_path, None)).keyed_findings
+    )
+
+    # A *second* identical line is a new finding, not a free ride on the
+    # first one's key.
+    _tree(tmp_path, source + "\n\ndef again():\n    return time.time()\n")
+    report = lint_paths(_config(tmp_path, baseline_path))
+    assert len(report.baselined) == 1
+    assert len(report.findings) == 1
+
+
+def test_stale_entries_fail_only_strict(tmp_path: Path) -> None:
+    _tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    Baseline().save(
+        baseline_path, lint_paths(_config(tmp_path, None)).keyed_findings
+    )
+
+    _tree(tmp_path, "EPOCH = 30.0\n")  # debt paid off
+    report = lint_paths(_config(tmp_path, baseline_path))
+    assert report.findings == []
+    assert len(report.stale_baseline) == 1
+    assert report.exit_code(strict=False) == 0
+    assert report.exit_code(strict=True) == 1
+
+
+def test_missing_baseline_file_is_empty(tmp_path: Path) -> None:
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == {}
+
+
+def test_bad_baseline_version_rejected(tmp_path: Path) -> None:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_saved_baseline_is_sorted_canonical_json(tmp_path: Path) -> None:
+    _tree(tmp_path)
+    baseline_path = tmp_path / "baseline.json"
+    report = lint_paths(_config(tmp_path, None))
+    Baseline().save(baseline_path, report.keyed_findings)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    assert list(payload["findings"]) == sorted(payload["findings"])

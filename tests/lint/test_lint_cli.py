@@ -1,0 +1,106 @@
+"""CLI contract: exit codes, output formats, baseline flags."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+@pytest.fixture
+def bad_tree(tmp_path: Path) -> Path:
+    target = tmp_path / "src" / "repro" / "sim" / "clocked.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(VIOLATION)
+    return tmp_path
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"):
+        assert rule_id in out
+
+
+def test_findings_exit_one_with_location_and_hint(bad_tree: Path, capsys) -> None:
+    code = main([str(bad_tree / "src"), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "clocked.py:5:" in out
+    assert "R003" in out
+    assert "[hint:" in out
+    assert "reprolint: 1 finding(s)" in out
+
+
+def test_clean_tree_exits_zero(tmp_path: Path, capsys) -> None:
+    target = tmp_path / "src" / "repro" / "sim" / "pure.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("EPOCH = 30.0\n")
+    assert main([str(tmp_path / "src"), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_json_format_is_machine_readable(bad_tree: Path, capsys) -> None:
+    code = main([str(bad_tree / "src"), "--no-baseline", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["exit_code"] == 1
+    assert payload["files_checked"] == 1
+    [finding] = payload["findings"]
+    assert finding["rule"] == "R003"
+    assert finding["line"] == 5
+    assert "R003" in payload["rules"]
+
+
+def test_select_runs_only_named_rules(bad_tree: Path, capsys) -> None:
+    assert main([str(bad_tree / "src"), "--no-baseline", "--select", "R001"]) == 0
+    capsys.readouterr()
+    assert main([str(bad_tree / "src"), "--no-baseline", "--select", "R003"]) == 1
+
+
+def test_unknown_rule_is_usage_error(bad_tree: Path, capsys) -> None:
+    assert main([str(bad_tree / "src"), "--select", "R999"]) == 2
+    assert "R999" in capsys.readouterr().err
+
+
+def test_update_baseline_then_strict_green(
+    bad_tree: Path, tmp_path: Path, capsys, monkeypatch
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                str(bad_tree / "src"),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    assert baseline.exists()
+    capsys.readouterr()
+    assert (
+        main([str(bad_tree / "src"), "--baseline", str(baseline), "--strict"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_stale_baseline_fails_strict_mode(
+    bad_tree: Path, tmp_path: Path, capsys
+) -> None:
+    baseline = tmp_path / "baseline.json"
+    main([str(bad_tree / "src"), "--baseline", str(baseline), "--update-baseline"])
+    (bad_tree / "src" / "repro" / "sim" / "clocked.py").write_text("EPOCH = 30.0\n")
+    capsys.readouterr()
+    assert main([str(bad_tree / "src"), "--baseline", str(baseline)]) == 0
+    assert (
+        main([str(bad_tree / "src"), "--baseline", str(baseline), "--strict"]) == 1
+    )
+    assert "stale baseline entry" in capsys.readouterr().out

@@ -1,0 +1,65 @@
+"""Domain classification drives rule scoping — pin its table down."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.domains import SIM_PACKAGES, classify
+from repro.lint.rules import all_rules
+
+
+@pytest.mark.parametrize(
+    "path, domain, package",
+    [
+        ("src/repro/sim/engine.py", "sim", "sim"),
+        ("src/repro/core/classifier.py", "sim", "core"),
+        ("src/repro/fleet/arbiter.py", "sim", "fleet"),
+        ("src/repro/mem/tiers.py", "sim", "mem"),
+        ("src/repro/kernel/mmu.py", "sim", "kernel"),
+        ("src/repro/workloads/kv.py", "sim", "workloads"),
+        ("src/repro/baselines/static.py", "sim", "baselines"),
+        ("src/repro/experiments/runner.py", "experiments", "experiments"),
+        ("src/repro/experiments/parallel.py", "store", "experiments"),
+        ("src/repro/obs/tracer.py", "obs", "obs"),
+        ("src/repro/metrics/export.py", "metrics", "metrics"),
+        ("src/repro/lint/rules.py", "lint", "lint"),
+        ("src/repro/rng.py", "rng", ""),
+        ("src/repro/ioutil.py", "infra", "ioutil"),
+        ("tests/sim/test_engine.py", "tests", ""),
+        ("examples/fault_scenarios.py", "scripts", ""),
+        ("benchmarks/test_ext_fleet.py", "scripts", ""),
+    ],
+)
+def test_classification(path: str, domain: str, package: str) -> None:
+    info = classify(path)
+    assert info.domain == domain
+    assert info.package == package
+
+
+def test_absolute_paths_classify_identically() -> None:
+    relative = classify("src/repro/sim/engine.py")
+    absolute = classify("/home/ci/repo/src/repro/sim/engine.py")
+    assert absolute.domain == relative.domain
+    assert absolute.package == relative.package
+
+
+def test_wall_clock_allowlist() -> None:
+    assert classify("src/repro/experiments/supervisor.py").wall_clock_allowed
+    assert classify("src/repro/obs/profiling.py").wall_clock_allowed
+    assert not classify("src/repro/experiments/runner.py").wall_clock_allowed
+
+
+def test_sim_packages_cover_the_issue_list() -> None:
+    assert SIM_PACKAGES == {
+        "sim", "core", "fleet", "mem", "kernel", "workloads", "baselines"
+    }
+
+
+@pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.rule_id)
+def test_no_rule_applies_to_fixture_corpora(rule) -> None:
+    """Scripts (examples/benchmarks) only get the universal RNG rules."""
+    info = classify("examples/fault_scenarios.py")
+    if rule.rule_id in {"R001", "R002"}:
+        assert rule.applies(info)
+    else:
+        assert not rule.applies(info)

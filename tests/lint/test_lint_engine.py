@@ -1,0 +1,117 @@
+"""Engine behaviors: discovery, selection, pragma scopes, report order."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
+    LintConfig,
+    active_rules,
+    discover,
+    lint_file,
+    lint_paths,
+)
+from repro.lint.rules import all_rules
+
+SIM_VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _write(tmp_path: Path, rel: str, source: str) -> Path:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target
+
+
+class TestDiscovery:
+    def test_sorted_and_recursive(self, tmp_path: Path) -> None:
+        _write(tmp_path, "pkg/b.py", "")
+        _write(tmp_path, "pkg/a.py", "")
+        _write(tmp_path, "pkg/sub/c.py", "")
+        found = discover([str(tmp_path)], DEFAULT_EXCLUDES)
+        names = [p.name for p in found]
+        assert names == sorted(names)
+        assert len(found) == 3
+
+    def test_excludes_fixture_corpus_and_pycache(self, tmp_path: Path) -> None:
+        _write(tmp_path, "tests/lint/fixtures/R001/bad.py", "import random\n")
+        _write(tmp_path, "pkg/__pycache__/x.py", "")
+        kept = _write(tmp_path, "pkg/ok.py", "")
+        found = discover([str(tmp_path)], DEFAULT_EXCLUDES)
+        assert found == [kept]
+
+    def test_single_file_argument(self, tmp_path: Path) -> None:
+        target = _write(tmp_path, "one.py", "")
+        assert discover([str(target)], DEFAULT_EXCLUDES) == [target]
+
+
+class TestRuleSelection:
+    def test_select_narrows(self) -> None:
+        rules = active_rules(LintConfig(select=frozenset({"R003", "R001"})))
+        assert [rule.rule_id for rule in rules] == ["R001", "R003"]
+
+    def test_disable_removes(self) -> None:
+        rules = active_rules(LintConfig(disable=frozenset({"R007"})))
+        assert "R007" not in {rule.rule_id for rule in rules}
+
+    def test_unknown_rule_rejected(self) -> None:
+        with pytest.raises(ValueError, match="R999"):
+            active_rules(LintConfig(select=frozenset({"R999"})))
+
+
+class TestPragmas:
+    def test_inline_pragma_suppresses_only_its_line(self, tmp_path: Path) -> None:
+        source = (
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    a = time.time()  # reprolint: disable=R003\n"
+            "    b = time.time()\n"
+            "    return a, b\n"
+        )
+        target = _write(tmp_path, "src/repro/sim/clocked.py", source)
+        findings, _ = lint_file(target, all_rules())
+        assert [finding.line for finding in findings] == [6]
+
+    def test_disable_all_pragma(self, tmp_path: Path) -> None:
+        source = "import time\nNOW = time.time()  # reprolint: disable=all\n"
+        target = _write(tmp_path, "src/repro/sim/clocked.py", source)
+        findings, _ = lint_file(target, all_rules())
+        assert findings == []
+
+    def test_file_level_pragma_spans_whole_module(self, tmp_path: Path) -> None:
+        source = (
+            "# reprolint: disable-file=R003\n"
+            "import time\n"
+            "\n"
+            "\n"
+            "def stamp():\n"
+            "    return time.time(), time.monotonic()\n"
+        )
+        target = _write(tmp_path, "src/repro/sim/clocked.py", source)
+        findings, _ = lint_file(target, all_rules())
+        assert findings == []
+
+
+class TestLintPaths:
+    def test_findings_sorted_by_location(self, tmp_path: Path) -> None:
+        _write(tmp_path, "src/repro/sim/zz.py", SIM_VIOLATION)
+        _write(tmp_path, "src/repro/sim/aa.py", SIM_VIOLATION)
+        report = lint_paths(
+            LintConfig(paths=(str(tmp_path),), baseline_path=None)
+        )
+        assert [Path(f.path).name for f in report.findings] == ["aa.py", "zz.py"]
+        assert report.files_checked == 2
+        assert report.exit_code() == 1
+
+    def test_clean_tree_exits_zero(self, tmp_path: Path) -> None:
+        _write(tmp_path, "src/repro/sim/pure.py", "EPOCH = 30.0\n")
+        report = lint_paths(
+            LintConfig(paths=(str(tmp_path),), baseline_path=None)
+        )
+        assert report.findings == []
+        assert report.exit_code(strict=True) == 0

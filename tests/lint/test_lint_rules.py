@@ -1,0 +1,107 @@
+"""Fixture-driven rule tests.
+
+Every fixture under ``tests/lint/fixtures/<RULE>/`` is a standalone
+source file carrying its own ground truth:
+
+* ``# LINT-PATH: <path>`` (line 1) — where the file pretends to live,
+  which drives domain classification;
+* ``# LINT-EXPECT: R00x[,R00y]`` — on every line the linter must flag.
+
+The harness materialises the fixture at its declared path inside
+``tmp_path``, runs the full engine over it with *all* rules enabled, and
+asserts the exact finding set — so a fixture for one rule also proves no
+other rule misfires on it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_file
+from repro.lint.rules import INTERNAL_RULE, RULE_REGISTRY, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PATH_RE = re.compile(r"#\s*LINT-PATH:\s*(\S+)")
+EXPECT_RE = re.compile(r"#\s*LINT-EXPECT:\s*([A-Z0-9,\s]+?)\s*$")
+
+ALL_FIXTURES = sorted(
+    path for path in FIXTURES.rglob("*.py") if path.parent.name != "R000"
+)
+
+
+def materialize(tmp_path: Path, fixture: Path) -> tuple[Path, str]:
+    source = fixture.read_text()
+    declared = PATH_RE.search(source)
+    assert declared is not None, f"{fixture} is missing a LINT-PATH header"
+    target = tmp_path / declared.group(1)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return target, source
+
+
+def expected_findings(source: str) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = EXPECT_RE.search(line)
+        if match is None:
+            continue
+        for rule in match.group(1).split(","):
+            expected.add((lineno, rule.strip()))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    ALL_FIXTURES,
+    ids=[f"{p.parent.name}-{p.stem}" for p in ALL_FIXTURES],
+)
+def test_fixture_matches_expectations(fixture: Path, tmp_path: Path) -> None:
+    target, source = materialize(tmp_path, fixture)
+    findings, analysis = lint_file(target, all_rules())
+    assert analysis is not None, "fixture failed to parse"
+    got = {(finding.line, finding.rule) for finding in findings}
+    assert got == expected_findings(source)
+    if fixture.name.startswith("bad_"):
+        assert got, "a bad_* fixture must produce at least one finding"
+    else:
+        assert not got, "good_*/suppressed_* fixtures must lint clean"
+
+
+def test_every_rule_has_positive_and_negative_fixtures() -> None:
+    """The acceptance bar: each rule is backed by both fixture kinds."""
+    for rule_id in RULE_REGISTRY:
+        rule_dir = FIXTURES / rule_id
+        bad = sorted(rule_dir.glob("bad_*.py"))
+        good = sorted(
+            list(rule_dir.glob("good_*.py")) + list(rule_dir.glob("suppressed_*.py"))
+        )
+        assert bad, f"{rule_id} has no positive (bad_*) fixture"
+        assert good, f"{rule_id} has no negative (good_*/suppressed_*) fixture"
+        hits = expected_findings((bad[0]).read_text())
+        assert any(rule == rule_id for _, rule in hits), (
+            f"{rule_id}'s bad fixture never expects {rule_id}"
+        )
+
+
+def test_broken_pragmas_surface_as_internal_findings(tmp_path: Path) -> None:
+    fixture = FIXTURES / "R000" / "bad_pragmas.py"
+    target, _ = materialize(tmp_path, fixture)
+    findings, _ = lint_file(target, all_rules())
+    assert {finding.rule for finding in findings} == {INTERNAL_RULE}
+    messages = sorted(finding.message for finding in findings)
+    assert any("malformed" in message for message in messages)
+    assert any("unknown rule R999" in message for message in messages)
+
+
+def test_syntax_error_reports_r000(tmp_path: Path) -> None:
+    target = tmp_path / "src" / "repro" / "sim" / "broken.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def broken(:\n    pass\n")
+    findings, analysis = lint_file(target, all_rules())
+    assert analysis is None
+    assert len(findings) == 1
+    assert findings[0].rule == INTERNAL_RULE
+    assert "syntax error" in findings[0].message

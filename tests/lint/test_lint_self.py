@@ -1,0 +1,68 @@
+"""Meta-test: the shipped tree satisfies its own determinism contracts.
+
+This is the acceptance gate in test form — ``python -m repro.lint src
+tests --strict`` exits 0 on the repository as committed, with an empty
+baseline (no grandfathered debt).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_lints_clean() -> None:
+    from repro.lint.engine import LintConfig, lint_paths
+
+    report = lint_paths(
+        LintConfig(
+            paths=(str(REPO / "src"), str(REPO / "tests")),
+            baseline_path=str(REPO / "reprolint-baseline.json"),
+        )
+    )
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"new determinism findings:\n{rendered}"
+    assert report.stale_baseline == []
+    assert report.files_checked > 150  # the whole tree, not a subset
+
+
+def test_committed_baseline_is_empty() -> None:
+    payload = json.loads((REPO / "reprolint-baseline.json").read_text())
+    assert payload == {"version": 1, "findings": {}}
+
+
+def test_module_entrypoint_exits_zero_strict() -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "tests", "--strict"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_injected_violation_fails_the_gate(tmp_path: Path) -> None:
+    """An R003 wall-clock read snuck into a sim-domain module is caught."""
+    from repro.lint.engine import LintConfig, lint_paths
+
+    sim_dir = tmp_path / "src" / "repro" / "sim"
+    sim_dir.mkdir(parents=True)
+    victim = sim_dir / "engine_patch.py"
+    victim.write_text("import time\n\nSTARTED_AT = time.time()\n")
+    report = lint_paths(
+        LintConfig(
+            paths=(str(tmp_path / "src"),),
+            baseline_path=str(REPO / "reprolint-baseline.json"),
+        )
+    )
+    assert any(finding.rule == "R003" for finding in report.findings)
+    assert report.exit_code(strict=True) == 1

@@ -19,7 +19,7 @@ class TestTable:
 
     def test_row_arity_checked(self):
         table = Table("t", ["a", "b"])
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="row has 1 cells"):
             table.add_row(1)
 
     def test_empty_table_renders(self):

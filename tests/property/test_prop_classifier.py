@@ -39,7 +39,7 @@ class TestClassifierProperties:
     def test_budget_respected(self, inputs):
         ids, rates, budget = inputs
         result = select_cold_pages(ids, rates, budget)
-        rate_of = dict(zip(ids.tolist(), rates.tolist()))
+        rate_of = dict(zip(ids.tolist(), rates.tolist(), strict=True))
         total = sum(rate_of[p] for p in result.cold_pages.tolist())
         assert total <= budget * (1 + 1e-9) + 1e-9
 
@@ -52,7 +52,7 @@ class TestClassifierProperties:
         result = select_cold_pages(ids, rates, budget)
         if not result.cold_pages.size or not result.hot_pages.size:
             return
-        rate_of = dict(zip(ids.tolist(), rates.tolist()))
+        rate_of = dict(zip(ids.tolist(), rates.tolist(), strict=True))
         max_cold = max(rate_of[p] for p in result.cold_pages.tolist())
         min_hot = min(rate_of[p] for p in result.hot_pages.tolist())
         assert max_cold <= min_hot + 1e-9

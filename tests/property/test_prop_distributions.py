@@ -62,7 +62,7 @@ class TestMassConservation:
         fractions = np.asarray(raw_bands)
         fractions = fractions / fractions.sum()
         masses = np.roll(fractions, 1)  # any permutation summing to 1
-        bands = list(zip(fractions.tolist(), masses.tolist()))
+        bands = list(zip(fractions.tolist(), masses.tolist(), strict=True))
         rates = tiered_rates(pages, total, bands, rng=rng)
         assert np.isclose(rates.sum(), total)
         assert np.all(rates >= 0)

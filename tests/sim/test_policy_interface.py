@@ -47,7 +47,7 @@ class TestMemoryAccess:
     def test_negative_address_rejected(self):
         from repro.mem.access import MemoryAccess
 
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="negative address"):
             MemoryAccess(address=-1)
 
 

@@ -34,7 +34,7 @@ class TestTimeSeries:
     def test_time_must_not_decrease(self):
         ts = TimeSeries("s")
         ts.record(5.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="went backwards"):
             ts.record(4.0, 1.0)
 
     def test_equal_times_allowed(self):
@@ -52,7 +52,7 @@ class TestTimeSeries:
         assert sample.value == 20.0
 
     def test_last_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="is empty"):
             TimeSeries("s").last()
 
     def test_mean_and_max(self):
@@ -64,11 +64,11 @@ class TestTimeSeries:
 
     def test_mean_empty_raises(self):
         """Empty-series contract: every aggregate raises, like last()."""
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="is empty"):
             TimeSeries("s").mean()
 
     def test_max_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="is empty"):
             TimeSeries("s").max()
 
     def test_extend(self):
@@ -79,7 +79,7 @@ class TestTimeSeries:
 
     def test_extend_enforces_monotonic_time(self):
         ts = TimeSeries("s")
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="went backwards"):
             ts.extend([1.0, 0.5], [1.0, 1.0])
 
     def test_windowed_mean(self):
@@ -92,7 +92,7 @@ class TestTimeSeries:
         assert smoothed.values[1] == pytest.approx(2.5)
 
     def test_windowed_mean_bad_window(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="window must be positive"):
             TimeSeries("s").windowed_mean(0.0)
 
     def test_windowed_mean_empty(self):
@@ -108,7 +108,7 @@ class TestHistogram:
         assert hist.percentile(99) == pytest.approx(99.0)
 
     def test_empty_percentile_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="is empty"):
             Histogram("h").percentile(50)
 
     def test_mean(self):
@@ -119,7 +119,7 @@ class TestHistogram:
 
     def test_empty_mean_raises(self):
         """Same contract as percentile(): empty aggregates raise."""
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="is empty"):
             Histogram("h").mean()
 
     def test_observations_is_a_copy(self):

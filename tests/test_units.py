@@ -35,7 +35,7 @@ class TestBytesToPages:
         assert units.bytes_to_pages(units.HUGE_PAGE_SIZE, units.HUGE_PAGE_SIZE) == 1
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="negative byte count"):
             units.bytes_to_pages(-1)
 
 
@@ -44,7 +44,7 @@ class TestPagesToBytes:
         assert units.pages_to_bytes(units.bytes_to_pages(16384)) == 16384
 
     def test_negative_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="negative page count"):
             units.pages_to_bytes(-5)
 
 

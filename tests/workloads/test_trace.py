@@ -47,7 +47,7 @@ class TestPersistence:
         loaded = EpochTrace.load(path)
         assert loaded.workload_name == "t"
         assert len(loaded) == 4
-        for original, restored in zip(trace.profiles, loaded.profiles):
+        for original, restored in zip(trace.profiles, loaded.profiles, strict=True):
             assert np.array_equal(original.counts, restored.counts)
             assert restored.start_time == original.start_time
 
