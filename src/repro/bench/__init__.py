@@ -1,0 +1,26 @@
+"""Pinned benchmark suite and perf-trajectory snapshots.
+
+``python -m repro.bench run`` executes a fixed set of scenarios — each a
+deterministic simulation plus its wall-clock cost — and writes a
+schema-versioned ``BENCH_<n>.json`` snapshot.  ``python -m repro.bench
+compare`` gates a fresh run against a committed snapshot with per-metric
+tolerances, so CI fails on semantic drift *and* on perf regressions
+(normalized against a calibration kernel so different CI hosts compare
+fairly).
+"""
+
+from repro.bench.compare import CompareResult, MetricViolation, compare_snapshots
+from repro.bench.scenarios import SCENARIOS, Scenario, calibration_seconds
+from repro.bench.snapshot import SCHEMA_VERSION, load_snapshot, write_snapshot
+
+__all__ = [
+    "SCENARIOS",
+    "SCHEMA_VERSION",
+    "CompareResult",
+    "MetricViolation",
+    "Scenario",
+    "calibration_seconds",
+    "compare_snapshots",
+    "load_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,174 @@
+"""The pinned benchmark scenarios behind the ``BENCH_*.json`` trajectory.
+
+Each scenario runs one deterministic simulation and reports two metric
+families:
+
+* **semantic** — seed-pinned simulation outputs (slowdowns, cold
+  fractions, migration counters).  These must be bit-stable across
+  commits, so the compare gate holds them to a near-exact relative
+  tolerance; any drift means a behavior change that belongs in the PR
+  description, not in the noise.
+* **perf** — wall-clock seconds, reported raw (informational) and
+  normalized by :func:`calibration_seconds`, a fixed numpy kernel timed
+  on the same host.  The normalized ratio is what the gate checks, so a
+  slower CI machine does not read as a regression.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.fleet.sim import FleetConfig, FleetSimulation
+from repro.fleet.tenant import TenantSpec
+from repro.sim.engine import run_simulation
+from repro.workloads.registry import make_workload
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Time a fixed numpy kernel; the host-speed unit for perf metrics.
+
+    The kernel mirrors the simulation's dominant primitives (argsort and
+    Poisson draws over a few-million-element array) so the normalization
+    tracks the hardware the benchmarks actually stress.  Returns the
+    fastest of ``repeats`` runs to shed scheduler noise.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        rng = np.random.default_rng(0)
+        start = time.perf_counter()
+        data = rng.random(2_000_000)
+        order = np.argsort(data)
+        draws = rng.poisson(data * 10.0)
+        sink = float(draws[order[:1000]].sum())
+        elapsed = time.perf_counter() - start
+        assert sink >= 0.0
+        best = min(best, elapsed)
+    return best
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One pinned benchmark: a name, a story, and a runner."""
+
+    name: str
+    description: str
+    #: Returns the scenario's semantic metrics (flat name -> float).
+    run: Callable[[], dict[str, float]]
+
+
+def _engine_metrics(result) -> dict[str, float]:
+    counters = result.stats.snapshot()
+    return {
+        "average_slowdown": result.average_slowdown,
+        "final_cold_fraction": result.final_cold_fraction,
+        "average_cold_fraction": result.average_cold_fraction,
+        "migration_rate_mbps": result.migration_rate_mbps(),
+        "correction_rate_mbps": result.correction_rate_mbps(),
+        "total_slow_accesses": counters.get("total_slow_accesses", 0.0),
+        "epochs": counters.get("epochs", 0.0),
+    }
+
+
+def _run_redis(scale: float, profile_mode: str, duration: float) -> dict[str, float]:
+    workload = make_workload("redis", scale=scale)
+    config = SimulationConfig(
+        duration=duration, epoch=30.0, seed=1, profile_mode=profile_mode
+    )
+    return _engine_metrics(run_simulation(workload, ThermostatPolicy(), config))
+
+
+def _run_engine_small() -> dict[str, float]:
+    return _run_redis(scale=0.02, profile_mode="subpage", duration=300.0)
+
+
+def _run_paper_subpage() -> dict[str, float]:
+    return _run_redis(scale=1.0, profile_mode="subpage", duration=150.0)
+
+
+def _run_paper_hierarchical() -> dict[str, float]:
+    return _run_redis(scale=1.0, profile_mode="hierarchical", duration=150.0)
+
+
+def _run_fleet_small() -> dict[str, float]:
+    specs = [
+        TenantSpec(name=f"t{i}", workload=w, scale=0.01, seed=11 + i)
+        for i, w in enumerate(["redis", "web-search", "mysql-tpcc"])
+    ]
+    fleet = FleetSimulation(
+        specs, config=FleetConfig(duration=300.0, epoch=30.0, seed=7)
+    )
+    outcome = fleet.run()
+    slowdowns = [r.average_slowdown for r in outcome.results.values()]
+    # The digest pins the whole scorecard bit-for-bit in one number; the
+    # scalar metrics make a drift's direction readable in the diff.
+    digest_prefix = int(outcome.scorecard_digest[:12], 16)
+    return {
+        "mean_tenant_slowdown": float(np.mean(slowdowns)),
+        "max_tenant_slowdown": float(np.max(slowdowns)),
+        "scorecard_digest_prefix": float(digest_prefix),
+    }
+
+
+#: The pinned suite, in run order.  Append scenarios; never repurpose a
+#: name — the trajectory across BENCH_*.json files assumes a name always
+#: means the same workload.
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        name="engine-small-redis",
+        description="redis @ 2% scale, 10 epochs, subpage profiles",
+        run=_run_engine_small,
+    ),
+    Scenario(
+        name="paper-redis-subpage",
+        description="redis @ paper scale, 5 epochs, subpage profiles",
+        run=_run_paper_subpage,
+    ),
+    Scenario(
+        name="paper-redis-hierarchical",
+        description="redis @ paper scale, 5 epochs, hierarchical profiles",
+        run=_run_paper_hierarchical,
+    ),
+    Scenario(
+        name="fleet-small",
+        description="3-tenant fleet @ 1% scale, 10 epochs, SLO arbitration",
+        run=_run_fleet_small,
+    ),
+)
+
+
+def run_suite(names: list[str] | None = None) -> dict[str, dict]:
+    """Run the suite (or a named subset); returns the snapshot payload body.
+
+    Wall-clock timing wraps each scenario's runner; the calibration
+    kernel is timed once, first, so every scenario in one invocation
+    shares the same host-speed unit.
+    """
+    selected = [s for s in SCENARIOS if names is None or s.name in names]
+    if names is not None:
+        unknown = set(names) - {s.name for s in selected}
+        if unknown:
+            known = ", ".join(s.name for s in SCENARIOS)
+            raise KeyError(
+                f"unknown scenario(s) {sorted(unknown)}; choose from: {known}"
+            )
+    calibration = calibration_seconds()
+    scenarios: dict[str, dict] = {}
+    for scenario in selected:
+        start = time.perf_counter()
+        semantic = scenario.run()
+        wall = time.perf_counter() - start
+        scenarios[scenario.name] = {
+            "description": scenario.description,
+            "semantic": semantic,
+            "perf": {
+                "wall_seconds": wall,
+                "normalized": wall / calibration,
+            },
+        }
+    return {"calibration_seconds": calibration, "scenarios": scenarios}

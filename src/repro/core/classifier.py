@@ -41,9 +41,11 @@ def slowdown_to_rate_budget(tolerable_slowdown: float, slow_latency: float) -> f
 class ClassificationResult:
     """Outcome of one classification pass."""
 
-    #: Huge-page ids selected for slow memory, coldest first.
+    #: Huge-page ids selected for slow memory, coldest first (ascending
+    #: estimated rate, ties broken by page id).
     cold_pages: np.ndarray
-    #: Huge-page ids kept (or returned to) fast memory.
+    #: Huge-page ids kept (or returned to) fast memory, also in ascending
+    #: estimated-rate order (the coolest of the hot pages first).
     hot_pages: np.ndarray
     #: Aggregate estimated access rate of the cold set (acc/sec).
     cold_rate: float
@@ -92,8 +94,12 @@ def select_cold_pages(
     num_cold = int(np.count_nonzero(take))
     cold_positions = order[:num_cold]
     hot_positions = order[num_cold:]
-    cold = np.sort(page_ids[cold_positions])
-    hot = np.sort(page_ids[hot_positions])
+    # Both halves keep the ascending-rate order: downstream consumers
+    # (demotion caps, backpressure truncation) rely on ``cold_pages``
+    # being coldest first — an id-sort here would silently hand them the
+    # lowest-numbered pages instead of the coldest.
+    cold = page_ids[cold_positions]
+    hot = page_ids[hot_positions]
     cold_rate = float(cumulative[num_cold - 1]) if num_cold else 0.0
     if obs is not None and obs.active:
         from repro.obs.metrics import RATE_BUCKETS

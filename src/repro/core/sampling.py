@@ -17,6 +17,8 @@ defaults only ~0.5% of memory is ever poisoned at once.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ConfigError
@@ -81,6 +83,99 @@ def choose_poison_subpages(
     count = min(max_poisoned, len(candidates))
     chosen = rng.choice(candidates, size=count, replace=False)
     return np.sort(chosen.astype(np.int64))
+
+
+@dataclass(frozen=True)
+class PoisonScanResult:
+    """Batched outcome of one interval's poison-fault monitoring.
+
+    All arrays are parallel to the sampled-page batch the scan ran over.
+    """
+
+    #: Number of subpages whose Accessed bit was set (prefilter input).
+    num_accessed: np.ndarray
+    #: How many subpages were actually poisoned on each page.
+    poisoned_per_page: np.ndarray
+    #: Summed (fault-rate-capped) counts over each page's poisoned set.
+    observed_sums: np.ndarray
+
+
+def poison_scan_batch(
+    subpage_counts: np.ndarray,
+    max_poisoned: int,
+    rng: np.random.Generator,
+    use_prefilter: bool = True,
+    fault_cap: float = np.inf,
+) -> PoisonScanResult:
+    """Vectorized poison scan over a 2-D batch of sampled huge pages.
+
+    ``subpage_counts`` is ``(num_sampled, 512)``: the per-subpage access
+    counts of every huge page split this interval.  The kernel draws the
+    *same RNG stream in the same order* as calling
+    :func:`choose_poison_subpages` page-by-page (one ``rng.choice`` per
+    page with accessed subpages, in batch order) — the property tests in
+    ``tests/property/test_prop_kernels.py`` pin that equivalence — but
+    gathers and reduces the observed counts in one vectorized pass
+    instead of three numpy calls per page.
+
+    ``fault_cap`` bounds the counts a single poisoned subpage can report
+    (BadgerTrap's TLB-residency throttling); ``np.inf`` disables the cap.
+    """
+    if max_poisoned <= 0:
+        raise ConfigError(f"max_poisoned must be positive: {max_poisoned}")
+    subpage_counts = np.atleast_2d(np.asarray(subpage_counts))
+    num_pages, num_subpages = subpage_counts.shape
+    accessed = subpage_counts > 0
+    num_accessed = accessed.sum(axis=1)
+    poisoned_per_page = np.zeros(num_pages, dtype=np.int64)
+    observed_sums = np.zeros(num_pages, dtype=float)
+    if num_pages == 0:
+        return PoisonScanResult(num_accessed, poisoned_per_page, observed_sums)
+
+    if use_prefilter:
+        # One global nonzero pass; per-page candidate lists are slices of
+        # the flat column array (row-major order groups rows together).
+        rows, cols = np.nonzero(accessed)
+        row_ends = np.cumsum(num_accessed)
+    else:
+        cols = None
+        row_ends = None
+
+    chosen_rows: list[np.ndarray] = []
+    chosen_cols: list[np.ndarray] = []
+    all_subpages = np.arange(num_subpages)
+    start = 0
+    for i in range(num_pages):
+        if use_prefilter:
+            end = int(row_ends[i])  # type: ignore[index]
+            candidates = cols[start:end]  # type: ignore[index]
+            start = end
+        else:
+            candidates = all_subpages
+        if candidates.size == 0:
+            continue
+        count = min(max_poisoned, candidates.size)
+        # The per-page draw is the RNG contract shared with the scalar
+        # path; everything around it is batched.
+        chosen = rng.choice(candidates, size=count, replace=False)
+        chosen_rows.append(np.full(count, i, dtype=np.int64))
+        chosen_cols.append(chosen.astype(np.int64))
+        poisoned_per_page[i] = count
+
+    if chosen_rows:
+        flat_rows = np.concatenate(chosen_rows)
+        flat_cols = np.concatenate(chosen_cols)
+        observed = np.minimum(
+            subpage_counts[flat_rows, flat_cols].astype(float), fault_cap
+        )
+        observed_sums = np.bincount(
+            flat_rows, weights=observed, minlength=num_pages
+        )
+    return PoisonScanResult(
+        num_accessed=num_accessed.astype(np.int64),
+        poisoned_per_page=poisoned_per_page,
+        observed_sums=observed_sums,
+    )
 
 
 class CyclingSampler:

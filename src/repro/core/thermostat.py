@@ -29,7 +29,7 @@ from repro.config import ThermostatConfig
 from repro.core.classifier import select_cold_pages
 from repro.core.correction import select_promotions
 from repro.core.estimator import estimate_rates_vectorized
-from repro.core.sampling import CyclingSampler, choose_poison_subpages
+from repro.core.sampling import CyclingSampler, poison_scan_batch
 from repro.errors import ConfigError
 from repro.kernel.cgroup import MemoryCgroup
 from repro.obs import truncate_pages
@@ -118,13 +118,13 @@ class ThermostatPolicy(PlacementPolicy):
         now = state.clock.now
         epoch = profile.duration
         budget = cfg.slow_access_rate_budget
-        subpage_counts = profile.subpage_counts()
         slow_before = state.slow_mask().copy()
         overhead = 0.0
         demoted = promoted = 0
         diagnostics: dict = {}
         demote_candidates = np.empty(0, dtype=np.int64)
-        rate_by_id: dict[int, float] = {}
+        #: This interval's estimated rate per huge page; NaN = not sampled.
+        epoch_rates = np.full(state.num_huge_pages, np.nan)
         # Rate-limit demotion (migration is throttled in practice); after an
         # over-budget interval, pause entirely — demoting while the
         # correction mechanism is still draining excess slow traffic only
@@ -147,36 +147,27 @@ class ThermostatPolicy(PlacementPolicy):
         sample = sample[sample < state.num_huge_pages]
         if sample.size:
             with obs.phase("sample"):
-                counts = subpage_counts[sample]
-                accessed = counts > 0
-                num_accessed = accessed.sum(axis=1)
-
-                poisoned_sums = np.zeros(sample.size)
-                poisoned_pages = np.zeros(sample.size)
-                fault_cap = self.poison_fault_rate_cap * epoch
-                sampling_faults = 0.0
-                for i in range(sample.size):
-                    chosen = choose_poison_subpages(
-                        accessed[i],
-                        cfg.max_poisoned_subpages,
-                        rng,
-                        use_prefilter=cfg.enable_accessed_prefilter,
-                    )
-                    if chosen.size == 0:
-                        continue
-                    observed = np.minimum(counts[i, chosen], fault_cap)
-                    poisoned_sums[i] = float(observed.sum())
-                    poisoned_pages[i] = chosen.size
-                    if not slow_before[sample[i]]:
-                        # Faults on slow-tier pages are already slow accesses
-                        # charged by the engine; only fast-tier monitoring
-                        # adds overhead.
-                        sampling_faults += float(observed.sum())
+                scan = poison_scan_batch(
+                    profile.subpage_rows(sample),
+                    cfg.max_poisoned_subpages,
+                    rng,
+                    use_prefilter=cfg.enable_accessed_prefilter,
+                    fault_cap=self.poison_fault_rate_cap * epoch,
+                )
+                poisoned_sums = scan.observed_sums
+                poisoned_pages = scan.poisoned_per_page
+                # Faults on slow-tier pages are already slow accesses
+                # charged by the engine; only fast-tier monitoring adds
+                # overhead.
+                sampling_faults = float(
+                    poisoned_sums[~slow_before[sample]].sum()
+                )
 
             with obs.phase("classify"):
                 estimated = estimate_rates_vectorized(
-                    num_accessed, poisoned_sums, poisoned_pages, epoch
+                    scan.num_accessed, poisoned_sums, poisoned_pages, epoch
                 )
+                epoch_rates[sample] = estimated
                 sample_share = sample.size / max(state.num_huge_pages, 1)
                 classification = select_cold_pages(
                     sample, estimated, sample_share * budget, obs=obs
@@ -184,14 +175,9 @@ class ThermostatPolicy(PlacementPolicy):
                 cold_now_fast = classification.cold_pages[
                     ~slow_before[classification.cold_pages]
                 ]
-                # The coldest candidates go first under the demotion cap.
-                rate_by_id = dict(zip(sample.tolist(), estimated.tolist(), strict=True))
-                if cold_now_fast.size > demotion_cap:
-                    order = np.argsort(
-                        [rate_by_id.get(p, 0.0) for p in cold_now_fast.tolist()]
-                    )
-                    cold_now_fast = cold_now_fast[order[:demotion_cap]]
-                demote_candidates = cold_now_fast
+                # ``cold_pages`` is coldest-first, so truncating to the
+                # demotion cap keeps exactly the coldest candidates.
+                demote_candidates = cold_now_fast[:demotion_cap]
 
             # Accessed-bit scans on split pages: one shootdown per subpage
             # per scan (split scan + poison scan).
@@ -223,10 +209,14 @@ class ThermostatPolicy(PlacementPolicy):
                     cold_rate=classification.cold_rate,
                     budget=classification.budget,
                     cold_pages=truncate_pages(classification.cold_pages),
-                    cold_rates=[
-                        rate_by_id.get(p, 0.0)
-                        for p in truncate_pages(classification.cold_pages)
-                    ],
+                    cold_rates=np.nan_to_num(
+                        epoch_rates[
+                            np.asarray(
+                                truncate_pages(classification.cold_pages),
+                                dtype=np.int64,
+                            )
+                        ]
+                    ).tolist(),
                 )
                 obs.inc(
                     "repro_thermostat_poisoned_subpages_total",
@@ -253,9 +243,8 @@ class ThermostatPolicy(PlacementPolicy):
                     max(1, int(cfg.max_demotion_fraction * state.num_huge_pages)),
                 )
                 need = min(-(-over_bytes // HUGE_PAGE_SIZE), demotion_cap)
-                known = np.array(
-                    [rate_by_id.get(int(p), np.inf) for p in fast_ids]
-                )
+                rates = epoch_rates[fast_ids]
+                known = np.where(np.isnan(rates), np.inf, rates)
                 order = np.argsort(known, kind="stable")
                 budget_forced = fast_ids[order[:need]]
                 diagnostics["budget_forced_demotions"] = int(budget_forced.size)
@@ -296,9 +285,10 @@ class ThermostatPolicy(PlacementPolicy):
             deferred = int(self._deferred_cold.size)
             # Seed the correction EWMA with the estimated rates so a newly
             # demoted page is not presumed free until proven otherwise.
-            for page in combined.tolist():
-                self._slow_rate_ewma[page] = rate_by_id.get(
-                    page, float(self._slow_rate_ewma[page])
+            if combined.size:
+                seeded = epoch_rates[combined]
+                self._slow_rate_ewma[combined] = np.where(
+                    np.isnan(seeded), self._slow_rate_ewma[combined], seeded
                 )
             if deferred:
                 diagnostics["deferred_demotions"] = deferred
@@ -324,7 +314,7 @@ class ThermostatPolicy(PlacementPolicy):
             with obs.phase("correct"):
                 slow_ids = np.flatnonzero(slow_before)
                 if slow_ids.size:
-                    observed_rates = subpage_counts[slow_ids].sum(axis=1) / epoch
+                    observed_rates = profile.huge_counts()[slow_ids] / epoch
                     alpha = self.ewma_alpha
                     self._slow_rate_ewma[slow_ids] = (
                         alpha * observed_rates

@@ -39,7 +39,7 @@ from repro.sim.invariants import InvariantAuditor
 from repro.sim.policy import PlacementPolicy
 from repro.sim.state import TieredMemoryState
 from repro.sim.stats import StatsRegistry
-from repro.units import GB, MB
+from repro.units import GB, HUGE_PAGE_SIZE, MB
 from repro.workloads.base import Workload
 
 
@@ -307,9 +307,20 @@ class EpochSimulation:
                 self.state.grow(needed)
                 if wear is not None:
                     wear.grow(needed)
-            profile = self.workload.epoch_profile(
-                start, epoch, self._workload_rng, stochastic=self.config.stochastic
-            )
+            if self.config.profile_mode == "hierarchical" and self.config.stochastic:
+                # Vectorized hot path: one draw per 2MB page, exact subpage
+                # resolution only for the pages currently split for
+                # monitoring (the only subpage detail the policy reads).
+                profile = self.workload.epoch_profile_hierarchical(
+                    start,
+                    epoch,
+                    self._workload_rng,
+                    resolve_ids=np.flatnonzero(self.state.split),
+                )
+            else:
+                profile = self.workload.epoch_profile(
+                    start, epoch, self._workload_rng, stochastic=self.config.stochastic
+                )
             if profile.num_huge_pages != self.state.num_huge_pages:
                 raise SimulationError(
                     f"workload produced {profile.num_huge_pages} huge pages "
@@ -391,17 +402,24 @@ class EpochSimulation:
         # 4. Record.
         with obs.phase("bookkeeping"):
             now = self.clock.advance(epoch)
-            ts = self.stats.timeseries
-            ts("slow_access_rate").record(now, slow_rate)
-            ts("slowdown").record(now, slowdown)
-            ts("overhead_seconds").record(now, report.overhead_seconds)
-            cold_fraction = self.state.cold_fraction()
-            ts("cold_fraction").record(now, cold_fraction)
             breakdown = self.state.footprint_breakdown()
-            for key, value in breakdown.items():
-                ts(key).record(now, value)
-            ts("throughput_ops").record(
-                now, self.workload.baseline_ops_per_second / (1.0 + slowdown)
+            cold_bytes = breakdown["cold_2mb_bytes"] + breakdown["cold_4kb_bytes"]
+            total_bytes = self.state.num_huge_pages * HUGE_PAGE_SIZE
+            # Same value as state.cold_fraction() (both numerator and
+            # denominator scale by the 2MB page size, a power of two), but
+            # reuses the breakdown pass instead of re-scanning the masks.
+            cold_fraction = cold_bytes / total_bytes if total_bytes else 0.0
+            self.stats.record_epoch(
+                now,
+                {
+                    "slow_access_rate": slow_rate,
+                    "slowdown": slowdown,
+                    "overhead_seconds": report.overhead_seconds,
+                    "cold_fraction": cold_fraction,
+                    **breakdown,
+                    "throughput_ops": self.workload.baseline_ops_per_second
+                    / (1.0 + slowdown),
+                },
             )
             self.stats.counter("total_slow_accesses").add(slow_accesses)
             self.stats.counter("epochs").add(1)

@@ -61,9 +61,28 @@ class EpochProfile:
         """Counts reshaped to (num_huge_pages, 512)."""
         return self.counts.reshape(self.num_huge_pages, SUBPAGES_PER_HUGE_PAGE)
 
+    def subpage_rows(self, huge_page_ids: np.ndarray) -> np.ndarray:
+        """Subpage counts of the requested huge pages, ``(len(ids), 512)``.
+
+        The narrow accessor the policy hot path uses: a hierarchical
+        profile resolves exactly these rows instead of materializing the
+        whole footprint.
+        """
+        return self.subpage_counts()[huge_page_ids]
+
     def huge_counts(self) -> np.ndarray:
-        """Per-huge-page aggregate access counts."""
-        return self.subpage_counts().sum(axis=1)
+        """Per-huge-page aggregate access counts (cached after first call).
+
+        The engine's stall charge, the correction mechanism, and the wear
+        tracker all consume this reduction every epoch; computing it once
+        per profile removes three full passes over the footprint.
+        """
+        cached = self.__dict__.get("_huge_counts")
+        if cached is None:
+            cached = self.subpage_counts().sum(axis=1)
+            # Frozen dataclass: cache via __dict__ to skip __setattr__.
+            self.__dict__["_huge_counts"] = cached
+        return cached
 
     def total_accesses(self) -> int:
         """All accesses in the epoch."""
@@ -76,3 +95,148 @@ class EpochProfile:
     def huge_accessed_mask(self) -> np.ndarray:
         """Per-huge-page Accessed-bit equivalent (any subpage touched)."""
         return self.huge_counts() > 0
+
+
+class HierarchicalEpochProfile:
+    """An epoch profile generated top-down instead of bottom-up.
+
+    The vectorized hot-path engine draws one Poisson total per *huge*
+    page and resolves exact subpage detail (a multinomial split of the
+    total, which by Poisson thinning is distributionally identical to
+    independent per-subpage draws) only for the pages whose subpages
+    anything will actually read — the ~5% split for monitoring this
+    interval.  Everything the engine and policy consume per epoch
+    (per-huge-page totals, the monitored pages' subpage counts) is exact;
+    only a legacy consumer that demands the *dense* 4KB array of an
+    unmonitored page sees an approximation (the page total spread
+    deterministically across its subpages by rate weight).
+
+    Duck-types the :class:`EpochProfile` read API (``counts`` included,
+    via lazy materialization) so every existing consumer keeps working.
+    """
+
+    def __init__(
+        self,
+        start_time: float,
+        duration: float,
+        huge_totals: np.ndarray,
+        resolved_ids: np.ndarray,
+        resolved_rows: np.ndarray,
+        spread_weights: np.ndarray | None = None,
+        write_fraction: float = 0.1,
+    ) -> None:
+        if duration <= 0:
+            raise WorkloadError(f"epoch duration must be positive: {duration}")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError(
+                f"write_fraction must be in [0, 1]: {write_fraction}"
+            )
+        huge_totals = np.asarray(huge_totals, dtype=np.int64)
+        resolved_ids = np.asarray(resolved_ids, dtype=np.int64)
+        resolved_rows = np.asarray(resolved_rows, dtype=np.int64)
+        if resolved_rows.shape != (resolved_ids.size, SUBPAGES_PER_HUGE_PAGE):
+            raise WorkloadError(
+                f"resolved rows shape {resolved_rows.shape} does not match "
+                f"{resolved_ids.size} resolved ids x {SUBPAGES_PER_HUGE_PAGE}"
+            )
+        if resolved_ids.size and not np.array_equal(
+            resolved_rows.sum(axis=1), huge_totals[resolved_ids]
+        ):
+            raise WorkloadError(
+                "resolved subpage rows must sum to their huge-page totals"
+            )
+        self.start_time = start_time
+        self.duration = duration
+        self.write_fraction = write_fraction
+        self._huge_totals = huge_totals
+        self._resolved_ids = resolved_ids
+        self._resolved_rows = resolved_rows
+        self._spread_weights = spread_weights
+        #: Position of each resolved id, for O(1) row lookup.
+        self._resolved_pos: dict[int, int] = {
+            int(p): i for i, p in enumerate(resolved_ids)
+        }
+        self._dense: np.ndarray | None = None
+
+    # -- EpochProfile read API -----------------------------------------
+
+    @property
+    def num_huge_pages(self) -> int:
+        return int(self._huge_totals.size)
+
+    @property
+    def num_base_pages(self) -> int:
+        return self.num_huge_pages * SUBPAGES_PER_HUGE_PAGE
+
+    @property
+    def resolved_ids(self) -> np.ndarray:
+        """Huge pages whose subpage rows carry exact draws."""
+        return self._resolved_ids
+
+    def huge_counts(self) -> np.ndarray:
+        """Per-huge-page totals — exact by construction."""
+        return self._huge_totals
+
+    def huge_accessed_mask(self) -> np.ndarray:
+        return self._huge_totals > 0
+
+    def total_accesses(self) -> int:
+        return int(self._huge_totals.sum())
+
+    def subpage_rows(self, huge_page_ids: np.ndarray) -> np.ndarray:
+        """Subpage counts for the requested pages.
+
+        Resolved pages return their exact multinomial rows; unresolved
+        pages fall back to the deterministic spread (and are only
+        correct in aggregate).
+        """
+        huge_page_ids = np.asarray(huge_page_ids, dtype=np.int64)
+        positions = np.array(
+            [self._resolved_pos.get(int(p), -1) for p in huge_page_ids],
+            dtype=np.int64,
+        )
+        if np.all(positions >= 0):
+            return self._resolved_rows[positions]
+        dense = self._materialize()
+        return dense.reshape(-1, SUBPAGES_PER_HUGE_PAGE)[huge_page_ids]
+
+    def subpage_counts(self) -> np.ndarray:
+        return self._materialize().reshape(-1, SUBPAGES_PER_HUGE_PAGE)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Dense 4KB-grain counts (lazy; unresolved pages approximate)."""
+        return self._materialize()
+
+    def accessed_mask(self) -> np.ndarray:
+        return self._materialize() > 0
+
+    def _materialize(self) -> np.ndarray:
+        """Build the dense array once: exact rows + weighted spread."""
+        if self._dense is not None:
+            return self._dense
+        num_huge = self.num_huge_pages
+        sub = SUBPAGES_PER_HUGE_PAGE
+        totals = self._huge_totals.astype(float)
+        if self._spread_weights is not None:
+            weights = np.asarray(self._spread_weights, dtype=float)
+            weights = weights.reshape(num_huge, sub)
+            row_mass = weights.sum(axis=1, keepdims=True)
+            safe = np.where(row_mass > 0, row_mass, 1.0)
+            fractions = weights / safe
+            # Rows with zero weight spread uniformly.
+            fractions = np.where(row_mass > 0, fractions, 1.0 / sub)
+        else:
+            fractions = np.full((num_huge, sub), 1.0 / sub)
+        scaled = fractions * totals[:, None]
+        dense = np.floor(scaled).astype(np.int64)
+        remainder = self._huge_totals - dense.sum(axis=1)
+        # Park the rounding remainder on each row's heaviest subpage —
+        # deterministic and total-preserving.
+        top = np.argmax(fractions, axis=1)
+        dense[np.arange(num_huge), top] += remainder
+        if self._resolved_ids.size:
+            dense[self._resolved_ids] = self._resolved_rows
+        flat = dense.reshape(num_huge * sub)
+        self._dense = flat
+        return flat

@@ -47,7 +47,9 @@ class TieredMemoryState:
         self.demotion_locked = False
         #: Pages the most recent :meth:`demote` call could not place —
         #: capacity backpressure or a retry-exhausted migration batch.
-        #: Policies re-plan these next epoch instead of crashing.
+        #: Policies re-plan these next epoch instead of crashing.  The
+        #: array preserves the caller's submission (priority) order, so
+        #: re-offering it verbatim keeps demoting coldest-first.
         self.last_deferred_demotions: np.ndarray = np.empty(0, dtype=np.int64)
         topology.fast.tier.reserve_bytes(num_huge_pages * HUGE_PAGE_SIZE)
 
@@ -80,9 +82,16 @@ class TieredMemoryState:
     # ------------------------------------------------------------------
 
     def _move(self, page_ids: np.ndarray, target: int, reason: MigrationReason) -> int:
-        # Deduplicate: a repeated id must not double-charge capacity or
-        # double-count migration traffic.
-        page_ids = np.unique(np.asarray(page_ids, dtype=np.int64))
+        # Deduplicate by first-seen position: a repeated id must not
+        # double-charge capacity or double-count migration traffic, but the
+        # caller's order is its priority (coldest first for demotions) —
+        # an id-sorting dedupe would hand backpressure truncation the
+        # lowest-numbered pages instead of the coldest.
+        page_ids = np.asarray(page_ids, dtype=np.int64)
+        if page_ids.size:
+            _, first_seen = np.unique(page_ids, return_index=True)
+            if first_seen.size != page_ids.size:
+                page_ids = page_ids[np.sort(first_seen)]
         if page_ids.size == 0:
             if reason is MigrationReason.DEMOTION:
                 self.last_deferred_demotions = np.empty(0, dtype=np.int64)
@@ -101,12 +110,15 @@ class TieredMemoryState:
         # migration; the byte traffic is identical but Table 3 and the
         # footprint breakdowns distinguish them.
         source = SLOW_NODE if target == FAST_NODE else FAST_NODE
-        for group, huge in (
-            (movable[~self.split[movable]], True),
-            (movable[self.split[movable]], False),
+        split_mask = self.split[movable]
+        failed = np.zeros(movable.size, dtype=bool)
+        for positions, huge in (
+            (np.flatnonzero(~split_mask), True),
+            (np.flatnonzero(split_mask), False),
         ):
-            if group.size == 0:
+            if positions.size == 0:
                 continue
+            group = movable[positions]
             count = int(group.size) * (1 if huge else SUBPAGES_PER_HUGE_PAGE)
             try:
                 self.migration.migrate(
@@ -117,14 +129,24 @@ class TieredMemoryState:
                 # Demotions are re-offered to the policy; a failed
                 # promotion batch is simply re-selected next epoch.
                 if reason is MigrationReason.DEMOTION:
-                    deferred = np.concatenate([deferred, group])
+                    failed[positions] = True
                 continue
             self.tier[group] = target
             moved += int(group.size)
         if reason is MigrationReason.DEMOTION:
-            self.last_deferred_demotions = np.sort(deferred)
-            if deferred.size:
-                self.stats.counter("fault_deferred_pages").add(int(deferred.size))
+            # Deferrals keep the caller's priority order end-to-end:
+            # retry-exhausted pages (drawn from the head that fit) precede
+            # the backpressure-trimmed tail, and each block stays in the
+            # order the caller submitted it, so a policy re-offering
+            # ``last_deferred_demotions`` next epoch still demotes its
+            # coldest candidates first.
+            self.last_deferred_demotions = np.concatenate(
+                [movable[failed], deferred]
+            )
+            if self.last_deferred_demotions.size:
+                self.stats.counter("fault_deferred_pages").add(
+                    int(self.last_deferred_demotions.size)
+                )
         return moved
 
     def _apply_demotion_backpressure(
@@ -201,14 +223,16 @@ class TieredMemoryState:
 
         "Cold" means resident in slow memory; "4KB" means currently split.
         """
-        slow = self.slow_mask()
-        split = self.split
+        # One bincount pass over a (temperature, granularity) code instead
+        # of four masked count_nonzero passes — this runs every epoch.
+        codes = 2 * self.slow_mask() + self.split
+        counts = np.bincount(codes, minlength=4)
         page = HUGE_PAGE_SIZE
         return {
-            "cold_2mb_bytes": int(np.count_nonzero(slow & ~split)) * page,
-            "cold_4kb_bytes": int(np.count_nonzero(slow & split)) * page,
-            "hot_2mb_bytes": int(np.count_nonzero(~slow & ~split)) * page,
-            "hot_4kb_bytes": int(np.count_nonzero(~slow & split)) * page,
+            "cold_2mb_bytes": int(counts[2]) * page,
+            "cold_4kb_bytes": int(counts[3]) * page,
+            "hot_2mb_bytes": int(counts[0]) * page,
+            "hot_4kb_bytes": int(counts[1]) * page,
         }
 
     def cold_fraction(self) -> float:

@@ -203,6 +203,16 @@ class StatsRegistry:
             self.histograms[name] = Histogram(name)
         return self.histograms[name]
 
+    def record_epoch(self, time: float, values: dict[str, float]) -> None:
+        """Append one timestamped observation to many series at once.
+
+        The engine's per-epoch bookkeeping records ~10 series every epoch;
+        funneling them through one call keeps the hot loop to a single
+        method dispatch and gives campaigns one place to batch further.
+        """
+        for name, value in values.items():
+            self.timeseries(name).record(time, value)
+
     def snapshot(self) -> dict[str, float]:
         """Return the current value of every counter."""
         return {name: c.value for name, c in self.counters.items()}

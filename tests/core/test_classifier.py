@@ -30,7 +30,8 @@ class TestSelectColdPages:
         ids = np.array([10, 20, 30, 40])
         rates = np.array([5.0, 1.0, 100.0, 2.0])
         result = select_cold_pages(ids, rates, budget=8.0)
-        assert list(result.cold_pages) == [10, 20, 40]
+        # Coldest first: ascending estimated rate, not ascending id.
+        assert list(result.cold_pages) == [20, 40, 10]
         assert list(result.hot_pages) == [30]
         assert result.cold_rate == pytest.approx(8.0)
 
@@ -44,7 +45,7 @@ class TestSelectColdPages:
         ids = np.arange(5)
         rates = np.array([0.0, 0.0, 50.0, 0.0, 60.0])
         result = select_cold_pages(ids, rates, budget=0.0)
-        assert list(result.cold_pages) == [0, 1, 3]
+        assert list(result.cold_pages) == [0, 1, 3]  # equal rates: id order
 
     def test_empty_input(self):
         result = select_cold_pages(np.array([]), np.array([]), 100.0)
@@ -70,11 +71,11 @@ class TestSelectColdPages:
         result = select_cold_pages(ids, rates, budget=8.0)
         assert list(result.cold_pages) == [3, 7]  # lowest ids win ties
 
-    def test_outputs_sorted(self):
+    def test_outputs_in_ascending_rate_order(self):
         ids = np.array([30, 10, 20])
         rates = np.array([1.0, 3.0, 2.0])
         result = select_cold_pages(ids, rates, budget=6.0)
-        assert list(result.cold_pages) == sorted(result.cold_pages)
+        assert list(result.cold_pages) == [30, 20, 10]
 
     def test_mismatched_shapes_rejected(self):
         with pytest.raises(ConfigError):

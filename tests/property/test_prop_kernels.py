@@ -1,0 +1,232 @@
+"""Property tests pinning the vectorized hot-path kernels to their
+scalar references.
+
+Three contracts:
+
+* :func:`poison_scan_batch` consumes the *same RNG draws in the same
+  order* as the scalar :func:`choose_poison_subpages` loop and produces
+  identical observations — so switching the policy to the batched kernel
+  changed no simulation output.
+* ``select_cold_pages`` returns its halves coldest-first (the ordering
+  the demotion cap and backpressure truncation rely on).
+* :class:`HierarchicalEpochProfile` is exact everywhere the engine reads
+  it (totals, resolved subpage rows) and total-preserving where it
+  approximates (dense materialization).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import select_cold_pages
+from repro.core.sampling import choose_poison_subpages, poison_scan_batch
+from repro.rng import make_rng
+from repro.sim.profile import HierarchicalEpochProfile
+from repro.units import SUBPAGES_PER_HUGE_PAGE
+
+
+def _scalar_poison_scan(subpage_counts, max_poisoned, rng, use_prefilter, fault_cap):
+    """The pre-vectorization per-page loop, verbatim."""
+    num_pages = subpage_counts.shape[0]
+    accessed = subpage_counts > 0
+    poisoned_sums = np.zeros(num_pages)
+    poisoned_pages = np.zeros(num_pages, dtype=np.int64)
+    for i in range(num_pages):
+        chosen = choose_poison_subpages(
+            accessed[i], max_poisoned, rng, use_prefilter=use_prefilter
+        )
+        if chosen.size == 0:
+            continue
+        observed = np.minimum(subpage_counts[i, chosen], fault_cap)
+        poisoned_sums[i] = float(observed.sum())
+        poisoned_pages[i] = chosen.size
+    return accessed.sum(axis=1), poisoned_sums, poisoned_pages
+
+
+@st.composite
+def scan_inputs(draw):
+    num_pages = draw(st.integers(0, 12))
+    num_subpages = draw(st.integers(1, 64))
+    density = draw(st.floats(0.0, 1.0))
+    seed = draw(st.integers(0, 2**16))
+    gen = np.random.default_rng(seed)
+    counts = np.where(
+        gen.random((num_pages, num_subpages)) < density,
+        gen.integers(1, 5000, size=(num_pages, num_subpages)),
+        0,
+    )
+    max_poisoned = draw(st.integers(1, 80))
+    use_prefilter = draw(st.booleans())
+    fault_cap = draw(st.sampled_from([np.inf, 10.0, 3000.0]))
+    return counts, max_poisoned, use_prefilter, fault_cap, seed
+
+
+class TestPoisonScanBatchEquivalence:
+    @given(scan_inputs())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_loop_and_rng_stream(self, inputs):
+        counts, max_poisoned, use_prefilter, fault_cap, seed = inputs
+        rng_scalar = np.random.default_rng(seed)
+        rng_batch = np.random.default_rng(seed)
+        num_accessed, sums, pages = _scalar_poison_scan(
+            counts, max_poisoned, rng_scalar, use_prefilter, fault_cap
+        )
+        result = poison_scan_batch(
+            counts,
+            max_poisoned,
+            rng_batch,
+            use_prefilter=use_prefilter,
+            fault_cap=fault_cap,
+        )
+        assert np.array_equal(result.num_accessed, num_accessed)
+        assert np.array_equal(result.observed_sums, sums)
+        assert np.array_equal(result.poisoned_per_page, pages)
+        # Same draws consumed: the two streams must be in the same state.
+        assert rng_scalar.integers(2**31) == rng_batch.integers(2**31)
+
+
+class TestColdPagesOrdering:
+    @given(
+        st.integers(0, 2**16),
+        st.integers(1, 60),
+        st.floats(0.0, 1e5, allow_nan=False),
+    )
+    @settings(max_examples=150)
+    def test_cold_pages_are_coldest_first(self, seed, n, budget):
+        gen = np.random.default_rng(seed)
+        ids = np.arange(n, dtype=np.int64)
+        rates = np.round(gen.exponential(100.0, size=n), 3)
+        result = select_cold_pages(ids, rates, budget)
+        for half in (result.cold_pages, result.hot_pages):
+            if half.size > 1:
+                r = rates[half]
+                assert np.all(np.diff(r) >= 0)
+                # Ties broken by page id, so the order is deterministic.
+                ties = np.diff(r) == 0
+                assert np.all(np.diff(half)[ties] > 0)
+
+
+class TestHierarchicalProfile:
+    def _make(self, seed=0, num_huge=20, resolve=(2, 5, 17)):
+        gen = np.random.default_rng(seed)
+        weights = gen.random((num_huge, SUBPAGES_PER_HUGE_PAGE))
+        totals = gen.integers(0, 10_000, size=num_huge)
+        resolve_ids = np.array(resolve, dtype=np.int64)
+        rows = gen.multinomial(
+            totals[resolve_ids],
+            weights[resolve_ids] / weights[resolve_ids].sum(1, keepdims=True),
+        )
+        return (
+            HierarchicalEpochProfile(
+                start_time=0.0,
+                duration=30.0,
+                huge_totals=totals,
+                resolved_ids=resolve_ids,
+                resolved_rows=rows,
+                spread_weights=weights,
+            ),
+            totals,
+            resolve_ids,
+            rows,
+        )
+
+    def test_huge_counts_exact(self):
+        profile, totals, _, _ = self._make()
+        assert np.array_equal(profile.huge_counts(), totals)
+        assert profile.total_accesses() == totals.sum()
+
+    def test_resolved_rows_exact(self):
+        profile, _, resolve_ids, rows = self._make()
+        assert np.array_equal(profile.subpage_rows(resolve_ids), rows)
+
+    def test_materialization_preserves_totals(self):
+        profile, totals, _, _ = self._make()
+        dense = profile.subpage_counts()
+        assert np.array_equal(dense.sum(axis=1), totals)
+        assert np.all(dense >= 0)
+
+    def test_materialized_resolved_rows_survive(self):
+        profile, _, resolve_ids, rows = self._make()
+        dense = profile.subpage_counts()
+        assert np.array_equal(dense[resolve_ids], rows)
+
+    def test_row_sum_mismatch_rejected(self):
+        import pytest
+
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            HierarchicalEpochProfile(
+                start_time=0.0,
+                duration=30.0,
+                huge_totals=np.array([10]),
+                resolved_ids=np.array([0]),
+                resolved_rows=np.full((1, SUBPAGES_PER_HUGE_PAGE), 1),
+            )
+
+
+class TestHierarchicalGeneration:
+    def test_distribution_matches_subpage_path(self):
+        """Hierarchical totals agree with the subpage path's law.
+
+        Both paths draw Poisson traffic around the same expected huge-page
+        rates; over many epochs their mean totals must converge (fixed
+        seeds — this is a deterministic regression test, not a flaky
+        statistical one).
+        """
+        from repro.workloads.base import RateModelWorkload
+
+        gen = np.random.default_rng(7)
+        rates = gen.exponential(2.0, size=8 * SUBPAGES_PER_HUGE_PAGE)
+        epochs = 200
+        sums = {}
+        for mode in ("subpage", "hierarchical"):
+            workload = RateModelWorkload("dist", rates.copy(), burstiness=0.3)
+            rng = make_rng(11)
+            total = np.zeros(8)
+            for _ in range(epochs):
+                if mode == "subpage":
+                    profile = workload.epoch_profile(0.0, 30.0, rng)
+                else:
+                    profile = workload.epoch_profile_hierarchical(0.0, 30.0, rng)
+                total += profile.huge_counts()
+            sums[mode] = total / epochs
+        np.testing.assert_allclose(
+            sums["hierarchical"], sums["subpage"], rtol=0.05
+        )
+
+    def test_resolved_rows_sum_to_totals(self):
+        from repro.workloads.base import RateModelWorkload
+
+        gen = np.random.default_rng(3)
+        rates = gen.exponential(5.0, size=6 * SUBPAGES_PER_HUGE_PAGE)
+        workload = RateModelWorkload("res", rates)
+        profile = workload.epoch_profile_hierarchical(
+            0.0, 30.0, make_rng(1), resolve_ids=np.array([1, 4])
+        )
+        rows = profile.subpage_rows(np.array([1, 4]))
+        assert np.array_equal(rows.sum(axis=1), profile.huge_counts()[[1, 4]])
+
+
+class TestSpatialLayoutTieFree:
+    def test_default_argsort_equals_stable_reference(self):
+        """The layout jitter is continuous, so the default (unstable)
+        argsort gives the same permutation as kind="stable" — the
+        assumption behind dropping the slower stable sort."""
+        from repro.workloads.distributions import spatial_layout
+
+        for seed in range(25):
+            gen = np.random.default_rng(seed)
+            ref_gen = np.random.default_rng(seed)
+            n = 5000
+            rates = np.random.default_rng(seed + 1000).exponential(10.0, n)
+            out = spatial_layout(rates, gen, mixing=0.02)
+            positions = (
+                np.arange(n, dtype=float)
+                + 0.02 * n * ref_gen.standard_normal(n)
+            )
+            # Continuous draws: no exact float ties, so every argsort
+            # kind yields the same (unique) permutation.
+            assert np.unique(positions).size == n
+            ref = rates[np.argsort(positions, kind="stable")]
+            assert np.array_equal(out, ref)
