@@ -23,6 +23,8 @@ faults).  Everything else it sees only as Accessed bits.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.config import ThermostatConfig
@@ -46,6 +48,57 @@ SHOOTDOWN_COST = 0.5 * MICROSECOND
 #: subpage faults only on TLB misses — this cap models that throttling
 #: (the paper's Section 6.1 notes the measurement serializes accesses).
 DEFAULT_POISON_FAULT_RATE_CAP = 100.0
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """One scan interval's placement decisions, as concrete page ids.
+
+    A :class:`~repro.sim.policy.PolicyReport` carries only counts; online
+    consumers (the placement service's decision payloads and its
+    last-known-good decision cache) need the ids themselves.  The policy
+    snapshots this at the end of every :meth:`ThermostatPolicy.on_epoch`
+    from arrays it already computed — building it is pure bookkeeping, so
+    offline runs are unaffected.
+    """
+
+    #: Pages requested for demotion this interval (submission order).
+    demote_requested: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Pages whose demotion was deferred (backpressure / exhausted retries).
+    deferred: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Pages promoted back by the correction mechanism.
+    promoted: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Pages classified cold this interval (ascending estimated rate).
+    cold: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Pages classified hot this interval (ascending estimated rate).
+    hot: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Huge pages split for monitoring during the *next* interval.
+    sampled: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Estimated access rate per huge page (NaN = not sampled this interval).
+    epoch_rates: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def to_payload(self) -> dict:
+        """JSON-able form (page-id lists), for service decision records."""
+        return {
+            "demote": [int(p) for p in self.demote_requested],
+            "deferred": [int(p) for p in self.deferred],
+            "promote": [int(p) for p in self.promoted],
+            "cold": [int(p) for p in self.cold],
+            "hot": [int(p) for p in self.hot],
+            "sampled": [int(p) for p in self.sampled],
+        }
 
 
 class ThermostatPolicy(PlacementPolicy):
@@ -93,6 +146,9 @@ class ThermostatPolicy(PlacementPolicy):
         #: grant change; when the fast-resident footprint exceeds it, the
         #: policy force-demotes its coldest-known pages until it fits.
         self.dram_budget_bytes: int | None = None
+        #: Concrete page-id decisions of the most recent interval; online
+        #: consumers (the placement service) read this after each step.
+        self.last_plan: PlacementPlan = PlacementPlan()
 
     def set_dram_budget(self, nbytes: int | None) -> None:
         """Install (or clear) the host's fast-tier budget directive."""
@@ -123,6 +179,9 @@ class ThermostatPolicy(PlacementPolicy):
         demoted = promoted = 0
         diagnostics: dict = {}
         demote_candidates = np.empty(0, dtype=np.int64)
+        cold_ids = np.empty(0, dtype=np.int64)
+        hot_ids = np.empty(0, dtype=np.int64)
+        promoted_ids = np.empty(0, dtype=np.int64)
         #: This interval's estimated rate per huge page; NaN = not sampled.
         epoch_rates = np.full(state.num_huge_pages, np.nan)
         # Rate-limit demotion (migration is throttled in practice); after an
@@ -172,6 +231,8 @@ class ThermostatPolicy(PlacementPolicy):
                 classification = select_cold_pages(
                     sample, estimated, sample_share * budget, obs=obs
                 )
+                cold_ids = classification.cold_pages
+                hot_ids = classification.hot_pages
                 cold_now_fast = classification.cold_pages[
                     ~slow_before[classification.cold_pages]
                 ]
@@ -332,6 +393,7 @@ class ThermostatPolicy(PlacementPolicy):
                         slow_ids, assessed * epoch, budget, epoch
                     )
                     promoted = state.promote(correction.promote)
+                    promoted_ids = correction.promote
                     self._slow_rate_ewma[correction.promote] = 0.0
                     self._over_budget = correction.observed_rate > budget
                     diagnostics["slow_observed_rate"] = float(observed_rates.sum())
@@ -378,6 +440,15 @@ class ThermostatPolicy(PlacementPolicy):
             )
             obs.inc("repro_thermostat_sampled_pages_total", int(new_sample.size))
 
+        self.last_plan = PlacementPlan(
+            demote_requested=combined,
+            deferred=self._deferred_cold,
+            promoted=promoted_ids,
+            cold=cold_ids,
+            hot=hot_ids,
+            sampled=new_sample,
+            epoch_rates=epoch_rates,
+        )
         return PolicyReport(
             overhead_seconds=overhead,
             demoted=demoted,

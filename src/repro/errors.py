@@ -89,6 +89,36 @@ class ObservabilityError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The online placement service was configured or driven incorrectly."""
+
+
+class EventValidationError(ServiceError):
+    """An ingested event failed schema validation (corrupt or malformed).
+
+    Raised by the service's parse path for truncated lines, non-JSON
+    garbage, unknown event kinds, and out-of-range fields.  The service
+    counts and rejects these; it never lets them reach the policy engine.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """The circuit breaker around the policy engine is open.
+
+    Requests arriving while open are served from the last-known-good
+    decision cache (flagged degraded) instead of touching the engine.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A placement request ran out of its latency budget.
+
+    Includes retry backoff and injected consumer stalls: a request whose
+    remaining budget cannot fit another engine attempt degrades instead
+    of queueing unbounded work behind the deadline.
+    """
+
+
 class TaskTimeoutError(ReproError):
     """A supervised task exceeded its per-task wall-clock budget.
 

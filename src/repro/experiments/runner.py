@@ -39,6 +39,7 @@ from repro.experiments import (
     ext_fleet,
     ext_latency,
     ext_oracle,
+    ext_service,
     ext_thp_tradeoff,
     ext_wear,
     fig1_idle_fraction,
@@ -113,6 +114,9 @@ EXPERIMENTS: dict[str, Callable[[float, int, int], str]] = {
     ),
     "ext-fleet": lambda scale, seed, jobs: ext_fleet.render(
         ext_fleet.run(scale, seed, jobs=jobs)
+    ),
+    "ext-service": lambda scale, seed, jobs: ext_service.render(
+        ext_service.run(scale, seed)
     ),
 }
 
@@ -224,6 +228,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default 0.05)",
     )
     parser.add_argument(
+        "--service-decisions",
+        type=int,
+        default=None,
+        help="ext-service: decisions per posture in the robustness report "
+        f"(default {ext_service.DEFAULT_DECISIONS})",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment names and exit"
     )
     parser.add_argument(
@@ -282,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
             slo=args.slo,
             scorecard_dir=args.output_dir,
         )
+        ext_service.configure(decisions=args.service_decisions)
     except Exception as exc:  # ConfigError -> argparse-style message
         parser.error(str(exc))
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 import traceback
 from concurrent.futures import (
@@ -75,18 +76,37 @@ QUARANTINE_VERSION = 1
 #: to check deadlines and backoff eligibility when nothing has completed.
 _TICK_SECONDS = 0.25
 
+#: Exit status of the timer-based timeout fallback (worker hard-exits when
+#: SIGALRM cannot be armed).  Distinct from the test-fault crash code (40)
+#: so post-mortems can tell a budget kill from an injected crash.
+TIMEOUT_EXIT_CODE = 41
+
 
 def _supervised_worker(
     spec: RunSpec, timeout: float | None
 ) -> tuple[dict, dict]:
-    """Worker entry point: run one spec under a SIGALRM wall-clock budget.
+    """Worker entry point: run one spec under a wall-clock budget.
 
-    The alarm raises :class:`TaskTimeoutError` *inside* the worker, which
-    travels back through the future like any other failure — the clean
-    half of the timeout hybrid.  Platforms without SIGALRM (or ``timeout
-    is None``) simply run unalarmed and rely on the parent's deadline.
+    Preferred mechanism: a SIGALRM armed inside the worker raises
+    :class:`TaskTimeoutError`, which travels back through the future like
+    any other failure — the clean half of the timeout hybrid.  But
+    ``signal.signal`` only works on the main thread of the main
+    interpreter, and this entry point does not get to choose where it
+    runs: pool implementations and tests may call it from a worker
+    *thread*, where arming the alarm raises ``ValueError``.  In that case
+    (or on platforms without SIGALRM) the fallback is a daemon timer
+    holding a monotonic deadline that hard-exits the process with
+    :data:`TIMEOUT_EXIT_CODE` — the parent's BrokenProcessPool handling
+    then charges the attempt, exactly like any other worker death.  With
+    ``timeout is None`` the worker runs unbudgeted and relies on the
+    parent-side deadline alone.
     """
-    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    timer: threading.Timer | None = None
     if use_alarm:
 
         def _on_alarm(signum, frame):
@@ -96,12 +116,26 @@ def _supervised_worker(
 
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
+    elif timeout is not None:
+        deadline = time.monotonic() + timeout
+
+        def _expire() -> None:
+            # Re-check the monotonic deadline so a spuriously early timer
+            # firing can never kill a worker that still has budget.
+            if time.monotonic() >= deadline:
+                os._exit(TIMEOUT_EXIT_CODE)
+
+        timer = threading.Timer(timeout, _expire)
+        timer.daemon = True
+        timer.start()
     try:
         return _execute_spec_payload(spec)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+        if timer is not None:
+            timer.cancel()
 
 
 @dataclass

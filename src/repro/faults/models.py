@@ -177,6 +177,129 @@ class OverheadSpikeModel(FaultModel):
         return 0.0
 
 
+class SlowConsumerFaultModel(FaultModel):
+    """A downstream consumer stalls: event processing slows for a window.
+
+    Each tick (one ingested event or one service batch) independently
+    opens a stall window with probability ``tick_rate``; while a window is
+    open every processed item costs ``stall_seconds`` of extra (simulated)
+    latency.  The placement service uses this to drive its backpressure
+    and load-shedding paths: a stalled consumer backs the bounded ingress
+    queue up until shedding starts.
+    """
+
+    name = "slow_consumer"
+
+    def __init__(
+        self, tick_rate: float, stall_seconds: float, duration_ticks: int = 1
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= tick_rate <= 1.0:
+            raise FaultInjectionError(
+                f"slow-consumer tick_rate must be in [0, 1]: {tick_rate}"
+            )
+        if stall_seconds < 0:
+            raise FaultInjectionError(
+                f"stall_seconds must be >= 0: {stall_seconds}"
+            )
+        if duration_ticks < 1:
+            raise FaultInjectionError(
+                f"duration_ticks must be >= 1: {duration_ticks}"
+            )
+        self.tick_rate = tick_rate
+        self.stall_seconds = stall_seconds
+        self.duration_ticks = duration_ticks
+        self._stalled_remaining = 0
+
+    def stall_this_tick(self) -> float:
+        """Advance one tick; extra per-item latency (seconds) while stalled."""
+        if self._stalled_remaining > 0:
+            self._stalled_remaining -= 1
+            return self.stall_seconds
+        if self.tick_rate and self.rng.random() < self.tick_rate:
+            self._stalled_remaining = self.duration_ticks - 1
+            return self.stall_seconds
+        return 0.0
+
+
+class CorruptEventFaultModel(FaultModel):
+    """Ingest corruption: an event arrives mangled (bit flips, truncation).
+
+    Each event is independently corrupted with probability ``event_rate``.
+    :meth:`corrupt_payload` applies a deterministic, seeded mangling to
+    the serialized event so the service's schema validation path (reject,
+    count, quarantine-on-repeat) is exercised with realistic garbage
+    rather than a sentinel string.
+    """
+
+    name = "corrupt_event"
+
+    def __init__(self, event_rate: float) -> None:
+        super().__init__()
+        if not 0.0 <= event_rate <= 1.0:
+            raise FaultInjectionError(
+                f"corrupt-event event_rate must be in [0, 1]: {event_rate}"
+            )
+        self.event_rate = event_rate
+
+    def should_corrupt(self) -> bool:
+        """Is this event corrupted in flight?"""
+        if self.event_rate == 0.0:
+            return False
+        return bool(self.rng.random() < self.event_rate)
+
+    def corrupt_payload(self, payload: str) -> str:
+        """A seeded mangling of one serialized event.
+
+        Three corruption shapes, drawn uniformly: truncation (the torn
+        write), a flipped byte mid-payload (the bit error), and swapped
+        braces (structurally broken JSON).  All three must fail schema
+        validation, never silently parse into a different valid event.
+        """
+        if not payload:
+            return "\x00"
+        shape = int(self.rng.integers(0, 3))
+        if shape == 0:
+            cut = int(self.rng.integers(0, max(len(payload) - 1, 1)))
+            return payload[:cut]
+        if shape == 1:
+            pos = int(self.rng.integers(0, len(payload)))
+            return payload[:pos] + "\x00" + payload[pos + 1 :]
+        return payload.replace("{", "[", 1)
+
+
+class ClockStallFaultModel(FaultModel):
+    """The service's time source freezes for a window (VM pause, NTP step).
+
+    Each tick independently opens a stall of ``stall_seconds`` with
+    probability ``tick_rate``: during the stall the *observed* clock
+    stands still while real work keeps arriving.  Deadline and breaker
+    logic must neither spin (deadlines that never expire) nor panic
+    (mass-expiring everything when the clock jumps forward at stall end).
+    """
+
+    name = "clock_stall"
+
+    def __init__(self, tick_rate: float, stall_seconds: float) -> None:
+        super().__init__()
+        if not 0.0 <= tick_rate <= 1.0:
+            raise FaultInjectionError(
+                f"clock-stall tick_rate must be in [0, 1]: {tick_rate}"
+            )
+        if stall_seconds < 0:
+            raise FaultInjectionError(
+                f"stall_seconds must be >= 0: {stall_seconds}"
+            )
+        self.tick_rate = tick_rate
+        self.stall_seconds = stall_seconds
+
+    def stall_this_tick(self) -> float:
+        """Seconds the observed clock freezes at this tick (0 = healthy)."""
+        if self.tick_rate and self.rng.random() < self.tick_rate:
+            return self.stall_seconds
+        return 0.0
+
+
 class SampleLossModel(FaultModel):
     """Lost or delayed access-bit samples feeding the classifier.
 

@@ -1,16 +1,23 @@
 """Crash-safe file writes shared by every persistence path.
 
 One idiom, one implementation: write to a temp file *next to* the final
-name, flush + ``fsync``, then ``os.replace``.  The rename is atomic for
-the name, and the fsync guarantees the bytes are on disk before the name
-points at them — so a reader can never observe a truncated file under
-the final name, no matter when the writer is killed.
+name, flush + ``fsync``, then ``os.replace``, then ``fsync`` the parent
+directory.  The rename is atomic for the name, the file fsync guarantees
+the bytes are on disk before the name points at them, and the directory
+fsync guarantees the *name change itself* survives a power loss — an
+``os.replace`` without it is only durable against process death, because
+the directory entry may still be sitting in the page cache when the
+machine dies.  A reader can therefore never observe a truncated file
+under the final name, and a completed write stays completed across
+power-loss-style crashes, no matter when the writer is killed.
 
 Used by the result store (``<key>.json`` / ``<key>.npz`` entries), the
-supervisor's ``quarantine.json``, and the fleet's resilience scorecards.
-Temp files follow the ``<name><tmp_suffix>`` convention the store's
-stale-temp sweeper matches (``*.tmp`` / ``*.tmp.npz``), so droppings from
-a SIGKILLed writer are cleaned on the next store open.
+supervisor's ``quarantine.json``, the fleet's resilience scorecards, and
+the placement service's checkpoints and acked-decision WAL
+(:mod:`repro.service.wal`).  Temp files follow the ``<name><tmp_suffix>``
+convention the store's stale-temp sweeper matches (``*.tmp`` /
+``*.tmp.npz``), so droppings from a SIGKILLed writer are cleaned on the
+next store open.
 """
 
 from __future__ import annotations
@@ -27,6 +34,30 @@ def fsync_handle(handle: IO[Any]) -> None:
     os.fsync(handle.fileno())
 
 
+def fsync_dir(path: str | os.PathLike[str]) -> None:
+    """``fsync`` a directory so renames inside it survive power loss.
+
+    ``os.replace`` makes the new name *visible* atomically, but the
+    rename lives in the directory inode — until that inode is flushed, a
+    power cut can roll the directory back to the old entry (or to the
+    temp name).  Platforms whose directories cannot be opened for reading
+    (notably Windows) skip silently: there the rename durability is the
+    filesystem's problem and nothing stronger is available.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        # Some filesystems refuse to fsync directories; degrading to the
+        # pre-directory-fsync behavior beats failing the write.
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write(
     path: str | os.PathLike[str],
     writer: Callable[[IO[Any]], None],
@@ -34,12 +65,14 @@ def atomic_write(
     tmp_suffix: str = ".tmp",
     newline: str | None = None,
 ) -> Path:
-    """Write a file atomically: temp file -> fsync -> ``os.replace``.
+    """Write a file atomically: temp -> fsync -> ``os.replace`` -> dir fsync.
 
     ``writer`` receives the open temp-file handle and must write the full
     content; the final name is only updated after a successful fsync, so
     a crash mid-write leaves the previous version (or nothing) in place —
-    never a torn file.  ``newline`` is forwarded to :meth:`Path.open`
+    never a torn file.  After the rename the parent directory is fsynced,
+    so the completed write also survives power-loss-style crashes (see
+    :func:`fsync_dir`).  ``newline`` is forwarded to :meth:`Path.open`
     (text mode only; pass ``""`` for ``csv.writer`` payloads).
     """
     path = Path(path)
@@ -55,6 +88,7 @@ def atomic_write(
         writer(handle)
         fsync_handle(handle)
     os.replace(tmp, path)
+    fsync_dir(path.parent)
     return path
 
 

@@ -43,6 +43,7 @@ EVENT_CATEGORIES = frozenset(
         "phase",  # self-profile phase spans
         "fleet",  # arbiter decisions, SLO violations, tenant lifecycle
         "chaos",  # chaos-scenario windows opening and closing
+        "service",  # online placement service: sheds, trips, degraded serves
     }
 )
 

@@ -1,0 +1,216 @@
+"""``python -m repro.service`` — run, drive, and verify the service.
+
+Subcommands::
+
+    run     serve the JSONL protocol (stdin or a UNIX socket) with
+            optional /healthz + /readyz HTTP endpoints
+    synth   drive the service with deterministic synthetic traffic and
+            print a decisions/sec summary (the benchmarking harness and
+            the crash-survival workload)
+    verify  check a WAL directory's acked-decision log for integrity
+            (strictly increasing seqs, no duplicate acks)
+
+Examples::
+
+    python -m repro.service synth --decisions 500 --wal-dir wal/
+    python -m repro.service synth --decisions 500 --wal-dir wal/ --resume
+    python -m repro.service synth --decisions 200 --chaos
+    python -m repro.service verify --wal-dir wal/
+    cat events.jsonl | python -m repro.service run --wal-dir wal/
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.faults.service import ServiceFaultConfig
+from repro.service.core import PlacementService, ServiceConfig
+from repro.service.traffic import TrafficConfig, drive
+from repro.service.wal import verify_log
+
+#: The pinned --chaos fault mix (also what the CI soak uses).
+CHAOS_FAULTS = ServiceFaultConfig(
+    enabled=True,
+    slow_consumer_rate=0.05,
+    slow_consumer_stall_seconds=0.08,
+    slow_consumer_duration_ticks=4,
+    corrupt_event_rate=0.02,
+    clock_stall_rate=0.01,
+    clock_stall_seconds=0.5,
+)
+
+
+def _service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wal-dir", default=None, help="WAL directory")
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover acked decisions from --wal-dir and continue",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        help="per-request latency budget (default %(default)s ms)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=4096,
+        help="ingress queue capacity (default %(default)s)",
+    )
+
+
+def _build_service(args: argparse.Namespace) -> PlacementService:
+    config = ServiceConfig(
+        seed=args.seed,
+        deadline_seconds=args.deadline_ms / 1000.0,
+        queue_capacity=args.queue_capacity,
+    )
+    return PlacementService(
+        config=config, wal_dir=args.wal_dir, resume=args.resume
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.service.server import run_stdin, serve_health, serve_unix
+
+    service = _build_service(args)
+
+    async def main() -> None:
+        health_server = None
+        if args.health_port is not None:
+            health_server = await serve_health(service, port=args.health_port)
+            port = health_server.sockets[0].getsockname()[1]
+            print(f"[health endpoints on 127.0.0.1:{port}]", file=sys.stderr)
+        try:
+            if args.socket is not None:
+                await serve_unix(service, args.socket)
+            else:
+                await run_stdin(service)
+        finally:
+            if health_server is not None:
+                health_server.close()
+
+    asyncio.run(main())
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    faults = CHAOS_FAULTS if args.chaos else ServiceFaultConfig()
+    traffic = TrafficConfig(
+        seed=args.seed,
+        tenants=args.tenants,
+        huge_pages=args.pages,
+        decisions=args.decisions,
+        faults=faults,
+    )
+    emit = None
+    if args.emit:
+
+        def emit(response):
+            print(json.dumps(response.to_payload(), sort_keys=True))
+            sys.stdout.flush()
+
+    started = time.perf_counter()
+    report = drive(
+        service,
+        traffic,
+        stop_after_decisions=args.stop_after,
+        emit=emit,
+    )
+    elapsed = time.perf_counter() - started
+    service.close()
+    summary = report.summary()
+    summary["wall_seconds"] = elapsed
+    summary["decisions_per_second"] = (
+        report.decisions / elapsed if elapsed > 0 else 0.0
+    )
+    summary["health"] = service.health()
+    print(json.dumps(summary, sort_keys=True, indent=2))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.wal_dir is None:
+        print("verify requires --wal-dir", file=sys.stderr)
+        return 2
+    report = verify_log(args.wal_dir)
+    print(json.dumps(report, sort_keys=True, indent=2))
+    return 0 if report["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Crash-safe online placement service.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="serve the JSONL protocol")
+    _service_args(run_parser)
+    run_parser.add_argument(
+        "--socket", default=None, help="serve on this UNIX socket (default stdin)"
+    )
+    run_parser.add_argument(
+        "--health-port",
+        type=int,
+        default=None,
+        help="expose /healthz and /readyz on this TCP port (0 = ephemeral)",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    synth_parser = sub.add_parser(
+        "synth", help="drive deterministic synthetic traffic"
+    )
+    _service_args(synth_parser)
+    synth_parser.add_argument(
+        "--decisions", type=int, default=100, help="placement requests to issue"
+    )
+    synth_parser.add_argument(
+        "--tenants", type=int, default=2, help="synthetic tenants"
+    )
+    synth_parser.add_argument(
+        "--pages", type=int, default=16, help="huge pages per tenant"
+    )
+    synth_parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject the pinned slow-consumer/corrupt-event/clock-stall mix",
+    )
+    synth_parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help="stop after N answered decisions (crash-simulation harness)",
+    )
+    synth_parser.add_argument(
+        "--emit",
+        action="store_true",
+        help="stream each decision response to stdout as JSONL",
+    )
+    synth_parser.set_defaults(func=_cmd_synth)
+
+    verify_parser = sub.add_parser(
+        "verify", help="check a WAL directory for integrity"
+    )
+    verify_parser.add_argument("--wal-dir", default=None, help="WAL directory")
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Circuit breaker around the policy engine.
+
+Classic three-state machine, driven entirely by explicit ``now`` floats
+so the core stays clock-free (reprolint R003) and tests replay schedules
+exactly:
+
+* **closed** — requests flow; ``failure_threshold`` *consecutive*
+  failures (engine errors or blown deadlines) trip it open.
+* **open** — requests are refused (the caller serves degraded from the
+  decision cache) until ``reset_timeout`` seconds pass, then the next
+  ``allow`` transitions to half-open.
+* **half-open** — probe traffic flows; ``half_open_successes``
+  consecutive successes close the breaker, any failure re-opens it and
+  restarts the timeout.
+
+Every transition is recorded (for the trace stream and the health
+endpoint) and trips are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change."""
+
+    time: float
+    from_state: str
+    to_state: str
+    #: Consecutive failures at the moment of the change (trips) or
+    #: consecutive probe successes (closes).
+    streak: int
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with probe-based recovery."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 2.0,
+        half_open_successes: int = 2,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ConfigError(f"reset_timeout must be positive: {reset_timeout}")
+        if half_open_successes < 1:
+            raise ConfigError(
+                f"half_open_successes must be >= 1: {half_open_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_successes = half_open_successes
+        self.state = CLOSED
+        self.trips_total = 0
+        self.transitions: list[BreakerTransition] = []
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+
+    def allow(self, now: float) -> bool:
+        """May a request touch the engine right now?
+
+        Transitions open → half-open as a side effect once the reset
+        timeout has elapsed (the arriving request becomes the probe).
+        """
+        if self.state == OPEN:
+            if now - self._opened_at >= self.reset_timeout:
+                self._transition(now, HALF_OPEN, self._consecutive_failures)
+                self._probe_successes = 0
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """An engine call completed within budget."""
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.half_open_successes:
+                self._transition(now, CLOSED, self._probe_successes)
+                self._consecutive_failures = 0
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, now: float) -> None:
+        """An engine call failed or blew its deadline."""
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # A failed probe re-opens immediately; the timeout restarts.
+            self._open(now)
+        elif self.state == CLOSED and (
+            self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open(now)
+
+    def seconds_until_probe(self, now: float) -> float:
+        """Time until the next probe is allowed (0.0 unless open)."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.reset_timeout - now)
+
+    def _open(self, now: float) -> None:
+        self.trips_total += 1
+        self._opened_at = now
+        self._transition(now, OPEN, self._consecutive_failures)
+
+    def _transition(self, now: float, to_state: str, streak: int) -> None:
+        self.transitions.append(
+            BreakerTransition(
+                time=now, from_state=self.state, to_state=to_state, streak=streak
+            )
+        )
+        self.state = to_state

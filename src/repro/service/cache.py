@@ -1,0 +1,55 @@
+"""Last-known-good decision cache for degraded-mode serving.
+
+When the breaker is open or a request blows its deadline, the service
+answers from here instead of failing: the most recent *fresh* placement
+plan per tenant, clearly flagged ``degraded=true`` with the epoch it was
+computed at — stale by admission, never stale by stealth.
+
+Entries are only ever written on the fresh path (after the WAL append),
+so the cache is also exactly what crash recovery rebuilds by replaying
+the acked-decision log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CachedDecision:
+    """The newest acked placement plan for one tenant."""
+
+    tenant: str
+    seq: int
+    epoch_index: int
+    plan: dict
+
+
+class DecisionCache:
+    """Per-tenant last-known-good store with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CachedDecision] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, decision: CachedDecision) -> None:
+        self._entries[decision.tenant] = decision
+
+    def get(self, tenant: str) -> CachedDecision | None:
+        entry = self._entries.get(tenant)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def restore(self, decisions: list[CachedDecision]) -> None:
+        """Rebuild from replayed WAL records (newest per tenant wins)."""
+        for decision in decisions:
+            current = self._entries.get(decision.tenant)
+            if current is None or decision.seq > current.seq:
+                self._entries[decision.tenant] = decision

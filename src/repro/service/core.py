@@ -1,0 +1,682 @@
+"""The placement service core: sans-IO, clock-free, deterministic.
+
+Everything that makes the service *robust* lives here as explicit state
+machines driven by ``now`` floats the shell supplies:
+
+* a :class:`~repro.service.queue.BoundedIngressQueue` between the wire
+  and the engine (backpressure high-watermark, shed-coldest-first);
+* a :class:`~repro.service.breaker.CircuitBreaker` around the policy
+  engine (consecutive failures or blown deadlines trip it; half-open
+  probes close it);
+* per-request deadlines with seeded-jitter retry backoff (the backoff
+  stream is a named child RNG, so retry schedules replay bit-identically
+  under a fixed seed);
+* a :class:`~repro.service.cache.DecisionCache` for degraded serving —
+  breaker open or deadline blown answers with the last-known-good plan,
+  always flagged ``degraded=true`` and never acked;
+* write-ahead durability (:mod:`repro.service.wal`): fresh decisions are
+  fsynced to the acked-decision log *before* the ack exists, and restart
+  with ``resume=True`` replays the log so already-acked requests are
+  answered idempotently — zero lost acks, zero duplicate acks;
+* poison handling in the PR-4 supervisor's spirit: corrupt events are
+  rejected at parse (repeated poison from one source quarantines the
+  source) and a request that keeps crashing the engine is quarantined
+  rather than retried forever.
+
+Latency is *virtual*: stalls injected by the fault layer and retry
+backoff advance a per-request virtual clock that is checked against the
+deadline.  The asyncio shell (:mod:`repro.service.server`) maps virtual
+time onto its event loop; the synthetic driver and the tests use it
+directly, which is what makes p99 latency a deterministic, benchmarkable
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import SimulationConfig, ThermostatConfig
+from repro.core.thermostat import ThermostatPolicy
+from repro.errors import ConfigError, ReproError, ServiceError
+from repro.obs import NULL_OBSERVER
+from repro.obs.metrics import SECONDS_BUCKETS
+from repro.rng import child_rng, make_rng
+from repro.service.breaker import OPEN, CircuitBreaker
+from repro.service.cache import CachedDecision, DecisionCache
+from repro.service.events import (
+    AccessEvent,
+    DecideEvent,
+    DecisionResponse,
+    EventValidationError,
+    IngressEvent,
+    SnapshotEvent,
+    parse_event,
+)
+from repro.service.queue import BoundedIngressQueue
+from repro.service.wal import Checkpoint, DecisionLog, recover, scan_log
+from repro.sim.engine import EpochSimulation
+from repro.sim.profile import EpochProfile
+from repro.units import HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE_PAGE
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online placement service."""
+
+    #: RNG seed for the retry-jitter streams (deterministic schedules).
+    seed: int = 0
+    #: Ingress queue capacity (events).
+    queue_capacity: int = 4096
+    #: Queue-depth fraction at which backpressure engages.
+    backpressure_watermark: float = 0.8
+    #: Default per-request latency budget, seconds.
+    deadline_seconds: float = 0.05
+    #: Engine attempts per request before giving up (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff after the first failed attempt, seconds; doubles per retry.
+    backoff_seconds: float = 0.005
+    #: Multiplicative jitter upper bound: delay *= 1 + U[0, jitter).
+    backoff_jitter: float = 0.5
+    #: Consecutive engine failures that trip the breaker.
+    breaker_failure_threshold: int = 5
+    #: Seconds the breaker stays open before allowing a probe.
+    breaker_reset_seconds: float = 2.0
+    #: Consecutive probe successes that close the breaker.
+    breaker_half_open_successes: int = 2
+    #: Engine failures for one request_id before it is quarantined.
+    poison_request_threshold: int = 2
+    #: Consecutive corrupt events from one source before it is quarantined.
+    poison_source_threshold: int = 5
+    #: Acked decisions between checkpoint snapshots.
+    checkpoint_every: int = 64
+    #: Virtual seconds of observation each engine epoch represents.
+    epoch_seconds: float = 1.0
+    #: Thermostat policy knobs applied to every tenant engine.
+    tolerable_slowdown: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be positive: {self.deadline_seconds}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_seconds < 0:
+            raise ConfigError(
+                f"backoff_seconds must be >= 0: {self.backoff_seconds}"
+            )
+        if self.backoff_jitter < 0:
+            raise ConfigError(
+                f"backoff_jitter must be >= 0: {self.backoff_jitter}"
+            )
+        if self.poison_request_threshold < 1:
+            raise ConfigError(
+                f"poison_request_threshold must be >= 1: "
+                f"{self.poison_request_threshold}"
+            )
+        if self.poison_source_threshold < 1:
+            raise ConfigError(
+                f"poison_source_threshold must be >= 1: "
+                f"{self.poison_source_threshold}"
+            )
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1: {self.checkpoint_every}"
+            )
+        if self.epoch_seconds <= 0:
+            raise ConfigError(
+                f"epoch_seconds must be positive: {self.epoch_seconds}"
+            )
+
+
+class IngestedWorkload(Workload):
+    """A footprint-only workload standing in for a streamed tenant.
+
+    The service never asks it for an access profile — every engine step
+    receives an externally ingested :class:`EpochProfile` — so its rate
+    model is all zeros and exists only to satisfy the engine's
+    construction contract (initial footprint, baseline throughput).
+    """
+
+    def __init__(self, name: str, huge_pages: int) -> None:
+        super().__init__(
+            name=name,
+            resident_bytes=max(huge_pages, 1) * HUGE_PAGE_SIZE,
+        )
+
+    def rates_at(self, time: float) -> np.ndarray:
+        return np.zeros(self.total_base_pages)
+
+
+@dataclass
+class TenantState:
+    """Everything the service tracks per tenant."""
+
+    name: str
+    num_huge_pages: int
+    #: Accumulated per-4KB access counts since the last decision.
+    pending: np.ndarray
+    engine: EpochSimulation | None = None
+    policy: ThermostatPolicy | None = None
+    events_ingested: int = 0
+    decisions: int = 0
+
+    def ensure_capacity(self, huge_pages: int) -> None:
+        if huge_pages <= self.num_huge_pages:
+            return
+        grown = np.zeros(huge_pages * SUBPAGES_PER_HUGE_PAGE, dtype=np.int64)
+        grown[: self.pending.size] = self.pending
+        self.pending = grown
+        self.num_huge_pages = huge_pages
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """What happened to one ingested line."""
+
+    status: str  # "queued" | "shed" | "rejected" | "quarantined-source"
+    event: IngressEvent | None = None
+    error: str = ""
+
+
+class PlacementService:
+    """The sans-IO service core; one instance per process."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        wal_dir: str | None = None,
+        resume: bool = False,
+        observer=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.observer = observer if observer is not None else NULL_OBSERVER
+        self.queue = BoundedIngressQueue(
+            self.config.queue_capacity, self.config.backpressure_watermark
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            reset_timeout=self.config.breaker_reset_seconds,
+            half_open_successes=self.config.breaker_half_open_successes,
+        )
+        self.cache = DecisionCache()
+        self.tenants: dict[str, TenantState] = {}
+        self._retry_rng = child_rng(make_rng(self.config.seed), "service:retry")
+        # Durability.
+        self.wal_dir = wal_dir
+        self.log: DecisionLog | None = None
+        self.seq = 0
+        self.acked: dict[str, int] = {}
+        self.ingest_lines = 0
+        self._acks_since_checkpoint = 0
+        # Poison tracking.
+        self.quarantined_requests: set[str] = set()
+        self.request_failures: dict[str, int] = {}
+        self.quarantined_sources: set[str] = set()
+        self._source_corrupt_streaks: dict[str, int] = {}
+        # Counters surfaced by health() and the metrics registry.
+        self.counters: dict[str, int] = {
+            "events_total": 0,
+            "corrupt_total": 0,
+            "shed_total": 0,
+            "decisions_total": 0,
+            "decisions_fresh": 0,
+            "decisions_degraded": 0,
+            "degraded_no_cache": 0,
+            "engine_failures": 0,
+            "retries": 0,
+            "quarantined_requests": 0,
+            "quarantined_sources": 0,
+            "idempotent_acks": 0,
+            "checkpoints": 0,
+        }
+        #: Virtual latency of every answered decision, seconds (for the
+        #: p50/p99 numbers in reports; bounded soaks keep this small).
+        self.latencies: list[float] = []
+        #: Test/chaos hook: called as ``hook(tenant_name, epoch_index)``
+        #: immediately before each engine step; raising a
+        #: :class:`ReproError` simulates an engine fault.  Never set in
+        #: production paths.
+        self.engine_fault_hook = None
+        if wal_dir is not None:
+            if resume:
+                self._recover(wal_dir)
+            else:
+                existing = scan_log(DecisionLog(wal_dir).path)
+                if existing.records:
+                    raise ServiceError(
+                        f"WAL directory {wal_dir!r} already holds "
+                        f"{len(existing.records)} acked decision(s); pass "
+                        "resume=True (--resume) to continue it"
+                    )
+            self.log = DecisionLog(wal_dir)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self, wal_dir: str) -> None:
+        state = recover(wal_dir)
+        if state.torn_tail:
+            # Drop the torn (never-acked) tail so appends never land on
+            # the same line as partial bytes from the crashed process.
+            log_path = DecisionLog(wal_dir).path
+            if log_path.exists():
+                with open(log_path, "r+b") as handle:
+                    handle.truncate(state.intact_bytes)
+        self.seq = state.last_seq
+        self.acked = dict(state.acked)
+        self.cache.restore(state.decisions)
+        self.ingest_lines = state.checkpoint.ingest_lines
+        obs = self.observer
+        if obs.active:
+            obs.emit(
+                "service",
+                "recovered",
+                0.0,
+                acked=len(self.acked),
+                last_seq=self.seq,
+                torn_tail=state.torn_tail,
+                log_ahead_of_checkpoint=state.log_ahead_of_checkpoint,
+            )
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest_line(self, line: str, source: str = "default") -> IngestResult:
+        """Validate and enqueue one wire line from ``source``."""
+        self.ingest_lines += 1
+        if source in self.quarantined_sources:
+            return IngestResult(status="quarantined-source")
+        try:
+            event = parse_event(line)
+        except EventValidationError as exc:
+            self.counters["corrupt_total"] += 1
+            streak = self._source_corrupt_streaks.get(source, 0) + 1
+            self._source_corrupt_streaks[source] = streak
+            if streak >= self.config.poison_source_threshold:
+                self.quarantined_sources.add(source)
+                self.counters["quarantined_sources"] += 1
+                if self.observer.active:
+                    self.observer.emit(
+                        "service", "source_quarantined", 0.0, source=source
+                    )
+                return IngestResult(
+                    status="quarantined-source", error=str(exc)
+                )
+            return IngestResult(status="rejected", error=str(exc))
+        self._source_corrupt_streaks[source] = 0
+        return self.enqueue(event)
+
+    def enqueue(self, event: IngressEvent) -> IngestResult:
+        """Admit one parsed event into the bounded ingress queue."""
+        self.counters["events_total"] += 1
+        shed = self.queue.push(event, event.priority)
+        self.counters["shed_total"] += len(shed)
+        if self.observer.active:
+            self.observer.inc("repro_service_events_total")
+            for item in shed:
+                self.observer.inc("repro_service_shed_total")
+                self.observer.emit(
+                    "service",
+                    "shed",
+                    0.0,
+                    priority=item.priority,
+                    kind=getattr(item.event, "kind", "?"),
+                )
+        if shed and shed[0].event is event:
+            return IngestResult(status="shed", event=event)
+        return IngestResult(status="queued", event=event)
+
+    @property
+    def should_backpressure(self) -> bool:
+        return self.queue.should_backpressure
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+
+    def process_next(
+        self, now: float, stall_seconds: float = 0.0
+    ) -> DecisionResponse | None:
+        """Pop and apply the oldest queued event.
+
+        ``stall_seconds`` is per-item consumer latency the environment
+        injected (the slow-consumer fault model); it advances the virtual
+        clock of decision requests and can blow their deadlines.  Returns
+        a response for decide events, ``None`` otherwise.
+        """
+        item = self.queue.pop()
+        if item is None:
+            return None
+        event = item.event
+        if isinstance(event, AccessEvent):
+            self._apply_access(event)
+            return None
+        if isinstance(event, SnapshotEvent):
+            self._apply_snapshot(event)
+            return None
+        if isinstance(event, DecideEvent):
+            return self.decide(event, now, stall_seconds=stall_seconds)
+        raise ServiceError(f"unknown queued event: {event!r}")
+
+    def drain(self, now: float, stall_seconds: float = 0.0) -> list[DecisionResponse]:
+        """Process everything queued; responses in service order."""
+        responses: list[DecisionResponse] = []
+        while self.queue.depth:
+            response = self.process_next(now, stall_seconds=stall_seconds)
+            if response is not None:
+                responses.append(response)
+        return responses
+
+    def _tenant(self, name: str, huge_pages: int = 1) -> TenantState:
+        state = self.tenants.get(name)
+        if state is None:
+            huge_pages = max(huge_pages, 1)
+            state = TenantState(
+                name=name,
+                num_huge_pages=huge_pages,
+                pending=np.zeros(
+                    huge_pages * SUBPAGES_PER_HUGE_PAGE, dtype=np.int64
+                ),
+            )
+            self.tenants[name] = state
+        return state
+
+    def _apply_access(self, event: AccessEvent) -> None:
+        state = self._tenant(event.tenant, event.page + 1)
+        state.ensure_capacity(event.page + 1)
+        base = event.page * SUBPAGES_PER_HUGE_PAGE
+        if event.subpage is not None:
+            state.pending[base + event.subpage] += event.count
+        else:
+            whole, remainder = divmod(event.count, SUBPAGES_PER_HUGE_PAGE)
+            if whole:
+                state.pending[base : base + SUBPAGES_PER_HUGE_PAGE] += whole
+            if remainder:
+                state.pending[base : base + remainder] += 1
+        state.events_ingested += 1
+
+    def _apply_snapshot(self, event: SnapshotEvent) -> None:
+        state = self._tenant(event.tenant, len(event.counts))
+        state.ensure_capacity(len(event.counts))
+        counts = np.asarray(event.counts, dtype=np.int64)
+        whole = counts // SUBPAGES_PER_HUGE_PAGE
+        remainder = counts % SUBPAGES_PER_HUGE_PAGE
+        fresh = np.repeat(whole, SUBPAGES_PER_HUGE_PAGE)
+        offsets = np.arange(counts.size * SUBPAGES_PER_HUGE_PAGE) % (
+            SUBPAGES_PER_HUGE_PAGE
+        )
+        fresh += (offsets < np.repeat(remainder, SUBPAGES_PER_HUGE_PAGE)).astype(
+            np.int64
+        )
+        pending = np.zeros_like(state.pending)
+        pending[: fresh.size] = fresh
+        state.pending = pending
+        state.events_ingested += 1
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def decide(
+        self, event: DecideEvent, now: float, stall_seconds: float = 0.0
+    ) -> DecisionResponse:
+        """Answer one placement request (fresh if possible, else degraded)."""
+        self.counters["decisions_total"] += 1
+        # Idempotent replay: an already-acked request gets its recorded
+        # ack back without touching the engine or the log.
+        recorded = self.acked.get(event.request_id)
+        if recorded is not None:
+            self.counters["idempotent_acks"] += 1
+            cached = self.cache.get(event.tenant)
+            response = DecisionResponse(
+                tenant=event.tenant,
+                request_id=event.request_id,
+                degraded=False,
+                seq=recorded,
+                reason="",
+                plan=cached.plan if cached is not None else {},
+                epoch_index=cached.epoch_index if cached is not None else -1,
+            )
+            self._finish(response, now)
+            return response
+        if event.request_id in self.quarantined_requests:
+            response = self._degraded(event, now, 0.0, "quarantined")
+            self._finish(response, now)
+            return response
+
+        deadline = now + (
+            event.deadline_seconds
+            if event.deadline_seconds is not None
+            else self.config.deadline_seconds
+        )
+        virtual_now = now + stall_seconds
+        attempt = 0
+        failure: str | None = None
+        while True:
+            if virtual_now > deadline:
+                self.breaker.record_failure(virtual_now)
+                failure = "deadline"
+                break
+            if not self.breaker.allow(virtual_now):
+                failure = "breaker-open"
+                break
+            attempt += 1
+            try:
+                plan, epoch_index = self._engine_step(event.tenant)
+            except ReproError:
+                self.counters["engine_failures"] += 1
+                self.breaker.record_failure(virtual_now)
+                if attempt >= self.config.max_attempts:
+                    failures = self.request_failures.get(event.request_id, 0) + 1
+                    self.request_failures[event.request_id] = failures
+                    if failures >= self.config.poison_request_threshold:
+                        self.quarantined_requests.add(event.request_id)
+                        self.counters["quarantined_requests"] += 1
+                        if self.observer.active:
+                            self.observer.emit(
+                                "service",
+                                "request_quarantined",
+                                virtual_now,
+                                request_id=event.request_id,
+                                tenant=event.tenant,
+                            )
+                    failure = "engine-error"
+                    break
+                self.counters["retries"] += 1
+                delay = self.config.backoff_seconds * (2 ** (attempt - 1))
+                delay *= 1.0 + float(
+                    self._retry_rng.random()
+                ) * self.config.backoff_jitter
+                virtual_now += delay
+                continue
+            self.breaker.record_success(virtual_now)
+            response = self._ack(event, plan, epoch_index, virtual_now - now)
+            self._finish(response, now)
+            return response
+
+        response = self._degraded(event, now, virtual_now - now, failure)
+        self._finish(response, now)
+        return response
+
+    def _engine_step(self, tenant_name: str) -> tuple[dict, int]:
+        """One reentrant engine epoch over the tenant's pending profile."""
+        state = self._tenant(tenant_name)
+        if self.engine_fault_hook is not None:
+            self.engine_fault_hook(
+                tenant_name,
+                state.engine.epochs_run if state.engine is not None else 0,
+            )
+        if state.engine is None:
+            policy = ThermostatPolicy(
+                ThermostatConfig(
+                    tolerable_slowdown=self.config.tolerable_slowdown,
+                    scan_interval=self.config.epoch_seconds,
+                )
+            )
+            engine = EpochSimulation(
+                IngestedWorkload(tenant_name, state.num_huge_pages),
+                policy,
+                SimulationConfig(
+                    duration=self.config.epoch_seconds * 1_000_000,
+                    epoch=self.config.epoch_seconds,
+                    seed=self.config.seed,
+                    stochastic=False,
+                ),
+            )
+            engine.start()
+            state.engine = engine
+            state.policy = policy
+        profile = EpochProfile(
+            start_time=state.engine.clock.now,
+            duration=self.config.epoch_seconds,
+            counts=state.pending,
+            write_fraction=0.1,
+        )
+        state.engine.step(profile=profile)
+        state.pending = np.zeros_like(state.pending)
+        state.decisions += 1
+        assert state.policy is not None
+        return state.policy.last_plan.to_payload(), state.engine.epochs_run - 1
+
+    def _ack(
+        self,
+        event: DecideEvent,
+        plan: dict,
+        epoch_index: int,
+        latency: float,
+    ) -> DecisionResponse:
+        """Durably record and ack one fresh decision (WAL before ack)."""
+        self.seq += 1
+        seq = self.seq
+        record = {
+            "seq": seq,
+            "tenant": event.tenant,
+            "request_id": event.request_id,
+            "epoch_index": epoch_index,
+            "plan": plan,
+        }
+        if self.log is not None:
+            self.log.append(record)
+            self._acks_since_checkpoint += 1
+            if self._acks_since_checkpoint >= self.config.checkpoint_every:
+                self.checkpoint()
+        self.acked[event.request_id] = seq
+        self.cache.put(
+            CachedDecision(
+                tenant=event.tenant, seq=seq, epoch_index=epoch_index, plan=plan
+            )
+        )
+        self.counters["decisions_fresh"] += 1
+        return DecisionResponse(
+            tenant=event.tenant,
+            request_id=event.request_id,
+            degraded=False,
+            seq=seq,
+            reason="",
+            plan=plan,
+            epoch_index=epoch_index,
+            latency_seconds=latency,
+        )
+
+    def _degraded(
+        self, event: DecideEvent, now: float, latency: float, reason: str
+    ) -> DecisionResponse:
+        """Serve last-known-good, flagged — never silently stale."""
+        self.counters["decisions_degraded"] += 1
+        cached = self.cache.get(event.tenant)
+        if cached is None:
+            self.counters["degraded_no_cache"] += 1
+        return DecisionResponse(
+            tenant=event.tenant,
+            request_id=event.request_id,
+            degraded=True,
+            seq=None,
+            reason=reason or "unknown",
+            plan=cached.plan if cached is not None else {},
+            epoch_index=cached.epoch_index if cached is not None else -1,
+            latency_seconds=latency,
+        )
+
+    def _finish(self, response: DecisionResponse, now: float) -> None:
+        self.latencies.append(response.latency_seconds)
+        obs = self.observer
+        if not obs.active:
+            return
+        obs.inc("repro_service_decisions_total")
+        if response.degraded:
+            obs.inc("repro_service_decisions_degraded_total")
+        obs.observe(
+            "repro_service_decision_latency_seconds",
+            response.latency_seconds,
+            SECONDS_BUCKETS,
+        )
+        obs.set_gauge("repro_service_queue_depth", float(self.queue.depth))
+        obs.set_gauge(
+            "repro_service_breaker_open", 1.0 if self.breaker.state == OPEN else 0.0
+        )
+        obs.emit(
+            "service",
+            "decision",
+            now,
+            tenant=response.tenant,
+            degraded=response.degraded,
+            reason=response.reason,
+            seq=response.seq,
+            latency_seconds=response.latency_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Durability & health
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot seq / ack-count / ingest offset atomically."""
+        if self.wal_dir is None:
+            return
+        Checkpoint(
+            seq=self.seq, acked=len(self.acked), ingest_lines=self.ingest_lines
+        ).write(self.wal_dir)
+        self._acks_since_checkpoint = 0
+        self.counters["checkpoints"] += 1
+
+    def close(self) -> None:
+        """Flush durability state (checkpoint + close the log)."""
+        self.checkpoint()
+        if self.log is not None:
+            self.log.close()
+
+    def health(self, now: float = 0.0) -> dict:
+        """Liveness payload: queue, breaker, shed/degraded accounting."""
+        return {
+            "queue": {
+                "depth": self.queue.depth,
+                "capacity": self.queue.capacity,
+                "backpressure": self.queue.should_backpressure,
+                "shed_total": self.queue.shed_total,
+                "shed_by_priority": dict(self.queue.shed_by_priority),
+            },
+            "breaker": {
+                "state": self.breaker.state,
+                "trips_total": self.breaker.trips_total,
+                "seconds_until_probe": self.breaker.seconds_until_probe(now),
+            },
+            "wal": {
+                "seq": self.seq,
+                "acked": len(self.acked),
+                "ingest_lines": self.ingest_lines,
+            },
+            "tenants": len(self.tenants),
+            "quarantined_requests": len(self.quarantined_requests),
+            "quarantined_sources": len(self.quarantined_sources),
+            "counters": dict(self.counters),
+        }
+
+    def ready(self, now: float = 0.0) -> bool:
+        """Readiness: willing to accept new work right now."""
+        return self.breaker.state != OPEN and not self.queue.should_backpressure

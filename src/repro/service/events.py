@@ -1,0 +1,236 @@
+"""Wire schema of the online placement service.
+
+One JSONL object per event.  Three kinds:
+
+* ``access`` — incremental access counts for one huge page of one tenant;
+  accumulated into the tenant's pending epoch profile.
+* ``snapshot`` — a full per-huge-page count vector for one tenant,
+  replacing whatever the tenant accumulated so far (the streamed
+  equivalent of one Thermostat scan's worth of observation).
+* ``decide`` — a placement request: flush the tenant's accumulated
+  profile through the policy engine and answer with a placement plan
+  (demote / promote / sampled page ids).
+
+Parsing is strict: anything that is not a complete, well-formed event of
+a known kind raises :class:`~repro.errors.EventValidationError`.  The
+corrupt-event fault model (:mod:`repro.faults.models`) counts on this —
+truncated lines, NUL-struck bytes, and brace-swapped JSON must all be
+rejected here, never half-applied downstream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import EventValidationError
+
+#: Priority lattice for ingress shedding: 0 = coldest (first to shed),
+#: 3 = hottest (shed only when nothing colder remains).
+PRIORITY_MIN = 0
+PRIORITY_MAX = 3
+#: Default priority of events that do not carry one.
+DEFAULT_PRIORITY = 1
+
+#: Upper bound on a tenant footprint one event may imply, in huge pages.
+#: A corrupt count that slips past JSON parsing must not allocate
+#: gigabytes of profile array.
+MAX_HUGE_PAGES = 1 << 20
+
+_TENANT_MAX_LEN = 64
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """Incremental accesses to one huge page during the current interval."""
+
+    tenant: str
+    page: int
+    count: int
+    #: Optional 4KB subpage within the huge page; None spreads the count
+    #: evenly (the service only needs subpage detail for sampled pages).
+    subpage: int | None = None
+    priority: int = DEFAULT_PRIORITY
+
+    kind = "access"
+
+
+@dataclass(frozen=True)
+class SnapshotEvent:
+    """A full per-huge-page access-count vector for one tenant."""
+
+    tenant: str
+    counts: tuple[int, ...]
+    priority: int = DEFAULT_PRIORITY
+
+    kind = "snapshot"
+
+
+@dataclass(frozen=True)
+class DecideEvent:
+    """A placement request against the tenant's accumulated profile."""
+
+    tenant: str
+    request_id: str
+    priority: int = DEFAULT_PRIORITY
+    #: Per-request latency budget, seconds; None uses the service default.
+    deadline_seconds: float | None = None
+
+    kind = "decide"
+
+
+IngressEvent = AccessEvent | SnapshotEvent | DecideEvent
+
+
+@dataclass(frozen=True)
+class DecisionResponse:
+    """One answer to a :class:`DecideEvent`.
+
+    ``degraded`` responses carry the last-known-good plan (or an empty
+    one) and are never acked — ``seq`` is ``None`` exactly when
+    ``degraded`` is true, so a client can tell a durable fresh decision
+    from a best-effort stale one at a glance.
+    """
+
+    tenant: str
+    request_id: str
+    degraded: bool
+    #: Ack sequence number; assigned (and WAL-logged) only for fresh
+    #: decisions.
+    seq: int | None
+    #: Why the response is degraded ("" for fresh): "breaker-open",
+    #: "deadline", "engine-error", "quarantined".
+    reason: str
+    #: Placement plan payload (page-id lists; see PlacementPlan.to_payload).
+    plan: dict = field(default_factory=dict)
+    #: Engine epoch index the plan was computed at.
+    epoch_index: int = -1
+    #: Virtual service latency for this request, seconds (stalls plus
+    #: retry backoff; deterministic under a fixed seed).
+    latency_seconds: float = 0.0
+
+    def to_payload(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "degraded": self.degraded,
+            "seq": self.seq,
+            "reason": self.reason,
+            "plan": self.plan,
+            "epoch_index": self.epoch_index,
+            "latency_seconds": self.latency_seconds,
+        }
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise EventValidationError(message)
+
+
+def _parse_tenant(data: dict) -> str:
+    tenant = data.get("tenant")
+    _require(isinstance(tenant, str) and tenant != "", "event missing tenant")
+    _require(
+        len(tenant) <= _TENANT_MAX_LEN,
+        f"tenant name longer than {_TENANT_MAX_LEN} chars",
+    )
+    return tenant
+
+
+def _parse_priority(data: dict) -> int:
+    priority = data.get("priority", DEFAULT_PRIORITY)
+    _require(
+        isinstance(priority, int) and PRIORITY_MIN <= priority <= PRIORITY_MAX,
+        f"priority must be an int in [{PRIORITY_MIN}, {PRIORITY_MAX}]: "
+        f"{priority!r}",
+    )
+    return priority
+
+
+def parse_event(line: str) -> IngressEvent:
+    """Parse one JSONL line into a validated ingress event.
+
+    Raises :class:`EventValidationError` for anything malformed; the
+    caller counts the rejection and (on repeated poison from one source)
+    quarantines the source.
+    """
+    try:
+        data = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise EventValidationError(f"not valid JSON: {exc}") from None
+    _require(isinstance(data, dict), "event must be a JSON object")
+    kind = data.get("kind")
+    if kind == "access":
+        return _parse_access(data)
+    if kind == "snapshot":
+        return _parse_snapshot(data)
+    if kind == "decide":
+        return _parse_decide(data)
+    raise EventValidationError(f"unknown event kind: {kind!r}")
+
+
+def _parse_access(data: dict) -> AccessEvent:
+    tenant = _parse_tenant(data)
+    page = data.get("page")
+    _require(
+        isinstance(page, int) and 0 <= page < MAX_HUGE_PAGES,
+        f"access page must be an int in [0, {MAX_HUGE_PAGES}): {page!r}",
+    )
+    count = data.get("count")
+    _require(
+        isinstance(count, int) and count >= 0,
+        f"access count must be a non-negative int: {count!r}",
+    )
+    subpage = data.get("subpage")
+    if subpage is not None:
+        _require(
+            isinstance(subpage, int) and 0 <= subpage < 512,
+            f"subpage must be an int in [0, 512): {subpage!r}",
+        )
+    return AccessEvent(
+        tenant=tenant,
+        page=page,
+        count=count,
+        subpage=subpage,
+        priority=_parse_priority(data),
+    )
+
+
+def _parse_snapshot(data: dict) -> SnapshotEvent:
+    tenant = _parse_tenant(data)
+    counts = data.get("counts")
+    _require(isinstance(counts, list) and len(counts) > 0, "snapshot needs counts")
+    _require(
+        len(counts) <= MAX_HUGE_PAGES,
+        f"snapshot covers more than {MAX_HUGE_PAGES} huge pages",
+    )
+    for value in counts:
+        _require(
+            isinstance(value, int) and value >= 0,
+            f"snapshot counts must be non-negative ints: {value!r}",
+        )
+    return SnapshotEvent(
+        tenant=tenant, counts=tuple(counts), priority=_parse_priority(data)
+    )
+
+
+def _parse_decide(data: dict) -> DecideEvent:
+    tenant = _parse_tenant(data)
+    request_id = data.get("request_id")
+    _require(
+        isinstance(request_id, str) and request_id != "",
+        "decide needs a request_id",
+    )
+    deadline = data.get("deadline_seconds")
+    if deadline is not None:
+        _require(
+            isinstance(deadline, (int, float)) and deadline > 0,
+            f"deadline_seconds must be positive: {deadline!r}",
+        )
+        deadline = float(deadline)
+    return DecideEvent(
+        tenant=tenant,
+        request_id=request_id,
+        priority=_parse_priority(data),
+        deadline_seconds=deadline,
+    )

@@ -1,0 +1,132 @@
+"""Bounded ingress queue with priority-aware load shedding.
+
+The service's first line of defence: a fixed-capacity queue between the
+network and the policy engine.  Admission is unconditional until the
+queue is full; past that, the *coldest* waiting event is shed to make
+room — and if the arriving event is itself the coldest thing in sight, it
+is shed on arrival.  Every shed is counted (total and per priority) so
+the metrics surface can prove shedding happened instead of silently
+dropping work.
+
+Backpressure is a separate, earlier signal: once depth crosses the
+high-watermark the shell should stop reading from its sources (TCP
+receive windows fill, stdin pauses), which is the polite alternative to
+shedding.  Shedding only engages when the producer ignores backpressure
+or a burst lands faster than the shell can react.
+
+Deterministic by construction: FIFO arrival order within and across
+priorities for serving, newest-coldest-first for shedding, no clocks and
+no RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.service.events import PRIORITY_MAX, PRIORITY_MIN
+
+
+@dataclass(frozen=True)
+class QueueItem:
+    """One admitted event with its arrival ticket."""
+
+    arrival: int
+    priority: int
+    event: object
+
+
+class BoundedIngressQueue:
+    """Fixed-capacity ingress queue; sheds coldest-priority first.
+
+    Serving order is global FIFO (arrival order), *not* priority order:
+    access events must reach a tenant's profile in the order they were
+    emitted or the profile drifts from what the client observed.
+    Priority only decides who dies under overload.
+    """
+
+    def __init__(self, capacity: int, backpressure_watermark: float = 0.8) -> None:
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1: {capacity}")
+        if not 0.0 < backpressure_watermark <= 1.0:
+            raise ConfigError(
+                f"backpressure_watermark must be in (0, 1]: "
+                f"{backpressure_watermark}"
+            )
+        self.capacity = capacity
+        self.watermark = max(1, int(capacity * backpressure_watermark))
+        self._lanes: dict[int, deque[QueueItem]] = {
+            p: deque() for p in range(PRIORITY_MIN, PRIORITY_MAX + 1)
+        }
+        self._arrivals = 0
+        self._depth = 0
+        self.accepted_total = 0
+        self.shed_total = 0
+        self.shed_by_priority: dict[int, int] = {
+            p: 0 for p in range(PRIORITY_MIN, PRIORITY_MAX + 1)
+        }
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def should_backpressure(self) -> bool:
+        """True once depth reaches the high-watermark (stop reading)."""
+        return self._depth >= self.watermark
+
+    def push(self, event: object, priority: int) -> list[QueueItem]:
+        """Admit one event; returns the items shed to make room.
+
+        The returned list is empty on a clean admit, and may contain the
+        *arriving* event itself when it is no hotter than everything
+        already queued (arriving cold work is the cheapest to refuse —
+        nothing was invested in it yet).
+        """
+        if not PRIORITY_MIN <= priority <= PRIORITY_MAX:
+            raise ConfigError(
+                f"priority must be in [{PRIORITY_MIN}, {PRIORITY_MAX}]: {priority}"
+            )
+        item = QueueItem(arrival=self._arrivals, priority=priority, event=event)
+        self._arrivals += 1
+        shed: list[QueueItem] = []
+        if self._depth >= self.capacity:
+            coldest = self._coldest_nonempty()
+            if coldest is not None and coldest < priority:
+                victim = self._lanes[coldest].pop()  # newest of the coldest
+                self._depth -= 1
+                self._record_shed(victim)
+                shed.append(victim)
+            else:
+                # Arriving event is no hotter than anything queued.
+                self._record_shed(item)
+                shed.append(item)
+                return shed
+        self._lanes[priority].append(item)
+        self._depth += 1
+        self.accepted_total += 1
+        return shed
+
+    def pop(self) -> QueueItem | None:
+        """The oldest queued item across all priorities (None if empty)."""
+        best_lane: deque[QueueItem] | None = None
+        best_arrival = -1
+        for lane in self._lanes.values():
+            if lane and (best_lane is None or lane[0].arrival < best_arrival):
+                best_lane = lane
+                best_arrival = lane[0].arrival
+        if best_lane is None:
+            return None
+        self._depth -= 1
+        return best_lane.popleft()
+
+    def _coldest_nonempty(self) -> int | None:
+        for priority in range(PRIORITY_MIN, PRIORITY_MAX + 1):
+            if self._lanes[priority]:
+                return priority
+        return None
+
+    def _record_shed(self, item: QueueItem) -> None:
+        self.shed_total += 1
+        self.shed_by_priority[item.priority] += 1

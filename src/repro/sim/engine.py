@@ -283,8 +283,17 @@ class EpochSimulation:
         self._epoch_index = 0
         self._started = True
 
-    def step(self) -> None:
-        """Simulate one epoch (grow, charge stalls, policy, record, audit)."""
+    def step(self, profile=None) -> None:
+        """Simulate one epoch (grow, charge stalls, policy, record, audit).
+
+        ``profile`` (an :class:`~repro.sim.profile.EpochProfile`) overrides
+        the workload's generated profile with externally ingested access
+        counts — the online placement service (:mod:`repro.service`) feeds
+        streamed access snapshots through this parameter, reusing the
+        whole stall-charge/policy/record pipeline without consuming the
+        workload RNG stream.  The external profile must cover at least the
+        state's current footprint; the state grows to match a larger one.
+        """
         if not self._started:
             raise SimulationError("call start() before step()")
         obs = self.observer
@@ -295,10 +304,17 @@ class EpochSimulation:
         slow_latency = self.topology.latency(SLOW_NODE)
         start = self.clock.now
         with obs.phase("scan"):
-            needed = self.workload.num_huge_pages_at(start)
+            if profile is not None:
+                needed = profile.num_huge_pages
+            else:
+                needed = self.workload.num_huge_pages_at(start)
             if needed < self.state.num_huge_pages:
+                source = (
+                    "ingested profile" if profile is not None
+                    else f"workload {self.workload.name!r}"
+                )
                 raise SimulationError(
-                    f"workload {self.workload.name!r} shrank its footprint "
+                    f"{source} shrank its footprint "
                     f"from {self.state.num_huge_pages} to {needed} huge pages "
                     f"at t={start:g}s; the engine only supports growth — "
                     "model released memory as idle pages instead"
@@ -307,7 +323,9 @@ class EpochSimulation:
                 self.state.grow(needed)
                 if wear is not None:
                     wear.grow(needed)
-            if self.config.profile_mode == "hierarchical" and self.config.stochastic:
+            if profile is not None:
+                pass  # externally ingested epoch; no workload draw at all
+            elif self.config.profile_mode == "hierarchical" and self.config.stochastic:
                 # Vectorized hot path: one draw per 2MB page, exact subpage
                 # resolution only for the pages currently split for
                 # monitoring (the only subpage detail the policy reads).

@@ -159,7 +159,7 @@ class TestRunnerCli:
             "table1", "table2", "table3", "table4",
         }
         extensions = {"ext-counting", "ext-wear", "ext-latency", "ext-oracle",
-                      "ext-thp", "ext-faults", "ext-fleet"}
+                      "ext-thp", "ext-faults", "ext-fleet", "ext-service"}
         assert set(EXPERIMENTS) == paper | extensions
 
     def test_single_experiment(self, capsys):

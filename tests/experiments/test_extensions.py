@@ -68,10 +68,36 @@ class TestExtThpTradeoff:
         assert "thermostat" in ext_thp_tradeoff.render(rows)
 
 
+class TestExtService:
+    def test_gates_and_determinism(self):
+        from repro.experiments import ext_service
+
+        rows = ext_service.run(seed=SEED, decisions=40)
+        assert [row["posture"] for row in rows] == ["clean", "chaos"]
+        clean, chaos = rows
+        assert clean["summary"]["degraded"] == 0
+        assert clean["summary"]["fresh"] == clean["summary"]["decisions"]
+        # The pinned chaos mix must actually exercise degradation.
+        assert chaos["summary"]["degraded"] > 0
+        text = ext_service.render(rows)
+        assert "degraded" in text
+        assert text == ext_service.render(ext_service.run(seed=SEED, decisions=40))
+
+    def test_configure_validation(self):
+        import pytest
+
+        from repro.errors import ConfigError
+        from repro.experiments import ext_service
+
+        with pytest.raises(ConfigError):
+            ext_service.configure(decisions=0)
+        ext_service.configure(decisions=None)
+
+
 class TestRunnerIncludesExtensions:
     def test_registry(self):
         from repro.experiments.runner import EXPERIMENTS
 
         for name in ("ext-counting", "ext-wear", "ext-latency", "ext-oracle",
-                     "ext-thp"):
+                     "ext-thp", "ext-fleet", "ext-service"):
             assert name in EXPERIMENTS

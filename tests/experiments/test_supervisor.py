@@ -128,6 +128,71 @@ class TestCrashRecovery:
         assert batch.attempts[SPEC.cache_key()] == 1
 
 
+class TestWorkerThreadFallback:
+    """_supervised_worker must not require the main thread for its budget.
+
+    ``signal.signal`` raises ``ValueError`` off the main thread; the
+    worker entry point has to detect that and fall back to a
+    monotonic-deadline timer that hard-exits the process instead.
+    """
+
+    def test_runs_to_completion_off_the_main_thread(self):
+        import threading
+
+        from repro.experiments.supervisor import _supervised_worker
+
+        outcome = {}
+
+        def call():
+            try:
+                outcome["payload"] = _supervised_worker(SPEC, timeout=60.0)
+            except BaseException as exc:  # noqa: BLE001 - recording for assert
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        assert "error" not in outcome, f"worker raised: {outcome.get('error')!r}"
+        store = ResultStore()
+        store.put_payload(SPEC.cache_key(), outcome["payload"])
+        assert_results_identical(
+            store.load(SPEC.cache_key()), clean_results(SPEC)[0]
+        )
+
+    def test_fallback_timer_kills_the_process_on_expiry(self, tmp_path):
+        """Off the main thread with a blown budget, the worker hard-exits
+        with TIMEOUT_EXIT_CODE (run in a subprocess: the exit is fatal)."""
+        import os
+        import subprocess
+        import sys
+
+        script = """
+import threading
+from repro.experiments.parallel import RunSpec
+from repro.experiments.supervisor import _supervised_worker
+
+spec = RunSpec(workload="web-search", scale=0.02, duration=90.0, seed=7)
+thread = threading.Thread(
+    target=_supervised_worker, args=(spec, 0.2), daemon=True
+)
+thread.start()
+thread.join(timeout=60.0)
+raise SystemExit(7)  # only reached if the timer never fired
+"""
+        env = dict(os.environ)
+        env[TEST_FAULT_ENV] = "web-search:hang:600"
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, timeout=120,
+            capture_output=True, text=True,
+        )
+        from repro.experiments.supervisor import TIMEOUT_EXIT_CODE
+
+        assert proc.returncode == TIMEOUT_EXIT_CODE, proc.stderr
+
+
 class TestQuarantine:
     def test_always_failing_task_quarantined(self, tmp_path, monkeypatch):
         monkeypatch.setenv(TEST_FAULT_ENV, "web-search:raise")

@@ -1,0 +1,93 @@
+"""Circuit breaker state machine tests (explicit-time, no clocks)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def make_breaker(**kwargs):
+    defaults = {
+        "failure_threshold": 3,
+        "reset_timeout": 1.0,
+        "half_open_successes": 2,
+    }
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestValidation:
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(reset_timeout=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(half_open_successes=0)
+
+
+class TestTripping:
+    def test_consecutive_failures_trip(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+        assert breaker.trips_total == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = make_breaker()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_until_timeout(self):
+        breaker = make_breaker()
+        for t in range(3):
+            breaker.record_failure(float(t))
+        assert not breaker.allow(2.5)
+        assert breaker.seconds_until_probe(2.5) == pytest.approx(0.5)
+        assert breaker.allow(3.0)  # reset_timeout elapsed -> half-open probe
+        assert breaker.state == HALF_OPEN
+
+
+class TestRecovery:
+    def _tripped(self):
+        breaker = make_breaker()
+        for t in range(3):
+            breaker.record_failure(float(t))
+        assert breaker.allow(10.0)  # -> half-open
+        return breaker
+
+    def test_probe_successes_close(self):
+        breaker = self._tripped()
+        breaker.record_success(10.1)
+        assert breaker.state == HALF_OPEN
+        breaker.record_success(10.2)
+        assert breaker.state == CLOSED
+        # Fully recovered: takes threshold failures to trip again.
+        breaker.record_failure(10.3)
+        assert breaker.state == CLOSED
+
+    def test_probe_failure_reopens_and_restarts_timeout(self):
+        breaker = self._tripped()
+        breaker.record_failure(10.1)
+        assert breaker.state == OPEN
+        assert breaker.trips_total == 2
+        assert not breaker.allow(10.5)
+        assert breaker.allow(11.2)
+
+    def test_transitions_recorded(self):
+        breaker = self._tripped()
+        breaker.record_success(10.1)
+        breaker.record_success(10.2)
+        states = [(t.from_state, t.to_state) for t in breaker.transitions]
+        assert states == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]

@@ -1,0 +1,322 @@
+"""Placement service core: decisions, degradation, durability, poison."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError, SimulationError
+from repro.obs import Observer
+from repro.service.breaker import CLOSED, OPEN
+from repro.service.core import PlacementService, ServiceConfig
+
+
+def make_service(**kwargs):
+    config_kwargs = {
+        "seed": 7,
+        "breaker_failure_threshold": 3,
+        "breaker_reset_seconds": 1.0,
+        "max_attempts": 2,
+        "backoff_seconds": 0.001,
+    }
+    config_kwargs.update(kwargs.pop("config", {}))
+    return PlacementService(config=ServiceConfig(**config_kwargs), **kwargs)
+
+
+def feed_profile(service, tenant="t0", pages=4, count=5000):
+    for page in range(pages):
+        line = json.dumps(
+            {"kind": "access", "tenant": tenant, "page": page, "count": count}
+        )
+        assert service.ingest_line(line).status == "queued"
+
+
+def decide(service, tenant="t0", request_id="r1", now=0.0, stall=0.0, **extra):
+    line = json.dumps(
+        {"kind": "decide", "tenant": tenant, "request_id": request_id, **extra}
+    )
+    assert service.ingest_line(line).status == "queued"
+    responses = service.drain(now, stall_seconds=stall)
+    assert len(responses) == 1
+    return responses[0]
+
+
+class TestFreshDecisions:
+    def test_access_events_produce_a_plan(self):
+        service = make_service()
+        feed_profile(service)
+        response = decide(service)
+        assert not response.degraded
+        assert response.seq == 1
+        assert response.reason == ""
+        assert set(response.plan) == {
+            "demote", "deferred", "promote", "cold", "hot", "sampled",
+        }
+        assert response.epoch_index == 0
+
+    def test_snapshot_replaces_accumulated_counts(self):
+        service = make_service()
+        feed_profile(service, count=999_999)
+        line = json.dumps(
+            {"kind": "snapshot", "tenant": "t0", "counts": [0, 0, 0, 0]}
+        )
+        service.ingest_line(line)
+        response = decide(service)
+        assert not response.degraded
+        # The snapshot zeroed the profile: nothing is hot.
+        assert response.plan["hot"] == []
+
+    def test_pending_profile_clears_after_decision(self):
+        service = make_service()
+        feed_profile(service)
+        decide(service, request_id="r1")
+        state = service.tenants["t0"]
+        assert int(state.pending.sum()) == 0
+
+    def test_tenant_footprint_grows_online(self):
+        service = make_service()
+        feed_profile(service, pages=2)
+        decide(service, request_id="r1")
+        feed_profile(service, pages=8)  # pages 0-7: footprint grows
+        response = decide(service, request_id="r2")
+        assert not response.degraded
+        assert service.tenants["t0"].num_huge_pages == 8
+
+    def test_decisions_are_deterministic(self):
+        def run():
+            service = make_service()
+            feed_profile(service)
+            return decide(service).to_payload()
+
+        assert run() == run()
+
+
+class TestDegradedServing:
+    def test_engine_error_serves_last_known_good_flagged(self):
+        service = make_service()
+        feed_profile(service)
+        fresh = decide(service, request_id="r1")
+        calls = []
+
+        def hook(tenant, epoch):
+            calls.append(tenant)
+            raise SimulationError("injected engine fault")
+
+        service.engine_fault_hook = hook
+        feed_profile(service)
+        degraded = decide(service, request_id="r2", now=1.0)
+        assert degraded.degraded
+        assert degraded.seq is None  # degraded responses are never acked
+        assert degraded.reason == "engine-error"
+        assert degraded.plan == fresh.plan  # last-known-good, not silence
+        assert degraded.epoch_index == fresh.epoch_index
+        assert len(calls) == 2  # max_attempts
+
+    def test_degraded_without_cache_is_explicit(self):
+        service = make_service()
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        response = decide(service, request_id="r1")
+        assert response.degraded
+        assert response.plan == {}
+        assert service.counters["degraded_no_cache"] == 1
+
+    def test_breaker_trips_and_serves_from_cache(self):
+        service = make_service()
+        feed_profile(service)
+        decide(service, request_id="warm")
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        # threshold=3 consecutive failures; each decide fails twice.
+        decide(service, request_id="f1", now=1.0)
+        decide(service, request_id="f2", now=1.1)
+        assert service.breaker.state == OPEN
+        response = decide(service, request_id="f3", now=1.2)
+        assert response.degraded and response.reason == "breaker-open"
+        # While open the engine is never touched.
+        failures_before = service.counters["engine_failures"]
+        decide(service, request_id="f4", now=1.3)
+        assert service.counters["engine_failures"] == failures_before
+
+    def test_breaker_recovers_through_half_open_probes(self):
+        service = make_service(config={"breaker_half_open_successes": 1})
+        feed_profile(service)
+        decide(service, request_id="warm")
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="f1", now=1.0)
+        decide(service, request_id="f2", now=1.1)
+        assert service.breaker.state == OPEN
+        service.engine_fault_hook = None  # engine healed
+        feed_profile(service)
+        response = decide(service, request_id="probe", now=5.0)
+        assert not response.degraded  # probe went through and closed it
+        assert service.breaker.state == CLOSED
+
+    def test_stall_blows_deadline(self):
+        service = make_service()
+        feed_profile(service)
+        decide(service, request_id="warm")
+        feed_profile(service)
+        response = decide(service, request_id="r2", now=1.0, stall=10.0)
+        assert response.degraded and response.reason == "deadline"
+        assert response.latency_seconds == pytest.approx(10.0)
+
+    def test_per_request_deadline_override(self):
+        service = make_service()
+        feed_profile(service)
+        response = decide(
+            service, request_id="r1", stall=0.2, deadline_seconds=0.5
+        )
+        assert not response.degraded  # generous budget absorbs the stall
+
+
+class TestPoisonHandling:
+    def test_repeated_engine_failures_quarantine_the_request(self):
+        # High breaker threshold so the poison path (attempts exhausted,
+        # not breaker-open) is what answers each retry of the request.
+        service = make_service(
+            config={
+                "poison_request_threshold": 2,
+                "breaker_failure_threshold": 100,
+            }
+        )
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("poison")
+        )
+        decide(service, request_id="bad", now=0.0)
+        assert "bad" not in service.quarantined_requests
+        decide(service, request_id="bad", now=10.0)
+        assert "bad" in service.quarantined_requests
+        # Quarantined: answered degraded without touching the engine.
+        failures_before = service.counters["engine_failures"]
+        response = decide(service, request_id="bad", now=20.0)
+        assert response.degraded and response.reason == "quarantined"
+        assert service.counters["engine_failures"] == failures_before
+
+    def test_corrupt_source_is_quarantined(self):
+        service = make_service(config={"poison_source_threshold": 3})
+        for index in range(3):
+            result = service.ingest_line("garbage", source="peer-1")
+        assert result.status == "quarantined-source"
+        assert "peer-1" in service.quarantined_sources
+        # Other sources are unaffected.
+        ok = service.ingest_line(
+            json.dumps({"kind": "access", "tenant": "t", "page": 0, "count": 1}),
+            source="peer-2",
+        )
+        assert ok.status == "queued"
+
+    def test_valid_event_resets_corrupt_streak(self):
+        service = make_service(config={"poison_source_threshold": 2})
+        service.ingest_line("garbage", source="s")
+        service.ingest_line(
+            json.dumps({"kind": "access", "tenant": "t", "page": 0, "count": 1}),
+            source="s",
+        )
+        service.ingest_line("garbage", source="s")
+        assert "s" not in service.quarantined_sources
+
+
+class TestDurability:
+    def test_acks_survive_restart(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        service = make_service(wal_dir=wal)
+        feed_profile(service)
+        first = decide(service, request_id="r1")
+        # No close(): simulate a hard crash.
+        revived = make_service(wal_dir=wal, resume=True)
+        assert revived.seq == 1
+        assert revived.acked == {"r1": 1}
+        replay = decide(revived, request_id="r1", now=99.0)
+        assert not replay.degraded
+        assert replay.seq == first.seq  # idempotent, no duplicate ack
+        assert revived.counters["idempotent_acks"] == 1
+
+    def test_fresh_service_refuses_dirty_wal_dir(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        service = make_service(wal_dir=wal)
+        feed_profile(service)
+        decide(service)
+        with pytest.raises(ServiceError, match="resume"):
+            make_service(wal_dir=wal)
+
+    def test_torn_tail_is_truncated_on_resume(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        service = make_service(wal_dir=wal)
+        feed_profile(service)
+        decide(service, request_id="r1")
+        feed_profile(service)
+        decide(service, request_id="r2", now=1.0)
+        log_path = tmp_path / "wal" / "decisions.jsonl"
+        intact_then_torn = log_path.read_bytes()[:-15]
+        log_path.write_bytes(intact_then_torn)
+        revived = make_service(wal_dir=wal, resume=True)
+        assert revived.seq == 1  # r2's torn record was never acked
+        data = log_path.read_bytes()
+        assert data.endswith(b"\n")  # torn bytes gone
+        feed_profile(revived)
+        again = decide(revived, request_id="r2", now=2.0)
+        assert again.seq == 2  # reuses the freed sequence number cleanly
+
+    def test_checkpoint_interval(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        service = make_service(wal_dir=wal, config={"checkpoint_every": 2})
+        for index in range(4):
+            feed_profile(service)
+            decide(service, request_id=f"r{index}", now=float(index))
+        assert service.counters["checkpoints"] == 2
+        assert (tmp_path / "wal" / "checkpoint.json").exists()
+
+
+class TestHealthAndMetrics:
+    def test_health_payload(self):
+        service = make_service()
+        feed_profile(service)
+        decide(service)
+        health = service.health()
+        assert health["wal"]["seq"] == 1
+        assert health["breaker"]["state"] == CLOSED
+        assert health["counters"]["decisions_fresh"] == 1
+        assert service.ready()
+
+    def test_not_ready_when_breaker_open(self):
+        service = make_service()
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="f1", now=0.0)
+        decide(service, request_id="f2", now=0.1)
+        assert service.breaker.state == OPEN
+        assert not service.ready()
+
+    def test_observer_counts_sheds_and_degraded(self):
+        observer = Observer(trace=True, metrics=True)
+        service = PlacementService(
+            config=ServiceConfig(queue_capacity=2), observer=observer
+        )
+        for index in range(6):
+            line = json.dumps(
+                {"kind": "access", "tenant": "t", "page": 0, "count": 1}
+            )
+            service.ingest_line(line)
+        snapshot = observer.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["repro_service_shed_total"] == 4.0
+        assert counters["repro_service_events_total"] == 6.0
+        shed_events = [
+            e for e in observer.tracer.events if e.name == "shed"
+        ]
+        assert len(shed_events) == 4
+
+    def test_observed_run_matches_unobserved(self):
+        def run(observer):
+            service = PlacementService(
+                config=ServiceConfig(seed=7), observer=observer
+            )
+            feed_profile(service)
+            return decide(service).to_payload()
+
+        assert run(None) == run(Observer(trace=True, metrics=True))

@@ -1,0 +1,107 @@
+"""Wire-schema validation tests."""
+
+import json
+
+import pytest
+
+from repro.errors import EventValidationError
+from repro.faults.models import CorruptEventFaultModel
+from repro.rng import make_rng
+from repro.service.events import (
+    AccessEvent,
+    DecideEvent,
+    SnapshotEvent,
+    parse_event,
+)
+
+
+def _line(**kwargs):
+    return json.dumps(kwargs)
+
+
+class TestParseAccess:
+    def test_roundtrip(self):
+        event = parse_event(_line(kind="access", tenant="t0", page=3, count=10))
+        assert isinstance(event, AccessEvent)
+        assert (event.tenant, event.page, event.count) == ("t0", 3, 10)
+        assert event.subpage is None
+
+    def test_subpage_bounds(self):
+        parse_event(_line(kind="access", tenant="t", page=0, count=1, subpage=511))
+        with pytest.raises(EventValidationError):
+            parse_event(
+                _line(kind="access", tenant="t", page=0, count=1, subpage=512)
+            )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(EventValidationError):
+            parse_event(_line(kind="access", tenant="t", page=0, count=-1))
+
+    def test_huge_page_bound(self):
+        with pytest.raises(EventValidationError):
+            parse_event(_line(kind="access", tenant="t", page=1 << 30, count=1))
+
+
+class TestParseSnapshot:
+    def test_roundtrip(self):
+        event = parse_event(_line(kind="snapshot", tenant="t0", counts=[1, 0, 5]))
+        assert isinstance(event, SnapshotEvent)
+        assert event.counts == (1, 0, 5)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(EventValidationError):
+            parse_event(_line(kind="snapshot", tenant="t0", counts=[]))
+
+    def test_non_int_counts_rejected(self):
+        with pytest.raises(EventValidationError):
+            parse_event(_line(kind="snapshot", tenant="t0", counts=[1, "x"]))
+
+
+class TestParseDecide:
+    def test_roundtrip(self):
+        event = parse_event(
+            _line(kind="decide", tenant="t0", request_id="r1", priority=3)
+        )
+        assert isinstance(event, DecideEvent)
+        assert event.request_id == "r1"
+        assert event.priority == 3
+
+    def test_missing_request_id(self):
+        with pytest.raises(EventValidationError):
+            parse_event(_line(kind="decide", tenant="t0"))
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(EventValidationError):
+            parse_event(
+                _line(kind="decide", tenant="t0", request_id="r", deadline_seconds=0)
+            )
+
+
+class TestGarbageRejection:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "not json at all",
+            "[1, 2, 3]",
+            '"just a string"',
+            '{"kind": "unknown", "tenant": "t"}',
+            '{"tenant": "t"}',
+            '{"kind": "access", "page": 0, "count": 1}',  # no tenant
+            '{"kind": "access", "tenant": "", "page": 0, "count": 1}',
+            '{"kind": "decide", "tenant": "t", "request_id": "r", "priority": 9}',
+        ],
+    )
+    def test_rejected(self, line):
+        with pytest.raises(EventValidationError):
+            parse_event(line)
+
+    def test_every_fault_model_corruption_is_rejected(self):
+        """The corrupt-event fault shapes must never half-parse."""
+        model = CorruptEventFaultModel(1.0)
+        model.bind(make_rng(0))
+        clean = _line(kind="access", tenant="t0", page=3, count=10)
+        for _ in range(200):
+            mangled = model.corrupt_payload(clean)
+            with pytest.raises(EventValidationError):
+                parse_event(mangled)

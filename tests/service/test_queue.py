@@ -1,0 +1,89 @@
+"""Bounded ingress queue: shedding order, backpressure, determinism."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.queue import BoundedIngressQueue
+
+
+class TestAdmission:
+    def test_fifo_across_priorities(self):
+        queue = BoundedIngressQueue(8)
+        queue.push("a", 0)
+        queue.push("b", 3)
+        queue.push("c", 1)
+        assert [queue.pop().event for _ in range(3)] == ["a", "b", "c"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BoundedIngressQueue(0)
+        with pytest.raises(ConfigError):
+            BoundedIngressQueue(4, backpressure_watermark=0.0)
+        with pytest.raises(ConfigError):
+            BoundedIngressQueue(4).push("x", 7)
+
+    def test_pop_empty(self):
+        assert BoundedIngressQueue(4).pop() is None
+
+
+class TestShedding:
+    def test_full_queue_sheds_coldest_first(self):
+        queue = BoundedIngressQueue(3)
+        queue.push("cold", 0)
+        queue.push("warm", 1)
+        queue.push("hot", 2)
+        shed = queue.push("hotter", 3)
+        assert [item.event for item in shed] == ["cold"]
+        assert queue.depth == 3
+        assert queue.shed_total == 1
+        assert queue.shed_by_priority[0] == 1
+
+    def test_arriving_cold_event_is_shed_on_arrival(self):
+        queue = BoundedIngressQueue(2)
+        queue.push("a", 2)
+        queue.push("b", 2)
+        shed = queue.push("cold", 1)
+        assert [item.event for item in shed] == ["cold"]
+        assert queue.depth == 2
+
+    def test_equal_priority_sheds_the_arrival(self):
+        # Work already queued beats new work of the same priority:
+        # nothing was invested in the arrival yet.
+        queue = BoundedIngressQueue(1)
+        queue.push("first", 1)
+        shed = queue.push("second", 1)
+        assert [item.event for item in shed] == ["second"]
+        assert queue.pop().event == "first"
+
+    def test_newest_of_the_coldest_dies(self):
+        queue = BoundedIngressQueue(3)
+        queue.push("old-cold", 0)
+        queue.push("new-cold", 0)
+        queue.push("warm", 1)
+        shed = queue.push("hot", 2)
+        # The *newest* cold event is shed; the older one survives (it is
+        # closer to being served).
+        assert [item.event for item in shed] == ["new-cold"]
+        assert [queue.pop().event for _ in range(3)] == ["old-cold", "warm", "hot"]
+
+    def test_every_shed_is_counted(self):
+        queue = BoundedIngressQueue(2)
+        queue.push("a", 1)
+        queue.push("b", 1)
+        for _ in range(5):
+            queue.push("x", 0)
+        assert queue.shed_total == 5
+        assert queue.shed_by_priority[0] == 5
+        assert queue.accepted_total == 2
+
+
+class TestBackpressure:
+    def test_watermark(self):
+        queue = BoundedIngressQueue(10, backpressure_watermark=0.5)
+        for i in range(4):
+            queue.push(i, 1)
+        assert not queue.should_backpressure
+        queue.push(4, 1)
+        assert queue.should_backpressure
+        queue.pop()
+        assert not queue.should_backpressure

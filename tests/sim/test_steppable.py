@@ -127,3 +127,102 @@ class TestProfileFilter:
         engine.start()
         with pytest.raises(SimulationError, match="page count"):
             engine.step()
+
+
+def make_profile(engine, num_huge, fill=200.0):
+    counts = np.full(num_huge * SUBPAGES_PER_HUGE_PAGE, fill)
+    return EpochProfile(
+        start_time=engine.clock.now,
+        duration=engine.config.epoch,
+        counts=counts,
+        write_fraction=0.1,
+    )
+
+
+class TestIngestedProfiles:
+    """step(profile=...) is the online service's entry into the engine."""
+
+    def test_ingested_profile_consumes_no_workload_rng(self):
+        # Two engines, same seed: one steps on workload draws, the other
+        # first steps on an ingested profile.  The ingested step must not
+        # advance the workload RNG, so the *next* workload-drawn epochs
+        # stay bit-identical between an engine that never ingested and a
+        # fresh engine stepping the same count of workload epochs.
+        plain = make_engine()
+        plain.start()
+        plain.step()
+        plain_profile_counts = []
+        plain.profile_filter = lambda p, i: (
+            plain_profile_counts.append(p.counts.copy()) or p
+        )
+        plain.step()
+
+        mixed = make_engine()
+        mixed.start()
+        mixed.step()
+        mixed.step(profile=make_profile(mixed, mixed.state.num_huge_pages))
+        mixed_profile_counts = []
+        mixed.profile_filter = lambda p, i: (
+            mixed_profile_counts.append(p.counts.copy()) or p
+        )
+        mixed.step()
+
+        assert np.array_equal(plain_profile_counts[0], mixed_profile_counts[0])
+
+    def test_ingested_profile_grows_the_state(self):
+        engine = make_engine(stochastic=False)
+        engine.start()
+        assert engine.state.num_huge_pages == 8
+        engine.step(profile=make_profile(engine, 12))
+        assert engine.state.num_huge_pages == 12
+
+    def test_ingested_shrink_rejected(self):
+        engine = make_engine(stochastic=False)
+        engine.start()
+        engine.step()
+        with pytest.raises(SimulationError, match="ingested profile"):
+            engine.step(profile=make_profile(engine, 4))
+
+    def test_ingested_counts_drive_the_policy(self):
+        engine = make_engine(stochastic=False)
+        engine.start()
+        hot = np.zeros(8 * SUBPAGES_PER_HUGE_PAGE)
+        hot[: SUBPAGES_PER_HUGE_PAGE] = 10_000.0  # page 0 is scorching
+        # Sampling rotates through pages across epochs; keep feeding the
+        # same skewed profile until page 0 has been observed and ranked.
+        seen_hot: set[int] = set()
+        for _ in range(32):
+            engine.step(
+                profile=EpochProfile(
+                    start_time=engine.clock.now,
+                    duration=engine.config.epoch,
+                    counts=hot,
+                    write_fraction=0.1,
+                )
+            )
+            seen_hot.update(engine.policy.last_plan.hot.tolist())
+        assert 0 in seen_hot
+        # Pages 1-7 never show activity, so they never rank hot.
+        assert not seen_hot - {0}
+
+
+class TestLastPlan:
+    def test_last_plan_published_each_epoch(self):
+        engine = make_engine()
+        engine.start()
+        assert engine.policy.last_plan.to_payload()["sampled"] == []
+        engine.step()
+        payload = engine.policy.last_plan.to_payload()
+        assert set(payload) == {
+            "demote", "deferred", "promote", "cold", "hot", "sampled",
+        }
+        assert all(isinstance(v, list) for v in payload.values())
+
+    def test_payload_holds_plain_ints(self):
+        engine = make_engine()
+        engine.start()
+        for _ in range(3):
+            engine.step()
+        payload = engine.policy.last_plan.to_payload()
+        for values in payload.values():
+            assert all(type(v) is int for v in values)
