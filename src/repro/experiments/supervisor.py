@@ -107,6 +107,7 @@ def _supervised_worker(
         and threading.current_thread() is threading.main_thread()
     )
     timer: threading.Timer | None = None
+    completed = threading.Event()
     if use_alarm:
 
         def _on_alarm(signum, frame):
@@ -121,7 +122,12 @@ def _supervised_worker(
 
         def _expire() -> None:
             # Re-check the monotonic deadline so a spuriously early timer
-            # firing can never kill a worker that still has budget.
+            # firing can never kill a worker that still has budget, and
+            # skip the exit entirely once the task has produced its
+            # result — a timer that fires while the worker is returning
+            # must not discard a completed payload and charge a death.
+            if completed.is_set():
+                return
             if time.monotonic() >= deadline:
                 os._exit(TIMEOUT_EXIT_CODE)
 
@@ -129,7 +135,9 @@ def _supervised_worker(
         timer.daemon = True
         timer.start()
     try:
-        return _execute_spec_payload(spec)
+        payload = _execute_spec_payload(spec)
+        completed.set()
+        return payload
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)

@@ -55,7 +55,13 @@ from repro.service.events import (
     parse_event,
 )
 from repro.service.queue import BoundedIngressQueue
-from repro.service.wal import Checkpoint, DecisionLog, recover, scan_log
+from repro.service.wal import (
+    Checkpoint,
+    DecisionLog,
+    recover,
+    scan_log,
+    truncate_torn_tail,
+)
 from repro.sim.engine import EpochSimulation
 from repro.sim.profile import EpochProfile
 from repro.units import HUGE_PAGE_SIZE, SUBPAGES_PER_HUGE_PAGE
@@ -210,6 +216,10 @@ class PlacementService:
         self.log: DecisionLog | None = None
         self.seq = 0
         self.acked: dict[str, int] = {}
+        #: request_id → the decision actually recorded under its ack, so
+        #: idempotent replays return that plan verbatim (the tenant's
+        #: DecisionCache entry may already belong to a newer decision).
+        self.acked_records: dict[str, CachedDecision] = {}
         self.ingest_lines = 0
         self._acks_since_checkpoint = 0
         # Poison tracking.
@@ -245,13 +255,21 @@ class PlacementService:
             if resume:
                 self._recover(wal_dir)
             else:
-                existing = scan_log(DecisionLog(wal_dir).path)
+                log_path = DecisionLog(wal_dir).path
+                existing = scan_log(log_path)
                 if existing.records:
                     raise ServiceError(
                         f"WAL directory {wal_dir!r} already holds "
                         f"{len(existing.records)} acked decision(s); pass "
                         "resume=True (--resume) to continue it"
                     )
+                if existing.torn_tail:
+                    # A crash during the first-ever append left only a
+                    # torn line.  Drop it before opening for append, or
+                    # the first new record would concatenate onto the
+                    # partial bytes and a later recover() would truncate
+                    # every ack recorded after this fresh start.
+                    truncate_torn_tail(log_path, existing.intact_bytes)
             self.log = DecisionLog(wal_dir)
 
     # ------------------------------------------------------------------
@@ -263,12 +281,10 @@ class PlacementService:
         if state.torn_tail:
             # Drop the torn (never-acked) tail so appends never land on
             # the same line as partial bytes from the crashed process.
-            log_path = DecisionLog(wal_dir).path
-            if log_path.exists():
-                with open(log_path, "r+b") as handle:
-                    handle.truncate(state.intact_bytes)
+            truncate_torn_tail(DecisionLog(wal_dir).path, state.intact_bytes)
         self.seq = state.last_seq
         self.acked = dict(state.acked)
+        self.acked_records = dict(state.acked_records)
         self.cache.restore(state.decisions)
         self.ingest_lines = state.checkpoint.ingest_lines
         obs = self.observer
@@ -433,15 +449,18 @@ class PlacementService:
         recorded = self.acked.get(event.request_id)
         if recorded is not None:
             self.counters["idempotent_acks"] += 1
-            cached = self.cache.get(event.tenant)
+            # Answer with the decision recorded under *this* seq — the
+            # tenant's cache entry may already carry a newer plan, and a
+            # replayed ack must come back verbatim.
+            record = self.acked_records.get(event.request_id)
             response = DecisionResponse(
                 tenant=event.tenant,
                 request_id=event.request_id,
                 degraded=False,
                 seq=recorded,
                 reason="",
-                plan=cached.plan if cached is not None else {},
-                epoch_index=cached.epoch_index if cached is not None else -1,
+                plan=record.plan if record is not None else {},
+                epoch_index=record.epoch_index if record is not None else -1,
             )
             self._finish(response, now)
             return response
@@ -567,11 +586,11 @@ class PlacementService:
             if self._acks_since_checkpoint >= self.config.checkpoint_every:
                 self.checkpoint()
         self.acked[event.request_id] = seq
-        self.cache.put(
-            CachedDecision(
-                tenant=event.tenant, seq=seq, epoch_index=epoch_index, plan=plan
-            )
+        decision = CachedDecision(
+            tenant=event.tenant, seq=seq, epoch_index=epoch_index, plan=plan
         )
+        self.acked_records[event.request_id] = decision
+        self.cache.put(decision)
         self.counters["decisions_fresh"] += 1
         return DecisionResponse(
             tenant=event.tenant,

@@ -34,8 +34,11 @@ DEFAULT_PRIORITY = 1
 
 #: Upper bound on a tenant footprint one event may imply, in huge pages.
 #: A corrupt count that slips past JSON parsing must not allocate
-#: gigabytes of profile array.
-MAX_HUGE_PAGES = 1 << 20
+#: gigabytes of profile array: the pending profile costs
+#: 512 int64 subpage slots per huge page, so this cap bounds a single
+#: tenant at 2^14 * 512 * 8 B = 64 MiB (2^20 would have allowed ~4 GiB
+#: from one admitted event).
+MAX_HUGE_PAGES = 1 << 14
 
 _TENANT_MAX_LEN = 64
 

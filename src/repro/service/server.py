@@ -118,7 +118,8 @@ async def serve_health(
                 line = await reader.readline()
                 if not line or line in (b"\r\n", b"\n"):
                     break
-            target = request.split()[1].decode() if request.split() else "/"
+            parts = request.split()
+            target = parts[1].decode(errors="replace") if len(parts) >= 2 else "/"
             now = loop.time()
             if target.startswith("/readyz"):
                 ready = service.ready(now)

@@ -112,6 +112,25 @@ def scan_log(path: str | os.PathLike[str]) -> LogScan:
     return LogScan(records=records, torn_tail=torn, intact_bytes=max(intact, 0))
 
 
+def truncate_torn_tail(
+    path: str | os.PathLike[str], intact_bytes: int
+) -> None:
+    """Drop torn (never-acked) trailing bytes from the decision log.
+
+    Every startup path that will append to the log must call this when
+    :func:`scan_log` reports a torn tail — otherwise the first new
+    record concatenates onto the partial line, and a later recovery
+    stops at that invalid line and discards every record after it.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "r+b") as handle:
+        handle.truncate(max(intact_bytes, 0))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 @dataclass(frozen=True)
 class Checkpoint:
     """Periodic restart hint; the log always wins when ahead."""
@@ -146,6 +165,10 @@ class RecoveredState:
     last_seq: int = 0
     acked: dict[str, int] = field(default_factory=dict)
     decisions: list[CachedDecision] = field(default_factory=list)
+    #: The decision recorded under each request_id, so idempotent
+    #: replays after restart answer with the plan that was actually
+    #: acked — not whatever the tenant's latest decision happens to be.
+    acked_records: dict[str, CachedDecision] = field(default_factory=dict)
     checkpoint: Checkpoint = field(default_factory=Checkpoint)
     torn_tail: bool = False
     #: Byte length of the intact log prefix; a resuming service truncates
@@ -187,14 +210,14 @@ def recover(wal_dir: str | os.PathLike[str]) -> RecoveredState:
             )
         state.last_seq = seq
         state.acked[request_id] = seq
-        state.decisions.append(
-            CachedDecision(
-                tenant=str(record.get("tenant", "")),
-                seq=seq,
-                epoch_index=int(record.get("epoch_index", -1)),
-                plan=record.get("plan", {}),
-            )
+        decision = CachedDecision(
+            tenant=str(record.get("tenant", "")),
+            seq=seq,
+            epoch_index=int(record.get("epoch_index", -1)),
+            plan=record.get("plan", {}),
         )
+        state.decisions.append(decision)
+        state.acked_records[request_id] = decision
     state.log_ahead_of_checkpoint = state.last_seq > state.checkpoint.seq
     return state
 

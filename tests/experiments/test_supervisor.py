@@ -192,6 +192,59 @@ raise SystemExit(7)  # only reached if the timer never fired
 
         assert proc.returncode == TIMEOUT_EXIT_CODE, proc.stderr
 
+    def test_timer_firing_after_completion_does_not_kill(self):
+        """A timer that fires while (or after) the task returns must not
+        hard-exit: the result is already computed and the exit would
+        discard it and charge the attempt as a death.  The timer is
+        stubbed so its callback can be invoked deliberately after the
+        worker finished, past the deadline (run in a subprocess: a
+        regression here is a fatal os._exit)."""
+        import os
+        import subprocess
+        import sys
+
+        script = """
+import threading
+import time
+
+import repro.experiments.supervisor as sup
+from repro.experiments.parallel import RunSpec
+
+captured = {}
+
+class FakeTimer:
+    def __init__(self, interval, function):
+        captured["expire"] = function
+        self.daemon = True
+
+    def start(self):
+        pass
+
+    def cancel(self):
+        pass
+
+threading.Timer = FakeTimer  # the worker must arm the fallback timer
+spec = RunSpec(workload="web-search", scale=0.02, duration=90.0, seed=7)
+outcome = {}
+thread = threading.Thread(
+    target=lambda: outcome.update(p=sup._supervised_worker(spec, 0.001))
+)
+thread.start()
+thread.join(timeout=60.0)
+assert "p" in outcome, "worker did not finish"
+time.sleep(0.01)  # deadline (1ms) is long past
+captured["expire"]()  # late firing: must be a no-op, not os._exit(41)
+raise SystemExit(7)
+"""
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, timeout=120,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 7, proc.stderr
+
 
 class TestQuarantine:
     def test_always_failing_task_quarantined(self, tmp_path, monkeypatch):

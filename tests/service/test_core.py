@@ -235,6 +235,48 @@ class TestDurability:
         assert replay.seq == first.seq  # idempotent, no duplicate ack
         assert revived.counters["idempotent_acks"] == 1
 
+    def test_replay_returns_the_recorded_plan_not_the_latest(self, tmp_path):
+        wal = str(tmp_path / "wal")
+        service = make_service(wal_dir=wal)
+        feed_profile(service)
+        first = decide(service, request_id="r1")
+        # A newer decision for the same tenant over a very different
+        # profile must not leak into r1's replay.
+        line = json.dumps(
+            {"kind": "snapshot", "tenant": "t0", "counts": [0, 0, 0, 0]}
+        )
+        service.ingest_line(line)
+        second = decide(service, request_id="r2", now=1.0)
+        assert second.plan != first.plan
+        replay = decide(service, request_id="r1", now=2.0)
+        assert replay.seq == first.seq
+        assert replay.plan == first.plan  # recorded ack back verbatim
+        assert replay.epoch_index == first.epoch_index
+        # The per-request record survives a hard crash + resume, too.
+        revived = make_service(wal_dir=wal, resume=True)
+        replayed = decide(revived, request_id="r1", now=3.0)
+        assert replayed.seq == first.seq
+        assert replayed.plan == first.plan
+        assert replayed.epoch_index == first.epoch_index
+
+    def test_fresh_start_truncates_a_torn_only_log(self, tmp_path):
+        wal = tmp_path / "wal"
+        wal.mkdir()
+        log_path = wal / "decisions.jsonl"
+        # Crash during the first-ever append: the log holds nothing but
+        # a torn line.  A fresh (resume=False) start must drop it before
+        # appending, or the first new record lands on the partial bytes
+        # and a later recovery truncates every ack after this start.
+        log_path.write_bytes(b'{"seq": 1, "ten')
+        service = make_service(wal_dir=str(wal))
+        feed_profile(service)
+        first = decide(service, request_id="r1")
+        assert first.seq == 1
+        # No close(): hard crash; recovery must see the acked decision.
+        revived = make_service(wal_dir=str(wal), resume=True)
+        assert revived.acked == {"r1": 1}
+        assert revived.seq == 1
+
     def test_fresh_service_refuses_dirty_wal_dir(self, tmp_path):
         wal = str(tmp_path / "wal")
         service = make_service(wal_dir=wal)

@@ -41,6 +41,29 @@ class TestParseAccess:
         with pytest.raises(EventValidationError):
             parse_event(_line(kind="access", tenant="t", page=1 << 30, count=1))
 
+    def test_cap_bounds_a_single_tenant_footprint(self):
+        from repro.service.events import MAX_HUGE_PAGES
+
+        # The pending profile costs 512 int64 slots per huge page; the
+        # cap must keep one admitted event's allocation modest (64 MiB),
+        # not merely sub-petabyte.
+        assert MAX_HUGE_PAGES * 512 * 8 <= 64 * 1024 * 1024
+        parse_event(
+            _line(kind="access", tenant="t", page=MAX_HUGE_PAGES - 1, count=1)
+        )
+        with pytest.raises(EventValidationError):
+            parse_event(
+                _line(kind="access", tenant="t", page=MAX_HUGE_PAGES, count=1)
+            )
+        with pytest.raises(EventValidationError):
+            parse_event(
+                _line(
+                    kind="snapshot",
+                    tenant="t",
+                    counts=[0] * (MAX_HUGE_PAGES + 1),
+                )
+            )
+
 
 class TestParseSnapshot:
     def test_roundtrip(self):
