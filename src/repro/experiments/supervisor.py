@@ -66,6 +66,7 @@ from repro.experiments.parallel import (
     _flush_completed,
 )
 from repro.obs import NULL_OBSERVER
+from repro.obs.live import FlightRecorder
 from repro.rng import child_rng, make_rng
 from repro.sim.engine import SimulationResult
 
@@ -155,6 +156,9 @@ class QuarantineEntry:
     attempts: int
     error_type: str
     tracebacks: list[str]
+    #: Path of the flight-recorder dump written when this task was
+    #: quarantined (``None`` when observability was off).
+    flight_dump: str | None = None
 
     @property
     def workload(self) -> str:
@@ -184,9 +188,11 @@ class SupervisedBatch:
             f"{entry.workload} ({entry.error_type} x{entry.attempts})"
             for entry in self.quarantined
         )
+        dumps = [e.flight_dump for e in self.quarantined if e.flight_dump]
+        hint = f" [flight: {dumps[-1]}]" if dumps else ""
         raise QuarantinedTaskError(
             f"{len(self.quarantined)} task(s) quarantined after exhausting "
-            f"their attempts: {summary}"
+            f"their attempts: {summary}{hint}"
         )
 
 
@@ -281,6 +287,20 @@ def run_supervised(
     def _elapsed() -> float:
         return time.monotonic() - batch_start
 
+    # Observed + quarantine-enabled batches keep a flight recorder next to
+    # quarantine.json: the ring mirrors every supervisor annotation, and a
+    # task's final failure dumps the recent window for post-mortems.
+    recorder: FlightRecorder | None = None
+    if obs.active and config.quarantine_path is not None:
+        recorder = FlightRecorder(
+            dump_dir=Path(config.quarantine_path).parent, label="supervisor"
+        )
+    flight_dumps: dict[str, str] = {}
+
+    def _note(name: str, time_: float, duration: float = 0.0, **args) -> None:
+        if recorder is not None:
+            recorder.record("supervisor", name, time_, duration=duration, **args)
+
     tasks: dict[str, _Task] = {}
     for index, spec in enumerate(specs):
         key = spec.cache_key()
@@ -295,6 +315,12 @@ def run_supervised(
             if obs.active:
                 obs.emit(
                     "supervisor",
+                    "resumed",
+                    _elapsed(),
+                    workload=task.spec.workload,
+                    key=task.key[:12],
+                )
+                _note(
                     "resumed",
                     _elapsed(),
                     workload=task.spec.workload,
@@ -319,7 +345,21 @@ def run_supervised(
                     attempts=task.attempts,
                     error_type=type(exc).__name__,
                 )
+                _note(
+                    "quarantined",
+                    _elapsed(),
+                    workload=task.spec.workload,
+                    key=task.key[:12],
+                    attempts=task.attempts,
+                    error_type=type(exc).__name__,
+                )
                 obs.inc("repro_supervisor_quarantined_total")
+            if recorder is not None:
+                path = recorder.dump(
+                    f"quarantine-{task.key[:12]}", now=_elapsed()
+                )
+                if path is not None:
+                    flight_dumps[task.key] = str(path)
             return
         delay = config.backoff_seconds * 2.0 ** (task.attempts - 1)
         jitter = child_rng(
@@ -329,6 +369,15 @@ def run_supervised(
         if obs.active:
             obs.emit(
                 "supervisor",
+                "retry_scheduled",
+                _elapsed(),
+                workload=task.spec.workload,
+                key=task.key[:12],
+                attempt=task.attempts,
+                delay_seconds=delay * (1.0 + jitter),
+                error_type=type(exc).__name__,
+            )
+            _note(
                 "retry_scheduled",
                 _elapsed(),
                 workload=task.spec.workload,
@@ -370,6 +419,15 @@ def run_supervised(
         start = began if began is not None else _elapsed()
         obs.emit(
             "supervisor",
+            "attempt",
+            start,
+            duration=max(0.0, _elapsed() - start),
+            workload=task.spec.workload,
+            key=task.key[:12],
+            attempt=task.attempts + 1,
+            outcome=outcome,
+        )
+        _note(
             "attempt",
             start,
             duration=max(0.0, _elapsed() - start),
@@ -492,6 +550,7 @@ def run_supervised(
             attempts=task.attempts,
             error_type=task.failures[-1][0] if task.failures else "Unknown",
             tracebacks=[trace for _, trace in task.failures],
+            flight_dump=flight_dumps.get(task.key),
         )
         for task in tasks.values()
         if task.quarantined

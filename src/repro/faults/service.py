@@ -27,6 +27,7 @@ from repro.faults.models import (
     CorruptEventFaultModel,
     SlowConsumerFaultModel,
 )
+from repro.obs.live import NULL_TELEMETRY
 from repro.rng import child_rng
 
 
@@ -90,9 +91,17 @@ class ServiceFaultInjector:
         self.slow_consumer = slow_consumer
         self.corrupt_event = corrupt_event
         self.clock_stall = clock_stall
+        #: Live telemetry plane; when active, every fault that actually
+        #: fires becomes a ``fault`` event (span timeline + flight ring).
+        #: Strictly observational — binding telemetry draws nothing.
+        self.telemetry = NULL_TELEMETRY
         for model in (slow_consumer, corrupt_event, clock_stall):
             if model is not None:
                 model.bind(child_rng(rng, f"service-faults:{model.name}"))
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach a telemetry plane (fault firings become trace events)."""
+        self.telemetry = telemetry
 
     @classmethod
     def from_config(
@@ -132,20 +141,32 @@ class ServiceFaultInjector:
     # Hooks consulted by the traffic driver and the service loop
     # ------------------------------------------------------------------
 
-    def consumer_stall_seconds(self) -> float:
+    def consumer_stall_seconds(self, now: float = 0.0) -> float:
         """Extra per-item latency this tick (0.0 = consumer healthy)."""
         if self.slow_consumer is None:
             return 0.0
-        return self.slow_consumer.stall_this_tick()
+        stall = self.slow_consumer.stall_this_tick()
+        if stall and self.telemetry.active:
+            self.telemetry.record(
+                "fault", self.slow_consumer.name, now, duration=stall
+            )
+        return stall
 
-    def maybe_corrupt(self, payload: str) -> tuple[str, bool]:
+    def maybe_corrupt(self, payload: str, now: float = 0.0) -> tuple[str, bool]:
         """(possibly mangled payload, whether corruption struck)."""
         if self.corrupt_event is None or not self.corrupt_event.should_corrupt():
             return payload, False
+        if self.telemetry.active:
+            self.telemetry.record("fault", self.corrupt_event.name, now)
         return self.corrupt_event.corrupt_payload(payload), True
 
-    def clock_stall_seconds(self) -> float:
+    def clock_stall_seconds(self, now: float = 0.0) -> float:
         """Seconds the observed clock freezes at this tick (0.0 = none)."""
         if self.clock_stall is None:
             return 0.0
-        return self.clock_stall.stall_this_tick()
+        stall = self.clock_stall.stall_this_tick()
+        if stall and self.telemetry.active:
+            self.telemetry.record(
+                "fault", self.clock_stall.name, now, duration=stall
+            )
+        return stall

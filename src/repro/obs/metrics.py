@@ -25,6 +25,7 @@ the policy produces.
 
 from __future__ import annotations
 
+import math
 import re
 from bisect import bisect_left
 from typing import Iterable, Mapping
@@ -241,7 +242,165 @@ def merge_snapshots(snapshots: Iterable[Mapping]) -> MetricsRegistry:
 
 
 def _fmt(value: float) -> str:
-    """Render a float the shortest way that round-trips (ints unpadded)."""
+    """Render a float the shortest way that round-trips (ints unpadded).
+
+    Non-finite values use the Prometheus spellings (``+Inf``/``-Inf``/
+    ``NaN``) — ``int(inf)`` raises, and ``repr(nan)`` is not a token the
+    exposition format admits.
+    """
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+def _parse_value(token: str, where: str) -> float:
+    """Parse one Prometheus sample value (accepts the _fmt spellings)."""
+    try:
+        return float(token.replace("Inf", "inf"))
+    except ValueError as exc:
+        raise ObservabilityError(f"{where}: bad sample value {token!r}") from exc
+
+
+#: Sample line: ``name value`` or ``name{le="edge"} value``.
+_SAMPLE_PATTERN = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Strictly parse a :meth:`MetricsRegistry.to_prometheus_text` page.
+
+    Returns a :meth:`MetricsRegistry.snapshot`-shaped dict so
+    ``parse(registry.to_prometheus_text()) == registry.snapshot()`` — the
+    golden round-trip CI and tests rely on.  "Strict" means every
+    exposition-format invariant this registry promises is *asserted*, not
+    assumed:
+
+    * every sample is preceded by a ``# TYPE`` declaration;
+    * label-free samples carry no ``{}`` (bare names only);
+    * histogram ``le`` edges strictly increase and bucket counts are
+      cumulative (non-decreasing);
+    * the ``+Inf`` bucket exists and equals ``_count``;
+    * ``_sum``/``_count`` follow the buckets, nothing is missing or
+      duplicated, and the page ends in exactly one newline.
+    """
+    if not text.endswith("\n") or text.endswith("\n\n"):
+        raise ObservabilityError("exposition page must end in exactly one newline")
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    declared: dict[str, str] = {}
+    pending: dict | None = None  # histogram being accumulated
+
+    def finish_histogram() -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        name = pending["name"]
+        if pending["inf"] is None:
+            raise ObservabilityError(f"histogram {name!r} is missing the +Inf bucket")
+        if pending["sum"] is None or pending["count"] is None:
+            raise ObservabilityError(f"histogram {name!r} is missing _sum or _count")
+        if pending["inf"] != pending["count"]:
+            raise ObservabilityError(
+                f"histogram {name!r} +Inf bucket {pending['inf']} != "
+                f"_count {pending['count']}"
+            )
+        edges = pending["edges"]
+        cumulative = pending["cumulative"]
+        if any(b >= a for b, a in zip(edges, edges[1:], strict=False)):
+            raise ObservabilityError(
+                f"histogram {name!r} le edges must strictly increase: {edges}"
+            )
+        if any(b > a for b, a in zip(cumulative, cumulative[1:], strict=False)):
+            raise ObservabilityError(
+                f"histogram {name!r} bucket counts must be cumulative: {cumulative}"
+            )
+        if cumulative and pending["inf"] < cumulative[-1]:
+            raise ObservabilityError(
+                f"histogram {name!r} +Inf bucket {pending['inf']} below "
+                f"last finite bucket {cumulative[-1]}"
+            )
+        # De-cumulate back to per-cell counts (finite cells + overflow).
+        counts = [
+            b - a for a, b in zip([0, *cumulative], [*cumulative, pending["inf"]], strict=True)
+        ]
+        histograms[name] = {
+            "buckets": list(edges),
+            "counts": counts,
+            "sum": pending["sum"],
+        }
+        pending = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line:
+            raise ObservabilityError(f"{where}: blank line in exposition page")
+        if line.startswith("#"):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[0] != "#" or parts[1] != "TYPE":
+                raise ObservabilityError(f"{where}: malformed comment {line!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ObservabilityError(f"{where}: unknown metric type {kind!r}")
+            if name in declared:
+                raise ObservabilityError(f"{where}: duplicate TYPE for {name!r}")
+            finish_histogram()
+            declared[name] = kind
+            if kind == "histogram":
+                pending = {
+                    "name": name,
+                    "edges": [],
+                    "cumulative": [],
+                    "inf": None,
+                    "sum": None,
+                    "count": None,
+                }
+            continue
+        match = _SAMPLE_PATTERN.match(line)
+        if match is None:
+            raise ObservabilityError(f"{where}: malformed sample {line!r}")
+        name, le, value_token = match.group("name", "le", "value")
+        value = _parse_value(value_token, where)
+        if pending is not None and name.startswith(pending["name"] + "_"):
+            base = pending["name"]
+            suffix = name[len(base):]
+            if suffix == "_bucket":
+                if le is None:
+                    raise ObservabilityError(f"{where}: bucket sample without le label")
+                if le == "+Inf":
+                    pending["inf"] = int(value)
+                elif pending["inf"] is not None:
+                    raise ObservabilityError(f"{where}: finite bucket after +Inf")
+                else:
+                    pending["edges"].append(_parse_value(le, where))
+                    pending["cumulative"].append(int(value))
+                continue
+            if suffix in ("_sum", "_count") and le is None:
+                key = suffix[1:]
+                if pending[key] is not None:
+                    raise ObservabilityError(f"{where}: duplicate {name!r}")
+                pending[key] = int(value) if key == "count" else value
+                continue
+            raise ObservabilityError(f"{where}: unexpected histogram sample {name!r}")
+        if le is not None:
+            raise ObservabilityError(
+                f"{where}: labelled sample {name!r} outside a histogram"
+            )
+        kind = declared.get(name)
+        if kind is None:
+            raise ObservabilityError(f"{where}: sample {name!r} has no TYPE declaration")
+        if kind == "histogram":
+            raise ObservabilityError(f"{where}: bare sample for histogram {name!r}")
+        target = counters if kind == "counter" else gauges
+        if name in target:
+            raise ObservabilityError(f"{where}: duplicate sample for {name!r}")
+        target[name] = value
+    finish_histogram()
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -44,6 +44,8 @@ EVENT_CATEGORIES = frozenset(
         "fleet",  # arbiter decisions, SLO violations, tenant lifecycle
         "chaos",  # chaos-scenario windows opening and closing
         "service",  # online placement service: sheds, trips, degraded serves
+        "span",  # request-scoped spans: queue -> decide -> ack trees
+        "control",  # control-plane events: flight dumps, checkpoints, signals
     }
 )
 

@@ -8,7 +8,9 @@ run should have produced:
 * every ``metrics_*.json`` parses and merges cleanly (fixed bucket
   layouts, naming convention);
 * the merged ``metrics.json`` / ``metrics.prom``, when present, agree
-  with a fresh merge of the per-run snapshots.
+  with a fresh merge of the per-run snapshots;
+* every ``flight_*.json`` flight-recorder dump carries the documented
+  payload (version, reason, schema-valid entries).
 
 Exit code 0 on success; 1 with a one-line reason on the first problem.
 """
@@ -21,6 +23,7 @@ from pathlib import Path
 
 from repro.errors import ObservabilityError
 from repro.obs import collect_run_metrics
+from repro.obs.live import FLIGHT_GLOB, validate_flight_dump
 from repro.obs.tracer import chrome_to_events, events_equal, read_jsonl
 
 
@@ -32,7 +35,7 @@ def validate_directory(out_dir: str | Path) -> dict[str, int]:
     out_dir = Path(out_dir)
     if not out_dir.is_dir():
         raise ObservabilityError(f"not a directory: {out_dir}")
-    checked = {"traces": 0, "events": 0, "metrics": 0}
+    checked = {"traces": 0, "events": 0, "metrics": 0, "flights": 0}
 
     for jsonl_path in sorted(out_dir.glob("trace_*.jsonl")):
         events = read_jsonl(jsonl_path, validate=True)
@@ -65,6 +68,14 @@ def validate_directory(out_dir: str | Path) -> dict[str, int]:
         raise ObservabilityError(
             f"{prom} disagrees with a fresh merge of the per-run snapshots"
         )
+
+    for flight_path in sorted(out_dir.glob(FLIGHT_GLOB)):
+        try:
+            payload = json.loads(flight_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{flight_path}: not JSON: {exc}") from exc
+        validate_flight_dump(payload, where=str(flight_path))
+        checked["flights"] += 1
     return checked
 
 
@@ -80,9 +91,10 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"ok: {checked['traces']} trace(s), {checked['events']} event(s), "
-        f"{checked['metrics']} metrics snapshot(s)"
+        f"{checked['metrics']} metrics snapshot(s), "
+        f"{checked['flights']} flight dump(s)"
     )
-    if checked["traces"] == 0 and checked["metrics"] == 0:
+    if checked["traces"] == 0 and checked["metrics"] == 0 and checked["flights"] == 0:
         print("INVALID: directory holds no observability artifacts", file=sys.stderr)
         return 1
     return 0

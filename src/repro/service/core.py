@@ -41,12 +41,14 @@ from repro.config import SimulationConfig, ThermostatConfig
 from repro.core.thermostat import ThermostatPolicy
 from repro.errors import ConfigError, ReproError, ServiceError
 from repro.obs import NULL_OBSERVER
-from repro.obs.metrics import SECONDS_BUCKETS
+from repro.obs.live import NULL_TELEMETRY
+from repro.obs.metrics import SECONDS_BUCKETS, MetricsRegistry
 from repro.rng import child_rng, make_rng
 from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.cache import CachedDecision, DecisionCache
 from repro.service.events import (
     AccessEvent,
+    ControlEvent,
     DecideEvent,
     DecisionResponse,
     EventValidationError,
@@ -197,9 +199,21 @@ class PlacementService:
         wal_dir: str | None = None,
         resume: bool = False,
         observer=None,
+        telemetry=None,
     ) -> None:
         self.config = config or ServiceConfig()
-        self.observer = observer if observer is not None else NULL_OBSERVER
+        #: The live telemetry plane (spans, /metrics, flight recorder);
+        #: default :data:`~repro.obs.live.NULL_TELEMETRY` costs one
+        #: attribute read per guard.  When telemetry is active and no
+        #: explicit observer was passed, its observer becomes the
+        #: service's, so service events and spans share one tracer.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if observer is not None:
+            self.observer = observer
+        elif self.telemetry.active:
+            self.observer = self.telemetry.observer
+        else:
+            self.observer = NULL_OBSERVER
         self.queue = BoundedIngressQueue(
             self.config.queue_capacity, self.config.backpressure_watermark
         )
@@ -242,7 +256,12 @@ class PlacementService:
             "quarantined_sources": 0,
             "idempotent_acks": 0,
             "checkpoints": 0,
+            "control_total": 0,
         }
+        #: Degraded serves broken down by reason (statusz, flight dumps).
+        self.degraded_by_reason: dict[str, int] = {}
+        #: Breaker transitions already mirrored into telemetry.
+        self._seen_breaker_transitions = 0
         #: Virtual latency of every answered decision, seconds (for the
         #: p50/p99 numbers in reports; bounded soaks keep this small).
         self.latencies: list[float] = []
@@ -303,8 +322,14 @@ class PlacementService:
     # Ingest
     # ------------------------------------------------------------------
 
-    def ingest_line(self, line: str, source: str = "default") -> IngestResult:
-        """Validate and enqueue one wire line from ``source``."""
+    def ingest_line(
+        self, line: str, source: str = "default", now: float = 0.0
+    ) -> IngestResult:
+        """Validate and enqueue one wire line from ``source``.
+
+        ``now`` is the shell's virtual clock at admission; it stamps the
+        queue item so decision spans can carry real queue-wait durations.
+        """
         self.ingest_lines += 1
         if source in self.quarantined_sources:
             return IngestResult(status="quarantined-source")
@@ -319,19 +344,24 @@ class PlacementService:
                 self.counters["quarantined_sources"] += 1
                 if self.observer.active:
                     self.observer.emit(
-                        "service", "source_quarantined", 0.0, source=source
+                        "service", "source_quarantined", now, source=source
                     )
+                if self.telemetry.active:
+                    self.telemetry.recorder.record(
+                        "service", "source_quarantined", now, source=source
+                    )
+                    self.telemetry.dump("source-quarantine", now)
                 return IngestResult(
                     status="quarantined-source", error=str(exc)
                 )
             return IngestResult(status="rejected", error=str(exc))
         self._source_corrupt_streaks[source] = 0
-        return self.enqueue(event)
+        return self.enqueue(event, now=now)
 
-    def enqueue(self, event: IngressEvent) -> IngestResult:
+    def enqueue(self, event: IngressEvent, now: float = 0.0) -> IngestResult:
         """Admit one parsed event into the bounded ingress queue."""
         self.counters["events_total"] += 1
-        shed = self.queue.push(event, event.priority)
+        shed = self.queue.push(event, event.priority, now=now)
         self.counters["shed_total"] += len(shed)
         if self.observer.active:
             self.observer.inc("repro_service_events_total")
@@ -340,10 +370,37 @@ class PlacementService:
                 self.observer.emit(
                     "service",
                     "shed",
-                    0.0,
+                    now,
                     priority=item.priority,
                     kind=getattr(item.event, "kind", "?"),
                 )
+        if self.telemetry.active:
+            for item in shed:
+                # Shed decisions still get a (terminal) span tree, so a
+                # trace consumer sees every decide outcome, not just the
+                # ones that reached the engine.
+                if isinstance(item.event, DecideEvent):
+                    trace = self.telemetry.begin_request(
+                        item.event.tenant, item.event.request_id
+                    )
+                    root = trace.span(
+                        "request",
+                        start=item.enqueued_at,
+                        request_id=item.event.request_id,
+                        outcome="shed",
+                    )
+                    trace.span(
+                        "shed", start=now, parent=root, priority=item.priority
+                    )
+                    self.telemetry.finish_request(trace)
+                else:
+                    self.telemetry.recorder.record(
+                        "service",
+                        "shed",
+                        now,
+                        priority=item.priority,
+                        kind=getattr(item.event, "kind", "?"),
+                    )
         if shed and shed[0].event is event:
             return IngestResult(status="shed", event=event)
         return IngestResult(status="queued", event=event)
@@ -377,7 +434,12 @@ class PlacementService:
             self._apply_snapshot(event)
             return None
         if isinstance(event, DecideEvent):
-            return self.decide(event, now, stall_seconds=stall_seconds)
+            return self.decide(
+                event, now, stall_seconds=stall_seconds, queued_at=item.enqueued_at
+            )
+        if isinstance(event, ControlEvent):
+            self._apply_control(event, now)
+            return None
         raise ServiceError(f"unknown queued event: {event!r}")
 
     def drain(self, now: float, stall_seconds: float = 0.0) -> list[DecisionResponse]:
@@ -440,10 +502,22 @@ class PlacementService:
     # ------------------------------------------------------------------
 
     def decide(
-        self, event: DecideEvent, now: float, stall_seconds: float = 0.0
+        self,
+        event: DecideEvent,
+        now: float,
+        stall_seconds: float = 0.0,
+        queued_at: float | None = None,
     ) -> DecisionResponse:
-        """Answer one placement request (fresh if possible, else degraded)."""
+        """Answer one placement request (fresh if possible, else degraded).
+
+        ``queued_at`` is the virtual time the request entered the ingress
+        queue (its span tree then carries the real queue wait); ``None``
+        means the request bypassed the queue (direct calls, tests).
+        """
         self.counters["decisions_total"] += 1
+        # Engine-attempt spans, collected only when telemetry is active
+        # (None doubles as the "no tracing" flag for _finish).
+        attempts: list[dict] | None = [] if self.telemetry.active else None
         # Idempotent replay: an already-acked request gets its recorded
         # ack back without touching the engine or the log.
         recorded = self.acked.get(event.request_id)
@@ -462,11 +536,11 @@ class PlacementService:
                 plan=record.plan if record is not None else {},
                 epoch_index=record.epoch_index if record is not None else -1,
             )
-            self._finish(response, now)
+            self._finish(response, now, queued_at=queued_at, attempts=attempts)
             return response
         if event.request_id in self.quarantined_requests:
             response = self._degraded(event, now, 0.0, "quarantined")
-            self._finish(response, now)
+            self._finish(response, now, queued_at=queued_at, attempts=attempts)
             return response
 
         deadline = now + (
@@ -486,12 +560,22 @@ class PlacementService:
                 failure = "breaker-open"
                 break
             attempt += 1
+            attempt_start = virtual_now
             try:
                 plan, epoch_index = self._engine_step(event.tenant)
             except ReproError:
                 self.counters["engine_failures"] += 1
                 self.breaker.record_failure(virtual_now)
                 if attempt >= self.config.max_attempts:
+                    if attempts is not None:
+                        attempts.append(
+                            {
+                                "attempt": attempt,
+                                "start": attempt_start,
+                                "dur": 0.0,
+                                "outcome": "engine-error",
+                            }
+                        )
                     failures = self.request_failures.get(event.request_id, 0) + 1
                     self.request_failures[event.request_id] = failures
                     if failures >= self.config.poison_request_threshold:
@@ -505,6 +589,15 @@ class PlacementService:
                                 request_id=event.request_id,
                                 tenant=event.tenant,
                             )
+                        if self.telemetry.active:
+                            self.telemetry.recorder.record(
+                                "service",
+                                "request_quarantined",
+                                virtual_now,
+                                request_id=event.request_id,
+                                tenant=event.tenant,
+                            )
+                            self.telemetry.dump("quarantine", virtual_now)
                     failure = "engine-error"
                     break
                 self.counters["retries"] += 1
@@ -513,15 +606,48 @@ class PlacementService:
                     self._retry_rng.random()
                 ) * self.config.backoff_jitter
                 virtual_now += delay
+                if attempts is not None:
+                    # The attempt span covers its backoff: virtual time
+                    # the failure cost this request.
+                    attempts.append(
+                        {
+                            "attempt": attempt,
+                            "start": attempt_start,
+                            "dur": virtual_now - attempt_start,
+                            "outcome": "engine-error",
+                        }
+                    )
                 continue
             self.breaker.record_success(virtual_now)
+            if attempts is not None:
+                attempts.append(
+                    {
+                        "attempt": attempt,
+                        "start": attempt_start,
+                        "dur": virtual_now - attempt_start,
+                        "outcome": "ok",
+                    }
+                )
             response = self._ack(event, plan, epoch_index, virtual_now - now)
-            self._finish(response, now)
+            self._finish(response, now, queued_at=queued_at, attempts=attempts)
             return response
 
         response = self._degraded(event, now, virtual_now - now, failure)
-        self._finish(response, now)
+        self._finish(response, now, queued_at=queued_at, attempts=attempts)
         return response
+
+    def _apply_control(self, event: ControlEvent, now: float) -> None:
+        """Apply one control-plane instruction (flight dump, checkpoint)."""
+        self.counters["control_total"] += 1
+        if self.observer.active:
+            self.observer.emit("control", event.action, now, tag=event.tag)
+        if self.telemetry.active:
+            self.telemetry.recorder.record("control", event.action, now, tag=event.tag)
+        if event.action == "checkpoint":
+            self.checkpoint()
+        elif event.action == "flight-dump":
+            reason = f"control-{event.tag}" if event.tag else "control"
+            self.telemetry.dump(reason, now)
 
     def _engine_step(self, tenant_name: str) -> tuple[dict, int]:
         """One reentrant engine epoch over the tenant's pending profile."""
@@ -608,6 +734,8 @@ class PlacementService:
     ) -> DecisionResponse:
         """Serve last-known-good, flagged — never silently stale."""
         self.counters["decisions_degraded"] += 1
+        key = reason or "unknown"
+        self.degraded_by_reason[key] = self.degraded_by_reason.get(key, 0) + 1
         cached = self.cache.get(event.tenant)
         if cached is None:
             self.counters["degraded_no_cache"] += 1
@@ -622,33 +750,119 @@ class PlacementService:
             latency_seconds=latency,
         )
 
-    def _finish(self, response: DecisionResponse, now: float) -> None:
+    def _finish(
+        self,
+        response: DecisionResponse,
+        now: float,
+        queued_at: float | None = None,
+        attempts: list[dict] | None = None,
+    ) -> None:
         self.latencies.append(response.latency_seconds)
         obs = self.observer
-        if not obs.active:
-            return
-        obs.inc("repro_service_decisions_total")
+        if obs.active:
+            obs.inc("repro_service_decisions_total")
+            if response.degraded:
+                obs.inc("repro_service_decisions_degraded_total")
+            obs.observe(
+                "repro_service_decision_latency_seconds",
+                response.latency_seconds,
+                SECONDS_BUCKETS,
+            )
+            obs.set_gauge("repro_service_queue_depth", float(self.queue.depth))
+            obs.set_gauge(
+                "repro_service_breaker_open",
+                1.0 if self.breaker.state == OPEN else 0.0,
+            )
+            obs.emit(
+                "service",
+                "decision",
+                now,
+                tenant=response.tenant,
+                degraded=response.degraded,
+                reason=response.reason,
+                seq=response.seq,
+                latency_seconds=response.latency_seconds,
+            )
+        if self.telemetry.active:
+            self._record_spans(response, now, queued_at, attempts)
+            self._watch_breaker(now)
+
+    def _record_spans(
+        self,
+        response: DecisionResponse,
+        now: float,
+        queued_at: float | None,
+        attempts: list[dict] | None,
+    ) -> None:
+        """Emit one decision's span tree: request → queue → decide → ack."""
+        trace = self.telemetry.begin_request(response.tenant, response.request_id)
+        start = queued_at if queued_at is not None else now
+        end = now + response.latency_seconds
+        root = trace.span(
+            "request",
+            start=start,
+            duration=end - start,
+            request_id=response.request_id,
+            outcome="degraded" if response.degraded else "acked",
+        )
+        if queued_at is not None:
+            trace.span(
+                "queue", start=queued_at, duration=now - queued_at, parent=root
+            )
+        decide_span = trace.span(
+            "decide",
+            start=now,
+            duration=response.latency_seconds,
+            parent=root,
+            epoch_index=response.epoch_index,
+        )
+        for record in attempts or ():
+            trace.span(
+                "attempt",
+                start=record["start"],
+                duration=record["dur"],
+                parent=decide_span,
+                attempt=record["attempt"],
+                outcome=record["outcome"],
+            )
         if response.degraded:
-            obs.inc("repro_service_decisions_degraded_total")
-        obs.observe(
-            "repro_service_decision_latency_seconds",
-            response.latency_seconds,
-            SECONDS_BUCKETS,
-        )
-        obs.set_gauge("repro_service_queue_depth", float(self.queue.depth))
-        obs.set_gauge(
-            "repro_service_breaker_open", 1.0 if self.breaker.state == OPEN else 0.0
-        )
-        obs.emit(
-            "service",
-            "decision",
-            now,
-            tenant=response.tenant,
-            degraded=response.degraded,
-            reason=response.reason,
-            seq=response.seq,
-            latency_seconds=response.latency_seconds,
-        )
+            trace.span(
+                "degraded",
+                start=end,
+                parent=root,
+                reason=response.reason,
+                had_cache=bool(response.plan),
+            )
+        elif attempts:
+            trace.span("wal_ack", start=end, parent=root, seq=response.seq)
+        else:
+            trace.span("idempotent_ack", start=end, parent=root, seq=response.seq)
+        self.telemetry.finish_request(trace)
+
+    def _watch_breaker(self, now: float) -> None:
+        """Mirror new breaker transitions into the flight recorder.
+
+        A transition *to* OPEN dumps the ring — the moments leading up to
+        a trip are exactly what a post-mortem wants.
+        """
+        transitions = self.breaker.transitions
+        if len(transitions) <= self._seen_breaker_transitions:
+            return
+        fresh = transitions[self._seen_breaker_transitions:]
+        self._seen_breaker_transitions = len(transitions)
+        opened = False
+        for transition in fresh:
+            self.telemetry.record(
+                "service",
+                "breaker_transition",
+                transition.time,
+                from_state=transition.from_state,
+                to_state=transition.to_state,
+                streak=transition.streak,
+            )
+            opened = opened or transition.to_state == OPEN
+        if opened:
+            self.telemetry.dump("breaker-open", now)
 
     # ------------------------------------------------------------------
     # Durability & health
@@ -693,9 +907,89 @@ class PlacementService:
             "tenants": len(self.tenants),
             "quarantined_requests": len(self.quarantined_requests),
             "quarantined_sources": len(self.quarantined_sources),
+            "degraded_by_reason": dict(sorted(self.degraded_by_reason.items())),
             "counters": dict(self.counters),
         }
 
     def ready(self, now: float = 0.0) -> bool:
         """Readiness: willing to accept new work right now."""
         return self.breaker.state != OPEN and not self.queue.should_backpressure
+
+    # ------------------------------------------------------------------
+    # Live telemetry surfaces (/metrics, /statusz)
+    # ------------------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The live ``repro_service_*`` registry behind ``/metrics``.
+
+        With telemetry active this refreshes (and returns) the shared
+        telemetry registry, so span/latency histograms ride along;
+        otherwise a transient registry is built from the authoritative
+        service counters.  Either way the service counters are *set* (not
+        incremented) — the service is the source of truth, the scrape
+        just mirrors it, and repeated scrapes are idempotent.
+        """
+        registry = (
+            self.telemetry.metrics if self.telemetry.active else MetricsRegistry()
+        )
+        for key, value in list(self.counters.items()):
+            name = f"repro_service_{key}"
+            if not name.endswith("_total"):
+                name += "_total"
+            registry.counter(name).value = float(value)
+        for reason, count in sorted(self.degraded_by_reason.items()):
+            suffix = reason.replace("-", "_")
+            registry.counter(f"repro_service_degraded_{suffix}_total").value = float(
+                count
+            )
+        registry.counter("repro_service_breaker_trips_total").value = float(
+            self.breaker.trips_total
+        )
+        registry.gauge("repro_service_queue_depth").set(float(self.queue.depth))
+        registry.gauge("repro_service_queue_watermark").set(float(self.queue.watermark))
+        registry.gauge("repro_service_backpressure").set(
+            1.0 if self.queue.should_backpressure else 0.0
+        )
+        registry.gauge("repro_service_breaker_open").set(
+            1.0 if self.breaker.state == OPEN else 0.0
+        )
+        registry.gauge("repro_service_wal_seq").set(float(self.seq))
+        registry.gauge("repro_service_wal_acked").set(float(len(self.acked)))
+        # Acks fsynced to the log but not yet covered by a checkpoint —
+        # the replay distance a crash right now would incur.
+        registry.gauge("repro_service_wal_checkpoint_lag").set(
+            float(self._acks_since_checkpoint)
+        )
+        registry.gauge("repro_service_tenants").set(float(len(self.tenants)))
+        if not self.telemetry.active:
+            # No incrementally maintained histogram to share — rebuild the
+            # latency histogram from scratch (registry is transient, so
+            # repeated scrapes never double-count).
+            registry.histogram(
+                "repro_service_decision_latency_seconds", SECONDS_BUCKETS
+            ).extend(list(self.latencies))
+        return registry
+
+    def statusz(self, now: float = 0.0) -> dict:
+        """The ``/statusz`` JSON snapshot: everything live, one page."""
+        latencies = list(self.latencies)
+        latency_summary = {"count": len(latencies)}
+        if latencies:
+            arr = np.asarray(latencies)
+            latency_summary.update(
+                p50=float(np.percentile(arr, 50)),
+                p99=float(np.percentile(arr, 99)),
+                max=float(arr.max()),
+            )
+        return {
+            "health": self.health(now),
+            "queue_depths": {
+                "by_priority": {
+                    str(p): d for p, d in sorted(self.queue.depth_by_priority().items())
+                },
+                "by_tenant": self.queue.depth_by_tenant(),
+            },
+            "latency_seconds": latency_summary,
+            "metrics": self.metrics_registry().snapshot(),
+            "telemetry": self.telemetry.status(),
+        }

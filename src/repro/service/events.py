@@ -11,6 +11,14 @@ One JSONL object per event.  Three kinds:
   profile through the policy engine and answer with a placement plan
   (demote / promote / sampled page ids).
 
+Plus one control-plane kind:
+
+* ``control`` — an operator instruction to the service itself
+  (``flight-dump`` forces a flight-recorder dump, ``checkpoint`` forces
+  a WAL checkpoint).  Control events ride the same bounded queue but
+  default to the hottest priority so load shedding drops data-plane
+  events first.
+
 Parsing is strict: anything that is not a complete, well-formed event of
 a known kind raises :class:`~repro.errors.EventValidationError`.  The
 corrupt-event fault model (:mod:`repro.faults.models`) counts on this —
@@ -82,7 +90,27 @@ class DecideEvent:
     kind = "decide"
 
 
-IngressEvent = AccessEvent | SnapshotEvent | DecideEvent
+#: Actions a control event may request.
+CONTROL_ACTIONS = frozenset({"flight-dump", "checkpoint"})
+
+
+@dataclass(frozen=True)
+class ControlEvent:
+    """An operator instruction to the service's control plane."""
+
+    action: str
+    #: Free-form tag echoed into telemetry (dump reason suffix, spans).
+    tag: str = ""
+    priority: int = PRIORITY_MAX
+
+    kind = "control"
+
+    #: Control events are not tenant-scoped; the constant satisfies the
+    #: queue/telemetry sites that key on ``event.tenant``.
+    tenant = "_control"
+
+
+IngressEvent = AccessEvent | SnapshotEvent | DecideEvent | ControlEvent
 
 
 @dataclass(frozen=True)
@@ -169,6 +197,8 @@ def parse_event(line: str) -> IngressEvent:
         return _parse_snapshot(data)
     if kind == "decide":
         return _parse_decide(data)
+    if kind == "control":
+        return _parse_control(data)
     raise EventValidationError(f"unknown event kind: {kind!r}")
 
 
@@ -237,3 +267,20 @@ def _parse_decide(data: dict) -> DecideEvent:
         priority=_parse_priority(data),
         deadline_seconds=deadline,
     )
+
+
+def _parse_control(data: dict) -> ControlEvent:
+    action = data.get("action")
+    _require(
+        isinstance(action, str) and action in CONTROL_ACTIONS,
+        f"control action must be one of {sorted(CONTROL_ACTIONS)}: {action!r}",
+    )
+    tag = data.get("tag", "")
+    _require(
+        isinstance(tag, str) and len(tag) <= _TENANT_MAX_LEN,
+        f"control tag must be a string of <= {_TENANT_MAX_LEN} chars: {tag!r}",
+    )
+    priority = data.get("priority", PRIORITY_MAX)
+    data = dict(data)
+    data["priority"] = priority
+    return ControlEvent(action=action, tag=tag, priority=_parse_priority(data))

@@ -35,6 +35,8 @@ class QueueItem:
     arrival: int
     priority: int
     event: object
+    #: Virtual-clock time the event was admitted (queue-wait spans).
+    enqueued_at: float = 0.0
 
 
 class BoundedIngressQueue:
@@ -76,7 +78,7 @@ class BoundedIngressQueue:
         """True once depth reaches the high-watermark (stop reading)."""
         return self._depth >= self.watermark
 
-    def push(self, event: object, priority: int) -> list[QueueItem]:
+    def push(self, event: object, priority: int, now: float = 0.0) -> list[QueueItem]:
         """Admit one event; returns the items shed to make room.
 
         The returned list is empty on a clean admit, and may contain the
@@ -88,7 +90,9 @@ class BoundedIngressQueue:
             raise ConfigError(
                 f"priority must be in [{PRIORITY_MIN}, {PRIORITY_MAX}]: {priority}"
             )
-        item = QueueItem(arrival=self._arrivals, priority=priority, event=event)
+        item = QueueItem(
+            arrival=self._arrivals, priority=priority, event=event, enqueued_at=now
+        )
         self._arrivals += 1
         shed: list[QueueItem] = []
         if self._depth >= self.capacity:
@@ -120,6 +124,23 @@ class BoundedIngressQueue:
             return None
         self._depth -= 1
         return best_lane.popleft()
+
+    def depth_by_priority(self) -> dict[int, int]:
+        """Current queued depth per priority lane (live ``/statusz`` view)."""
+        return {priority: len(lane) for priority, lane in self._lanes.items()}
+
+    def depth_by_tenant(self) -> dict[str, int]:
+        """Current queued depth per tenant, sorted by tenant name.
+
+        Iterates over list snapshots of the lanes so a concurrent scrape
+        from the asyncio shell never observes a deque mid-mutation.
+        """
+        depths: dict[str, int] = {}
+        for lane in self._lanes.values():
+            for item in list(lane):
+                tenant = getattr(item.event, "tenant", "_unknown")
+                depths[tenant] = depths.get(tenant, 0) + 1
+        return dict(sorted(depths.items()))
 
     def _coldest_nonempty(self) -> int | None:
         for priority in range(PRIORITY_MIN, PRIORITY_MAX + 1):

@@ -9,10 +9,15 @@ this module supplies both.  Three frontends:
 * :func:`serve_unix` — the same protocol over a UNIX domain socket, one
   service shared by many connections.  A connection whose events keep
   failing validation is quarantined by the core and closed here.
-* :func:`serve_health` — a minimal HTTP responder exposing ``/healthz``
-  (liveness: queue/breaker/WAL state as JSON) and ``/readyz``
-  (readiness: 200 only when the breaker is not open and ingress is not
-  in backpressure).
+* :func:`serve_http` — a minimal HTTP responder with a small route
+  table: ``/healthz`` (liveness: queue/breaker/WAL state as JSON),
+  ``/readyz`` (readiness: 200 only when the breaker is not open and
+  ingress is not in backpressure), ``/metrics`` (live Prometheus text
+  exposition of the ``repro_service_*`` registry), and ``/statusz``
+  (one JSON page: queue depths per tenant, breaker state, WAL seq and
+  checkpoint lag, degraded-serve reasons, shed counts, latency
+  histograms, flight-recorder state).  :func:`serve_health` remains as
+  the original name for callers that only need the first two routes.
 
 Backpressure is real here: while the core reports
 ``should_backpressure`` the readers stop pulling from their transports
@@ -58,7 +63,9 @@ async def run_stdin(service: PlacementService) -> None:
         raw = await reader.readline()
         if not raw:
             break
-        service.ingest_line(raw.decode(errors="replace").rstrip("\n"), "stdin")
+        service.ingest_line(
+            raw.decode(errors="replace").rstrip("\n"), "stdin", now=loop.time()
+        )
         await _drain(service, None, loop)
     await _drain(service, None, loop)
     service.close()
@@ -77,7 +84,7 @@ async def _handle_connection(
             if not raw:
                 break
             result = service.ingest_line(
-                raw.decode(errors="replace").rstrip("\n"), name
+                raw.decode(errors="replace").rstrip("\n"), name, now=loop.time()
             )
             await _drain(service, writer, loop)
             if result.status == "quarantined-source":
@@ -100,10 +107,27 @@ async def serve_unix(service: PlacementService, socket_path: str) -> None:
         await server.serve_forever()
 
 
-async def serve_health(
+#: Prometheus text exposition content type (format version 0.0.4).
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+async def serve_http(
     service: PlacementService, host: str = "127.0.0.1", port: int = 0
 ):
-    """Expose ``/healthz`` and ``/readyz`` over bare HTTP.
+    """Expose the live HTTP surface: health, readiness, metrics, status.
+
+    Routes (exact-prefix match, everything else is 404):
+
+    * ``GET /healthz`` — :meth:`~repro.service.core.PlacementService.health`
+      as JSON, always 200 while the process lives.
+    * ``GET /readyz`` — 200/503 from
+      :meth:`~repro.service.core.PlacementService.ready`.
+    * ``GET /metrics`` — the live ``repro_service_*`` registry as
+      Prometheus text exposition, rebuilt per scrape from the service's
+      authoritative counters (idempotent; scraping never mutates
+      decision state).
+    * ``GET /statusz`` — the one-page JSON snapshot from
+      :meth:`~repro.service.core.PlacementService.statusz`.
 
     Returns the started server (its first socket carries the bound port,
     useful with ``port=0`` in tests).
@@ -121,6 +145,7 @@ async def serve_health(
             parts = request.split()
             target = parts[1].decode(errors="replace") if len(parts) >= 2 else "/"
             now = loop.time()
+            content_type = "application/json"
             if target.startswith("/readyz"):
                 ready = service.ready(now)
                 status, body = (
@@ -130,12 +155,19 @@ async def serve_health(
                 )
             elif target.startswith("/healthz"):
                 status, body = "200 OK", service.health(now)
+            elif target.startswith("/statusz"):
+                status, body = "200 OK", service.statusz(now)
+            elif target.startswith("/metrics"):
+                status, body = "200 OK", None
+                content_type = _PROMETHEUS_CONTENT_TYPE
+                payload = service.metrics_registry().to_prometheus_text().encode()
             else:
                 status, body = "404 Not Found", {"error": "unknown path"}
-            payload = json.dumps(body, sort_keys=True).encode()
+            if body is not None:
+                payload = json.dumps(body, sort_keys=True).encode()
             writer.write(
                 b"HTTP/1.1 " + status.encode() + b"\r\n"
-                b"Content-Type: application/json\r\n"
+                b"Content-Type: " + content_type.encode() + b"\r\n"
                 b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
                 b"Connection: close\r\n\r\n" + payload
             )
@@ -144,3 +176,10 @@ async def serve_health(
             writer.close()
 
     return await asyncio.start_server(handler, host=host, port=port)
+
+
+async def serve_health(
+    service: PlacementService, host: str = "127.0.0.1", port: int = 0
+):
+    """Backwards-compatible name for :func:`serve_http`."""
+    return await serve_http(service, host=host, port=port)

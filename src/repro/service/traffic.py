@@ -154,6 +154,7 @@ def drive(
     injector = ServiceFaultInjector.from_config(
         config.faults, make_rng(config.seed)
     )
+    injector.bind_telemetry(service.telemetry)
     report = TrafficReport()
     trips_before = service.breaker.trips_total
     now = 0.0
@@ -161,17 +162,17 @@ def drive(
         now += config.inter_arrival_seconds
         # Clock-stall fault: the observed clock freezes, so the service
         # sees the same ``now`` for a while and then a forward jump.
-        now += injector.clock_stall_seconds()
+        now += injector.clock_stall_seconds(now)
         report.lines += 1
-        sent, corrupted = injector.maybe_corrupt(line)
+        sent, corrupted = injector.maybe_corrupt(line, now)
         if corrupted:
             report.corrupt_sent += 1
-        result = service.ingest_line(sent, source="traffic")
+        result = service.ingest_line(sent, source="traffic", now=now)
         if result.status == "shed":
             pass  # counted below from the queue's own ledger
         elif result.status in ("rejected", "quarantined-source"):
             report.rejected += 1
-        stall = injector.consumer_stall_seconds()
+        stall = injector.consumer_stall_seconds(now)
         for response in service.drain(now, stall_seconds=stall):
             report.decisions += 1
             report.responses.append(response)

@@ -277,6 +277,52 @@ class TestQuarantine:
         with pytest.raises(QuarantinedTaskError, match="web-search"):
             batch.raise_on_quarantine()
 
+    def test_observed_quarantine_writes_flight_dump(self, tmp_path, monkeypatch):
+        from repro.obs import Observer
+        from repro.obs.live import validate_flight_dump
+
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:raise")
+        quarantine = tmp_path / "quarantine.json"
+        obs = Observer(trace=True, metrics=True, process="supervisor")
+        batch = run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(
+                max_attempts=2, quarantine_path=str(quarantine), **FAST
+            ),
+            observer=obs,
+        )
+        (entry,) = batch.quarantined
+        # The dump sits next to quarantine.json and revalidates; its path
+        # is recorded in the entry (and therefore in quarantine.json).
+        assert entry.flight_dump is not None
+        dump_path = tmp_path / entry.flight_dump.rsplit("/", 1)[-1]
+        assert dump_path.exists()
+        payload = json.loads(dump_path.read_text())
+        validate_flight_dump(payload)
+        assert payload["label"] == "supervisor"
+        names = [e["name"] for e in payload["entries"]]
+        assert "attempt" in names and "quarantined" in names
+        raw = json.loads(quarantine.read_text())
+        assert raw["entries"][0]["flight_dump"] == entry.flight_dump
+        # The failure line surfaces the dump path for operators.
+        with pytest.raises(QuarantinedTaskError, match=r"\[flight: "):
+            batch.raise_on_quarantine()
+
+    def test_unobserved_quarantine_has_no_dump(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TEST_FAULT_ENV, "web-search:raise")
+        quarantine = tmp_path / "quarantine.json"
+        batch = run_supervised(
+            [SPEC],
+            store=ResultStore(),
+            config=SupervisorConfig(
+                max_attempts=2, quarantine_path=str(quarantine), **FAST
+            ),
+        )
+        (entry,) = batch.quarantined
+        assert entry.flight_dump is None
+        assert not list(tmp_path.glob("flight_*.json"))
+
     def test_clean_batch_clears_stale_quarantine(self, tmp_path):
         quarantine = tmp_path / "quarantine.json"
         quarantine.write_text("{}")

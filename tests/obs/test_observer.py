@@ -256,7 +256,7 @@ class TestValidateDirectory:
     def test_valid_directory_passes(self, tmp_path, capsys):
         self._write_artifacts(tmp_path)
         checked = validate_directory(tmp_path)
-        assert checked == {"traces": 1, "events": 1, "metrics": 1}
+        assert checked == {"traces": 1, "events": 1, "metrics": 1, "flights": 0}
         assert validate_main([str(tmp_path)]) == 0
         assert capsys.readouterr().out.startswith("ok: 1 trace(s)")
 

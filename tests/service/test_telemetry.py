@@ -1,0 +1,310 @@
+"""Live telemetry plane wired through the service: spans, scrapes, dumps.
+
+The telemetry contract mirrors PR 5's observability rule: the
+instrumented-off service is byte-identical to PR 9's, and with a
+:class:`~repro.obs.live.ServiceTelemetry` attached every decision —
+fresh, degraded, idempotent, or shed — carries a schema-valid span tree
+on the service's virtual clock.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.live import NULL_TELEMETRY, ServiceTelemetry
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.tracer import validate_event
+from repro.service.core import PlacementService, ServiceConfig
+from repro.errors import SimulationError
+
+
+def make_service(telemetry=None, **kwargs):
+    config_kwargs = {
+        "seed": 7,
+        "breaker_failure_threshold": 3,
+        "breaker_reset_seconds": 1.0,
+        "max_attempts": 2,
+        "backoff_seconds": 0.001,
+    }
+    config_kwargs.update(kwargs.pop("config", {}))
+    return PlacementService(
+        config=ServiceConfig(**config_kwargs), telemetry=telemetry, **kwargs
+    )
+
+
+def feed_profile(service, tenant="t0", pages=4, count=5000, now=0.0):
+    for page in range(pages):
+        line = json.dumps(
+            {"kind": "access", "tenant": tenant, "page": page, "count": count}
+        )
+        assert service.ingest_line(line, now=now).status == "queued"
+
+
+def decide(service, tenant="t0", request_id="r1", now=0.0, enqueue_at=None, **extra):
+    line = json.dumps(
+        {"kind": "decide", "tenant": tenant, "request_id": request_id, **extra}
+    )
+    at = enqueue_at if enqueue_at is not None else now
+    assert service.ingest_line(line, now=at).status == "queued"
+    responses = service.drain(now)
+    assert len(responses) == 1
+    return responses[0]
+
+
+def spans_of(telemetry, trace_id=None):
+    events = [
+        e for e in telemetry.observer.tracer.events if e.category == "span"
+    ]
+    if trace_id is not None:
+        events = [e for e in events if e.args["trace_id"] == trace_id]
+    return events
+
+
+class TestDecisionSpanTrees:
+    def test_fresh_decision_spans_queue_decide_ack(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(telemetry=telemetry)
+        feed_profile(service)
+        decide(service, request_id="r1", enqueue_at=1.0, now=1.5)
+
+        spans = spans_of(telemetry)
+        by_name = {s.name: s for s in spans}
+        assert set(by_name) == {
+            "request", "queue", "decide", "attempt", "wal_ack",
+        }
+        root = by_name["request"]
+        assert root.args["outcome"] == "acked"
+        assert "parent_id" not in root.args
+        assert root.time == 1.0  # starts at enqueue, on the virtual clock
+        # Every child points at the root; the attempt nests under decide.
+        assert by_name["queue"].args["parent_id"] == root.args["span_id"]
+        assert by_name["queue"].duration == pytest.approx(0.5)
+        decide_span = by_name["decide"]
+        assert decide_span.args["parent_id"] == root.args["span_id"]
+        assert by_name["attempt"].args["parent_id"] == decide_span.args["span_id"]
+        assert by_name["attempt"].args["outcome"] == "ok"
+        assert by_name["wal_ack"].args["seq"] == 1
+        # One trace id ties the tree together, and every event revalidates.
+        trace_ids = {s.args["trace_id"] for s in spans}
+        assert len(trace_ids) == 1
+        for span in spans:
+            validate_event(
+                {
+                    "cat": "span",
+                    "name": span.name,
+                    "time": span.time,
+                    "args": span.args,
+                }
+            )
+
+    def test_idempotent_replay_gets_its_own_tree(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(telemetry=telemetry)
+        feed_profile(service)
+        decide(service, request_id="r1")
+        decide(service, request_id="r1", now=2.0)  # replayed ack
+        names = [s.name for s in spans_of(telemetry)]
+        assert "idempotent_ack" in names
+        assert telemetry.traces_total == 2
+
+    def test_degraded_decision_carries_reason(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(telemetry=telemetry)
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="r1")
+        by_name = {s.name: s for s in spans_of(telemetry)}
+        assert by_name["request"].args["outcome"] == "degraded"
+        assert by_name["degraded"].args["reason"] == "engine-error"
+        assert by_name["degraded"].args["had_cache"] is False
+        # Both failed attempts appear, the retry span covering its backoff.
+        attempts = [s for s in spans_of(telemetry) if s.name == "attempt"]
+        assert [a.args["attempt"] for a in attempts] == [1, 2]
+        assert attempts[0].args["outcome"] == "engine-error"
+        assert attempts[0].duration > 0.0  # backoff is virtual time spent
+
+    def test_shed_decision_gets_terminal_tree(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(
+            telemetry=telemetry, config={"queue_capacity": 2}
+        )
+        # Three low-priority decides into a 2-slot queue: one is shed.
+        for i in range(3):
+            line = json.dumps(
+                {
+                    "kind": "decide",
+                    "tenant": "t0",
+                    "request_id": f"r{i}",
+                    "priority": 0,
+                }
+            )
+            service.ingest_line(line, now=float(i))
+        shed = [
+            s for s in spans_of(telemetry)
+            if s.name == "request" and s.args["outcome"] == "shed"
+        ]
+        assert len(shed) == 1
+
+    def test_off_path_is_byte_identical(self):
+        """Responses with telemetry attached match a bare service's."""
+        def run(telemetry):
+            service = make_service(telemetry=telemetry)
+            feed_profile(service)
+            payloads = []
+            for i in range(5):
+                response = decide(
+                    service, request_id=f"r{i}", now=float(i)
+                )
+                payloads.append(response.to_payload())
+            return json.dumps(payloads, sort_keys=True)
+
+        assert run(None) == run(ServiceTelemetry(trace=True))
+        assert run(None) == run(NULL_TELEMETRY)
+
+
+class TestFlightDumps:
+    def test_breaker_open_dumps_flight_recorder(self, tmp_path):
+        telemetry = ServiceTelemetry(trace=True, dump_dir=tmp_path)
+        service = make_service(telemetry=telemetry)
+        feed_profile(service)
+        decide(service, request_id="warm")
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="f1", now=1.0)
+        decide(service, request_id="f2", now=1.1)
+        dumps = sorted(tmp_path.glob("flight_service_*_breaker-open.json"))
+        assert len(dumps) == 1
+        payload = json.loads(dumps[0].read_text())
+        assert payload["reason"] == "breaker-open"
+        names = [e["name"] for e in payload["entries"]]
+        assert "breaker_transition" in names
+
+    def test_request_quarantine_dumps(self, tmp_path):
+        telemetry = ServiceTelemetry(trace=True, dump_dir=tmp_path)
+        service = make_service(
+            telemetry=telemetry, config={"poison_request_threshold": 1}
+        )
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="poison")
+        assert list(tmp_path.glob("flight_service_*_quarantine.json"))
+
+    def test_control_event_triggers_dump_and_counter(self, tmp_path):
+        telemetry = ServiceTelemetry(trace=True, dump_dir=tmp_path)
+        service = make_service(telemetry=telemetry)
+        line = json.dumps(
+            {"kind": "control", "action": "flight-dump", "tag": "ci"}
+        )
+        assert service.ingest_line(line, now=1.0).status == "queued"
+        assert service.drain(1.0) == []
+        assert service.counters["control_total"] == 1
+        assert list(tmp_path.glob("flight_service_*_control-ci.json"))
+
+    def test_control_checkpoint_without_wal_is_noop(self):
+        service = make_service(telemetry=ServiceTelemetry(trace=True))
+        line = json.dumps({"kind": "control", "action": "checkpoint"})
+        service.ingest_line(line)
+        service.drain(0.0)
+        assert service.counters["control_total"] == 1
+        assert service.counters["checkpoints"] == 0  # no wal_dir
+
+
+class TestMetricsSurface:
+    def test_metrics_registry_matches_counters(self):
+        service = make_service()
+        feed_profile(service)
+        decide(service, request_id="r1")
+        registry = service.metrics_registry()
+        snap = registry.snapshot()
+        assert snap["counters"]["repro_service_decisions_total"] == 1.0
+        assert snap["counters"]["repro_service_events_total"] == 5.0
+        hist = snap["histograms"]["repro_service_decision_latency_seconds"]
+        assert sum(hist["counts"]) == 1
+        # Scrapes are idempotent: same counters on a second scrape.
+        assert service.metrics_registry().snapshot() == snap
+
+    def test_exposition_passes_the_strict_parser(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(telemetry=telemetry)
+        feed_profile(service)
+        decide(service, request_id="r1")
+        text = service.metrics_registry().to_prometheus_text()
+        parsed = parse_prometheus_text(text)
+        assert parsed == service.metrics_registry().snapshot()
+        assert "repro_service_decision_latency_seconds" in parsed["histograms"]
+
+    def test_degraded_reasons_become_counters(self):
+        service = make_service()
+        service.engine_fault_hook = lambda t, e: (_ for _ in ()).throw(
+            SimulationError("down")
+        )
+        decide(service, request_id="r1")
+        snap = service.metrics_registry().snapshot()
+        assert snap["counters"]["repro_service_degraded_engine_error_total"] == 1.0
+
+    def test_statusz_shape(self):
+        telemetry = ServiceTelemetry(trace=True)
+        service = make_service(telemetry=telemetry)
+        feed_profile(service)
+        decide(service, request_id="r1")
+        status = service.statusz(now=1.0)
+        assert set(status) == {
+            "health", "queue_depths", "latency_seconds", "metrics", "telemetry",
+        }
+        assert status["latency_seconds"]["count"] == 1
+        assert status["telemetry"]["active"] is True
+        assert status["health"]["degraded_by_reason"] == {}
+        json.dumps(status)  # the page must serialize (the /statusz route)
+
+
+class TestHttpRoutes:
+    def _serve(self, raw: bytes, telemetry=None) -> bytes:
+        from repro.service.server import serve_http
+
+        async def run() -> bytes:
+            service = make_service(telemetry=telemetry)
+            feed_profile(service)
+            decide(service, request_id="r1")
+            server = await serve_http(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                writer.write(raw)
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                return data
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(run())
+
+    def test_metrics_route_serves_strict_prometheus(self):
+        response = self._serve(b"GET /metrics HTTP/1.1\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        head, _, body = response.partition(b"\r\n\r\n")
+        assert b"text/plain; version=0.0.4" in head
+        parsed = parse_prometheus_text(body.decode())
+        assert parsed["counters"]["repro_service_decisions_total"] == 1.0
+        assert "repro_service_decision_latency_seconds" in parsed["histograms"]
+
+    def test_statusz_route_serves_json(self):
+        response = self._serve(
+            b"GET /statusz HTTP/1.1\r\n\r\n",
+            telemetry=ServiceTelemetry(trace=True),
+        )
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        _, _, body = response.partition(b"\r\n\r\n")
+        status = json.loads(body)
+        assert status["telemetry"]["active"] is True
+        assert status["health"]["counters"]["decisions_total"] == 1
+
+    def test_healthz_still_served(self):
+        response = self._serve(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        assert b'"counters"' in response
